@@ -1,0 +1,50 @@
+# Convenience targets for the tableseg reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments results corpus cover fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# The paper's tables, figures, ablations, baselines and extensions.
+experiments:
+	$(GO) run ./cmd/experiments -all -seeds 42,43,44,45
+
+# Regenerate the checked-in reference outputs under ./results.
+results:
+	$(GO) run ./cmd/experiments -table 1 > results/table1.txt
+	$(GO) run ./cmd/experiments -table 2 > results/table2.txt
+	$(GO) run ./cmd/experiments -table 3 > results/table3.txt
+	$(GO) run ./cmd/experiments -table 4 > results/table4.txt
+	$(GO) run ./cmd/experiments -ablations > results/ablations.txt
+	$(GO) run ./cmd/experiments -baselines > results/baselines.txt
+	$(GO) run ./cmd/experiments -extensions > results/extensions.txt
+	$(GO) run ./cmd/experiments -scale > results/scale.txt
+	$(GO) run ./cmd/experiments -seeds 42,43,44,45 > results/seeds.txt
+
+# One benchmark per table/figure (see DESIGN.md's index).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Render the synthetic twelve-site corpus to ./corpus.
+corpus:
+	$(GO) run ./cmd/sitegen -out corpus
+
+cover:
+	$(GO) test -cover ./...
+
+# Short exploratory fuzzing of the HTML lexer.
+fuzz:
+	$(GO) test -fuzz=FuzzTokenize -fuzztime=30s ./internal/htmlx
+
+clean:
+	rm -rf corpus

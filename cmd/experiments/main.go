@@ -1,0 +1,133 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the synthetic twelve-site corpus:
+//
+//	experiments -table 4          # the main segmentation study
+//	experiments -table 1          # the Superpages worked example (also 2, 3)
+//	experiments -ablations        # the DESIGN.md ablation suite
+//	experiments -baselines        # layout-only baselines (§6.3)
+//	experiments -seeds 42,43,44   # Table 4 totals across generator seeds
+//	experiments -all              # everything (the EXPERIMENTS.md content)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tableseg/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce one table of the paper (1-4)")
+	ablations := flag.Bool("ablations", false, "run the ablation suite")
+	baselines := flag.Bool("baselines", false, "run the layout-only baselines")
+	extensions := flag.Bool("extensions", false, "run the future-work extensions (detail-page classification, wrapper transfer)")
+	scale := flag.Bool("scale", false, "run the scaling study (per-page latency vs record count)")
+	seedsFlag := flag.String("seeds", "", "comma-separated generator seeds for a Table 4 sweep")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "generator seed")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 || *table == 2 || *table == 3 {
+		ex := experiments.RunExample()
+		switch {
+		case *all:
+			fmt.Println(ex.RenderTable1())
+			fmt.Println(ex.RenderTable2())
+			fmt.Println(ex.RenderTable3())
+		case *table == 1:
+			fmt.Println(ex.RenderTable1())
+		case *table == 2:
+			fmt.Println(ex.RenderTable2())
+		case *table == 3:
+			fmt.Println(ex.RenderTable3())
+		}
+		ran = true
+	}
+	if *all || *table == 4 {
+		t4, err := experiments.RunTable4(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderTable4(t4))
+		ran = true
+	}
+	if *all || *ablations {
+		abls, err := experiments.RunAllAblations(*seed)
+		if err != nil {
+			fail(err)
+		}
+		for _, a := range abls {
+			fmt.Println(a.Render())
+		}
+		ran = true
+	}
+	if *all || *baselines {
+		res, err := experiments.RunBaselines(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderBaselines(res))
+		ran = true
+	}
+	if *all || *extensions {
+		cls, err := experiments.RunClassification(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderClassification(cls))
+		wr, err := experiments.RunWrapperTransfer(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderWrapperTransfer(wr))
+		vt, err := experiments.RunVertical(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderVertical(vt))
+		ran = true
+	}
+	if *all || *scale {
+		rows, err := experiments.RunScale(*seed, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderScale(rows))
+		stress, err := experiments.RunStressSweep(*seed, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderStressSweep(stress))
+		ran = true
+	}
+	if *seedsFlag != "" {
+		var seeds []int64
+		for _, s := range strings.Split(*seedsFlag, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fail(fmt.Errorf("bad seed %q: %w", s, err))
+			}
+			seeds = append(seeds, v)
+		}
+		prob, cspRes, err := experiments.RunSeedSweep(seeds)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(prob.Render())
+		fmt.Println(cspRes.Render())
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,80 @@
+// Command sitegen renders the synthetic twelve-site corpus (or one
+// site) to disk, so the pipeline can be exercised on files:
+//
+//	sitegen -out ./corpus             # all twelve sites
+//	sitegen -site superpages -out .   # one site (Figure 1's namesake)
+//	sitegen -list                     # list available site profiles
+//
+// Each site becomes a directory with listN.html, listN_detailM.html and
+// a truth file listN.truth.txt holding the ground-truth record values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tableseg/internal/sitegen"
+)
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	site := flag.String("site", "", "generate a single site by slug (default: all)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	list := flag.Bool("list", false, "list available site profiles")
+	flag.Parse()
+
+	if *list {
+		for _, p := range sitegen.Profiles() {
+			fmt.Printf("%-14s %-22s %-12s %-10s records=%v notes=%s\n",
+				p.Slug, p.Name, p.Domain, p.Layout, p.RecordsPerList, p.Notes)
+		}
+		return
+	}
+
+	profiles := sitegen.Profiles()
+	if *site != "" {
+		p, err := sitegen.ProfileBySlug(*site)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sitegen:", err)
+			os.Exit(1)
+		}
+		profiles = []sitegen.Profile{p}
+	}
+
+	for _, p := range profiles {
+		s := sitegen.Generate(p, *seed)
+		dir := filepath.Join(*out, p.Slug)
+		if err := writeSite(dir, s); err != nil {
+			fmt.Fprintln(os.Stderr, "sitegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d list pages)\n", dir, len(s.Lists))
+	}
+}
+
+func writeSite(dir string, s *sitegen.Site) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// The site map's URL scheme matches the in-page hrefs, so the
+	// written directory is directly crawlable (cmd/harvest -dir).
+	for url, html := range s.SiteMap() {
+		if err := os.WriteFile(filepath.Join(dir, strings.TrimPrefix(url, "/")), []byte(html), 0o644); err != nil {
+			return err
+		}
+	}
+	for li, lp := range s.Lists {
+		var truth strings.Builder
+		for ti, t := range lp.Truth {
+			fmt.Fprintf(&truth, "record %d: %s\n", ti+1, strings.Join(t.Values, " | "))
+		}
+		name := fmt.Sprintf("list%d.truth.txt", li+1)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(truth.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

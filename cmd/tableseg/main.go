@@ -1,0 +1,172 @@
+// Command tableseg segments the records of a list page using its detail
+// pages, from HTML files on disk:
+//
+//	tableseg -method prob -list l1.html -list l2.html -target 0 \
+//	         -detail d1.html -detail d2.html -detail d3.html
+//
+// List pages are the sampled results pages of one site (at least two
+// enable template finding); detail pages are the pages linked from the
+// target list page, in link order. Output is one block per segmented
+// record; -columns additionally prints the reconstructed relational
+// table (probabilistic method only).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tableseg"
+)
+
+// multiFlag collects repeated -list/-detail flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var lists, details multiFlag
+	flag.Var(&lists, "list", "list page HTML file (repeatable; >=2 enables template finding)")
+	flag.Var(&details, "detail", "detail page HTML file (repeatable; in link order)")
+	target := flag.Int("target", 0, "index of the list page to segment")
+	method := flag.String("method", "prob", "segmentation method: prob, csp or combined")
+	columns := flag.Bool("columns", false, "print the reconstructed relational table")
+	jsonOut := flag.Bool("json", false, "emit the segmentation as JSON")
+	csvOut := flag.Bool("csv", false, "emit the reconstructed table as CSV")
+	flag.Parse()
+
+	if len(lists) == 0 || len(details) == 0 {
+		fmt.Fprintln(os.Stderr, "tableseg: need at least one -list and one -detail file")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := tableseg.Input{Target: *target}
+	for _, f := range lists {
+		in.ListPages = append(in.ListPages, mustRead(f))
+	}
+	for _, f := range details {
+		in.DetailPages = append(in.DetailPages, mustRead(f))
+	}
+
+	var m tableseg.Method
+	switch *method {
+	case "prob", "probabilistic":
+		m = tableseg.Probabilistic
+	case "csp":
+		m = tableseg.CSP
+	case "combined":
+		m = tableseg.Combined
+	default:
+		fmt.Fprintf(os.Stderr, "tableseg: unknown method %q (want prob, csp or combined)\n", *method)
+		os.Exit(2)
+	}
+
+	seg, err := tableseg.Segment(in, tableseg.DefaultOptions(m))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tableseg:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		emitJSON(seg, m)
+		return
+	}
+	if *csvOut {
+		if err := tableseg.WriteCSV(os.Stdout, seg); err != nil {
+			fmt.Fprintln(os.Stderr, "tableseg:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("method=%s analyzed=%d/%d extracts", m, seg.Analyzed, seg.TotalExtracts)
+	if seg.UsedWholePage {
+		fmt.Printf(" (page template problem: entire page used)")
+	}
+	if m == tableseg.CSP {
+		fmt.Printf(" csp=%s", seg.CSPStatus)
+	}
+	fmt.Println()
+	for _, rec := range seg.Records {
+		fmt.Printf("record %d (detail page %d):\n", rec.Index+1, rec.Index+1)
+		for i, ex := range rec.Extracts {
+			col := ""
+			if rec.Columns[i] >= 0 {
+				col = fmt.Sprintf("  [L%d]", rec.Columns[i]+1)
+			}
+			fmt.Printf("  %s%s\n", ex.Text(), col)
+		}
+	}
+	if *columns {
+		fmt.Println("\nreconstructed table:")
+		if len(seg.ColumnLabels) > 0 {
+			fmt.Printf("     | %s\n", strings.Join(seg.ColumnLabels, " | "))
+		}
+		for i, row := range tableseg.ReconstructTable(seg) {
+			fmt.Printf("  %2d | %s\n", i+1, strings.Join(row, " | "))
+		}
+	}
+}
+
+// jsonRecord is the JSON shape of one segmented record.
+type jsonRecord struct {
+	Record   int      `json:"record"`
+	Extracts []string `json:"extracts"`
+	Columns  []int    `json:"columns,omitempty"`
+}
+
+// jsonOutput is the JSON shape of a segmentation.
+type jsonOutput struct {
+	Method        string       `json:"method"`
+	Analyzed      int          `json:"analyzedExtracts"`
+	Total         int          `json:"totalExtracts"`
+	UsedWholePage bool         `json:"usedWholePage"`
+	CSPStatus     string       `json:"cspStatus,omitempty"`
+	ColumnLabels  []string     `json:"columnLabels,omitempty"`
+	Records       []jsonRecord `json:"records"`
+	Table         [][]string   `json:"table"`
+}
+
+func emitJSON(seg *tableseg.Segmentation, m tableseg.Method) {
+	out := jsonOutput{
+		Method:        m.String(),
+		Analyzed:      seg.Analyzed,
+		Total:         seg.TotalExtracts,
+		UsedWholePage: seg.UsedWholePage,
+		ColumnLabels:  seg.ColumnLabels,
+		Table:         tableseg.ReconstructTable(seg),
+	}
+	if m != tableseg.Probabilistic {
+		out.CSPStatus = seg.CSPStatus.String()
+	}
+	for _, rec := range seg.Records {
+		out.Records = append(out.Records, jsonRecord{
+			Record:   rec.Index + 1,
+			Extracts: rec.Texts(),
+			Columns:  rec.Columns,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "tableseg:", err)
+		os.Exit(1)
+	}
+}
+
+func mustRead(path string) tableseg.Page {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tableseg:", err)
+		os.Exit(1)
+	}
+	return tableseg.Page{Name: path, HTML: string(data)}
+}

@@ -1,0 +1,86 @@
+// Quickstart: segment a tiny white-pages listing into records using
+// only the content redundancy between the list page and its detail
+// pages — no training data, no hand-written rules.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tableseg"
+)
+
+// Two list pages from the same (imaginary) site. The second page lets
+// the library induce the page template: everything the pages share is
+// boilerplate, everything else is data.
+const listPage1 = `<html><body><h1>People Finder</h1>
+<p>Search Results Below - Refine Query Anytime</p>
+<table>
+<tr><td>Ann Lee</td><td>12 Oak St</td><td>(555) 283-9922</td></tr>
+<tr><td>Bob Day</td><td>99 Elm Rd</td><td>(555) 761-0301</td></tr>
+<tr><td>Cal Roe</td><td>7 Pine Ave</td><td>(555) 440-1188</td></tr>
+</table>
+<p>Copyright 2004 PeopleFinder Inc</p></body></html>`
+
+const listPage2 = `<html><body><h1>People Finder</h1>
+<p>Search Results Below - Refine Query Anytime</p>
+<table>
+<tr><td>Dee Fox</td><td>4 Elm Ct</td><td>(555) 019-3321</td></tr>
+<tr><td>Eli Orr</td><td>31 Ash Ln</td><td>(555) 678-4410</td></tr>
+</table>
+<p>Copyright 2004 PeopleFinder Inc</p></body></html>`
+
+// One detail page per record of listPage1, in the order their links
+// would appear. Each shows a second view of its record.
+var detailPages = []string{
+	`<html><body><h2>Listing</h2><p>Ann Lee</p><p>12 Oak St</p><p>(555) 283-9922</p></body></html>`,
+	`<html><body><h2>Listing</h2><p>Bob Day</p><p>99 Elm Rd</p><p>(555) 761-0301</p></body></html>`,
+	`<html><body><h2>Listing</h2><p>Cal Roe</p><p>7 Pine Ave</p><p>(555) 440-1188</p></body></html>`,
+}
+
+func main() {
+	in := tableseg.Input{
+		ListPages: []tableseg.Page{
+			{Name: "list1", HTML: listPage1},
+			{Name: "list2", HTML: listPage2},
+		},
+		Target: 0, // segment listPage1
+	}
+	for i, d := range detailPages {
+		in.DetailPages = append(in.DetailPages, tableseg.Page{Name: fmt.Sprintf("detail%d", i+1), HTML: d})
+	}
+
+	// The probabilistic method also labels columns (L1, L2, ...).
+	seg, err := tableseg.SegmentProbabilistic(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("segmented %d records (template quality %.2f)\n\n", len(seg.Records), seg.TemplateQuality)
+	for _, rec := range seg.Records {
+		fmt.Printf("record %d:\n", rec.Index+1)
+		for i, ex := range rec.Extracts {
+			fmt.Printf("  L%d: %s\n", rec.Columns[i]+1, ex.Text())
+		}
+	}
+
+	// The CSP method solves the same instance with hard constraints.
+	cspSeg, err := tableseg.SegmentCSP(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCSP agrees: %v (status %s)\n", sameBoundaries(seg, cspSeg), cspSeg.CSPStatus)
+}
+
+func sameBoundaries(a, b *tableseg.Segmentation) bool {
+	if len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		if len(a.Records[i].Extracts) != len(b.Records[i].Extracts) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,3 @@
+module tableseg
+
+go 1.22

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tableseg/internal/token"
+)
+
+const uniformGrid = `<table>
+<tr><td>Ann Lee</td><td>12 Oak St</td></tr>
+<tr><td>Bob Day</td><td>99 Elm Rd</td></tr>
+<tr><td>Cal Roe</td><td>7 Pine Ave</td></tr>
+</table>`
+
+const disjunctGrid = `<div><b>Ann Lee</b><br>12 Oak St<br>x</div><hr>
+<div><b>Bob Day</b><br><font color="gray">street address not available</font><br>x</div><hr>
+<div><b>Cal Roe</b><br>7 Pine Ave<br>x</div><hr>`
+
+func TestUnionFreeUniform(t *testing.T) {
+	toks := token.Tokenize(uniformGrid)
+	rows, err := UnionFree(toks, 0, len(toks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	var words []string
+	for _, tok := range rows[0] {
+		if !tok.IsHTML() {
+			words = append(words, tok.Text)
+		}
+	}
+	if got := strings.Join(words, " "); got != "Ann Lee 12 Oak St" {
+		t.Errorf("row 0 text = %q", got)
+	}
+}
+
+func TestUnionFreeDisjunction(t *testing.T) {
+	toks := token.Tokenize(disjunctGrid)
+	_, err := UnionFree(toks, 0, len(toks))
+	if !errors.Is(err, ErrDisjunction) {
+		t.Fatalf("err = %v, want ErrDisjunction", err)
+	}
+}
+
+func TestUnionFreeNoRows(t *testing.T) {
+	toks := token.Tokenize(`<span>just one blob of text</span>`)
+	_, err := UnionFree(toks, 0, len(toks))
+	if !errors.Is(err, ErrNoRows) {
+		t.Fatalf("err = %v, want ErrNoRows", err)
+	}
+}
+
+func TestTagRepetitionPrefersRowOverCell(t *testing.T) {
+	toks := token.Tokenize(uniformGrid)
+	rows, err := TagRepetition(toks, 0, len(toks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The maximal repeated pattern is the <tr> row (two cells), not the
+	// individual <td> cell.
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (rows split at cells?)", len(rows))
+	}
+}
+
+func TestTagRepetitionToleratesDeviation(t *testing.T) {
+	toks := token.Tokenize(disjunctGrid)
+	rows, err := TagRepetition(toks, 0, len(toks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+}
+
+func TestRowSplitDropsHeader(t *testing.T) {
+	toks := token.Tokenize(`<p>Header Text</p><tr><td>a</td></tr><tr><td>b</td></tr>`)
+	rows := rowSplit(toks, 0, len(toks), "<tr>")
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, tok := range r {
+			if tok.Text == "Header" {
+				t.Error("header text leaked into a row")
+			}
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	toks := token.Tokenize(uniformGrid)
+	for _, name := range []string{NameUnionFree, NameTagRepetition} {
+		rows, err := Run(name, toks, 0, len(toks))
+		if err != nil || len(rows) != 3 {
+			t.Errorf("%s: %d rows, %v", name, len(rows), err)
+		}
+	}
+	if _, err := Run("bogus", toks, 0, len(toks)); err == nil {
+		t.Error("unknown baseline must error")
+	}
+}
+
+func TestTagSignature(t *testing.T) {
+	toks := token.Tokenize(`<tr><td>x y</td></tr>`)
+	if sig := tagSignature(toks); sig != "<tr><td></td></tr>" {
+		t.Errorf("signature %q", sig)
+	}
+}
+
+func TestRowSplitKeepsEmptyRows(t *testing.T) {
+	// Empty rows are the caller's concern (the experiments converter
+	// drops them); the splitter reports the raw structure.
+	toks := token.Tokenize(`<tr><td>a</td></tr><tr><td></td></tr>`)
+	rows := rowSplit(toks, 0, len(toks), "<tr>")
+	if len(rows) != 2 {
+		t.Errorf("%d rows, want 2", len(rows))
+	}
+}

@@ -1,0 +1,104 @@
+// Package classify identifies detail pages among the pages linked from
+// a list page. §6.1 leaves automatic detail-page identification to
+// future work and sketches the solution implemented here: "download all
+// the pages that are linked on the list pages, and then use a
+// classification algorithm to find a subset that contains the detail
+// pages only. The detail pages, generated from the same template, will
+// look similar to one another and different from advertisement pages."
+//
+// Similarity is structural: the Jaccard overlap of the pages' token
+// vocabularies, which is dominated by template boilerplate (tags,
+// captions, footers) rather than record data. Pages are clustered
+// greedily by average similarity to cluster members; the largest
+// cluster is declared the detail-page set.
+package classify
+
+import "tableseg/internal/token"
+
+// Similarity returns the Jaccard overlap of two pages' token-text sets,
+// in [0,1]. Pages generated from one template share their boilerplate
+// vocabulary and score high even when every data value differs.
+func Similarity(a, b []token.Token) float64 {
+	return jaccard(vocabulary(a), vocabulary(b))
+}
+
+func vocabulary(page []token.Token) map[string]bool {
+	v := make(map[string]bool, len(page))
+	for _, t := range page {
+		v[t.Text] = true
+	}
+	return v
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for w := range a {
+		if b[w] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// DefaultThreshold is the cluster-membership similarity threshold.
+const DefaultThreshold = 0.5
+
+// DetailPages selects the indices (in input order) of the pages that
+// form the largest structural cluster among the linked pages — the
+// detail-page set. threshold <= 0 selects DefaultThreshold.
+func DetailPages(linked [][]token.Token, threshold float64) []int {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	n := len(linked)
+	if n == 0 {
+		return nil
+	}
+	vocab := make([]map[string]bool, n)
+	for i, p := range linked {
+		vocab[i] = vocabulary(p)
+	}
+
+	assigned := make([]int, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	var clusters [][]int
+	for i := 0; i < n; i++ {
+		if assigned[i] >= 0 {
+			continue
+		}
+		cluster := []int{i}
+		assigned[i] = len(clusters)
+		for j := i + 1; j < n; j++ {
+			if assigned[j] >= 0 {
+				continue
+			}
+			// Average similarity to current members.
+			total := 0.0
+			for _, m := range cluster {
+				total += jaccard(vocab[m], vocab[j])
+			}
+			if total/float64(len(cluster)) >= threshold {
+				cluster = append(cluster, j)
+				assigned[j] = len(clusters)
+			}
+		}
+		clusters = append(clusters, cluster)
+	}
+
+	best := 0
+	for ci := 1; ci < len(clusters); ci++ {
+		if len(clusters[ci]) > len(clusters[best]) {
+			best = ci
+		}
+	}
+	return clusters[best]
+}

@@ -1,0 +1,87 @@
+package classify
+
+import (
+	"testing"
+
+	"tableseg/internal/sitegen"
+	"tableseg/internal/token"
+)
+
+func TestSimilaritySameTemplate(t *testing.T) {
+	a := token.Tokenize(`<html><body><h1>Site</h1><p>Name: Ann Lee</p><p>Phone: 555-1234</p></body></html>`)
+	b := token.Tokenize(`<html><body><h1>Site</h1><p>Name: Bob Day</p><p>Phone: 555-9876</p></body></html>`)
+	c := token.Tokenize(`<div><i>Buy Cheap Deals 48213</i></div>`)
+	if s := Similarity(a, b); s < 0.5 {
+		t.Errorf("same-template similarity %.2f, want >= 0.5", s)
+	}
+	if s := Similarity(a, c); s > 0.2 {
+		t.Errorf("cross-template similarity %.2f, want <= 0.2", s)
+	}
+	if s := Similarity(a, a); s != 1 {
+		t.Errorf("self similarity %.2f", s)
+	}
+	if s := Similarity(nil, nil); s != 1 {
+		t.Errorf("empty similarity %.2f", s)
+	}
+}
+
+func TestDetailPagesOnGeneratedSites(t *testing.T) {
+	for _, slug := range []string{"superpages", "allegheny", "amazon", "ohio"} {
+		site, err := sitegen.GenerateBySlug(slug, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp := site.Lists[0]
+		// Interleave ads among the details, remembering which is which.
+		var linked [][]token.Token
+		isDetail := map[int]bool{}
+		ai := 0
+		for di, d := range lp.Details {
+			if di%4 == 1 && ai < len(lp.Ads) {
+				linked = append(linked, token.Tokenize(lp.Ads[ai]))
+				ai++
+			}
+			isDetail[len(linked)] = true
+			linked = append(linked, token.Tokenize(d))
+		}
+		for ; ai < len(lp.Ads); ai++ {
+			linked = append(linked, token.Tokenize(lp.Ads[ai]))
+		}
+
+		got := DetailPages(linked, 0)
+		tp, fp := 0, 0
+		for _, idx := range got {
+			if isDetail[idx] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		if fp != 0 {
+			t.Errorf("%s: %d ad pages classified as details", slug, fp)
+		}
+		if tp != len(lp.Details) {
+			t.Errorf("%s: found %d of %d detail pages", slug, tp, len(lp.Details))
+		}
+		// Selection must preserve link order.
+		for k := 1; k < len(got); k++ {
+			if got[k] <= got[k-1] {
+				t.Errorf("%s: selection out of order: %v", slug, got)
+			}
+		}
+	}
+}
+
+func TestDetailPagesEmpty(t *testing.T) {
+	if got := DetailPages(nil, 0); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+}
+
+func TestDetailPagesSingleton(t *testing.T) {
+	p := token.Tokenize(`<p>only page</p>`)
+	got := DetailPages([][]token.Token{p}, 0)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("singleton: %v", got)
+	}
+}

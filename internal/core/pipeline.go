@@ -1,0 +1,529 @@
+// Package core implements the paper's end-to-end pipeline (§3): given
+// sample list pages from a site and the detail pages linked from one of
+// them, it tokenizes the pages, induces the page template, locates the
+// table slot, extracts the visible strings, builds the detail-page
+// observation matrix, and segments the extracts into records with either
+// the CSP method (§4) or the probabilistic method (§5). It also applies
+// the paper's post-processing rule: table data that carries no
+// detail-page evidence is attached to the record of the last assigned
+// extract (§6.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tableseg/internal/baseline"
+	"tableseg/internal/csp"
+	"tableseg/internal/extract"
+	"tableseg/internal/labels"
+	"tableseg/internal/pagetemplate"
+	"tableseg/internal/phmm"
+	"tableseg/internal/token"
+	"tableseg/internal/vertical"
+)
+
+// Page is one HTML document.
+type Page struct {
+	// Name identifies the page in diagnostics (a URL or file name).
+	Name string
+	// HTML is the raw document source.
+	HTML string
+}
+
+// Input describes one segmentation task.
+type Input struct {
+	// ListPages are the sampled list pages from the site; at least two
+	// are needed for template induction (§3.1). All are used for the
+	// "appears on all list pages" filter.
+	ListPages []Page
+	// Target is the index into ListPages of the page to segment.
+	Target int
+	// DetailPages are the detail pages linked from the target list
+	// page, in the order their links appear (record order).
+	DetailPages []Page
+}
+
+// Method selects the segmentation algorithm.
+type Method int
+
+const (
+	// CSP is the constraint-satisfaction method of §4.
+	CSP Method = iota
+	// Probabilistic is the factored-HMM method of §5.
+	Probabilistic
+	// Combined is the §7 suggestion that "both techniques (or a
+	// combination of the two) are likely to be required": it trusts
+	// the CSP where the strict constraints are satisfiable (clean
+	// data, where the CSP is most reliable) and falls back to the
+	// inconsistency-tolerant probabilistic model otherwise.
+	Combined
+)
+
+func (m Method) String() string {
+	switch m {
+	case CSP:
+		return "csp"
+	case Probabilistic:
+		return "probabilistic"
+	case Combined:
+		return "combined"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes the pipeline.
+type Options struct {
+	Method Method
+	// MinSlotQuality is the threshold below which the template's table
+	// slot is considered shattered and the whole page is used instead
+	// (the paper's fallback for numbered entries). Default 0.5.
+	MinSlotQuality float64
+	// ForceWholePage skips template finding entirely (ablation).
+	ForceWholePage bool
+	// MineLabels enables §3.4's semantic column labeling: column names
+	// are mined from the captions preceding each value on its detail
+	// page.
+	MineLabels bool
+	// CSPColumns enables §6.3's CSP-based column extraction: after a
+	// successful record segmentation, a second constraint problem
+	// assigns column labels using content-similarity constraints.
+	CSPColumns bool
+	// DetectVertical enables vertical-table handling (an extension
+	// beyond §3's horizontal-only scope): when adjacent extracts'
+	// detail sets are mostly disjoint the table is judged vertical and
+	// the extract stream is transposed into record-major order before
+	// segmentation.
+	DetectVertical bool
+	// StripEnumeration enables the §6.3 future-work heuristic: detect
+	// enumerated entries ("1.", "2.", ...) in the induced skeleton and
+	// strip them before locating the table slot, instead of falling
+	// back to the whole page. Off by default to keep the headline
+	// Table 4 faithful to the paper.
+	StripEnumeration bool
+	// CSPParams configures the CSP solver.
+	CSPParams csp.SolveParams
+	// PHMMParams configures the probabilistic model.
+	PHMMParams phmm.Params
+}
+
+// DefaultOptions returns the configuration used in the paper
+// reproduction for the given method.
+func DefaultOptions(m Method) Options {
+	return Options{
+		Method:         m,
+		MinSlotQuality: 0.5,
+		CSPParams:      csp.SolveParams{ExactCheck: true},
+		CSPColumns:     true,
+		MineLabels:     true,
+		PHMMParams:     phmm.DefaultParams(),
+	}
+}
+
+// Record is one segmented record.
+type Record struct {
+	// Index is the record number: the index of the detail page the
+	// record corresponds to.
+	Index int
+	// Extracts are the record's extracts in stream order (both the
+	// evidence-bearing ones and the attached remainder).
+	Extracts []extract.Extract
+	// Columns holds, per extract, the column label assigned by the
+	// probabilistic method (§3.4), or -1 when unavailable.
+	Columns []int
+	// Analyzed marks, per extract, whether it was an informative
+	// (evidence-bearing) extract; the rest were attached by the §6.2
+	// rule.
+	Analyzed []bool
+	// Confidence holds, per extract, the probabilistic method's
+	// posterior confidence in the assignment (-1 for attached extracts
+	// or when the CSP method ran).
+	Confidence []float64
+}
+
+// Texts returns the record's extract strings in order.
+func (r *Record) Texts() []string {
+	out := make([]string, len(r.Extracts))
+	for i := range r.Extracts {
+		out[i] = r.Extracts[i].Text()
+	}
+	return out
+}
+
+// Segmentation is the pipeline's result.
+type Segmentation struct {
+	// Records in record order. Records with no evidence on the list
+	// page are absent.
+	Records []Record
+	// Method that produced the segmentation.
+	Method Method
+	// UsedWholePage is true when the template fallback fired (§6.2).
+	UsedWholePage bool
+	// EnumerationStripped counts the enumerated skeleton tokens removed
+	// by the StripEnumeration heuristic (0 when disabled or not
+	// needed).
+	EnumerationStripped int
+	// Vertical is true when the vertical-table extension detected a
+	// vertically laid out table and transposed the extract stream.
+	Vertical bool
+	// TemplateQuality is the table-slot concentration measure.
+	TemplateQuality float64
+	// TotalExtracts and Analyzed count the table slot's extracts and
+	// the informative subset used for inference.
+	TotalExtracts, Analyzed int
+	// CSPStatus reports the solver outcome for the CSP method.
+	CSPStatus csp.Status
+	// Relaxed is true when the CSP relaxation ladder fired.
+	Relaxed bool
+	// PHMM carries the learned model for the probabilistic method.
+	PHMM *phmm.Result
+	// ColumnLabels holds the mined semantic name of each column label
+	// (index = column number, "" when no caption was found); nil when
+	// label mining is disabled or no columns were assigned.
+	ColumnLabels []string
+}
+
+// minTextSkeleton is the fewest invariant text tokens a credible page
+// template must have; below it the induced skeleton is just structural
+// tags and the pipeline falls back to the whole page.
+const minTextSkeleton = 6
+
+// Sentinel errors for input validation, matchable with errors.Is.
+var (
+	// ErrNoListPages: the input carried no list pages.
+	ErrNoListPages = errors.New("core: no list pages")
+	// ErrNoDetailPages: the input carried no detail pages.
+	ErrNoDetailPages = errors.New("core: no detail pages")
+	// ErrBadTarget: the target index is outside the list-page slice.
+	ErrBadTarget = errors.New("core: target list page out of range")
+)
+
+// Segment runs the full pipeline.
+func Segment(in Input, opts Options) (*Segmentation, error) {
+	if len(in.ListPages) == 0 {
+		return nil, ErrNoListPages
+	}
+	if in.Target < 0 || in.Target >= len(in.ListPages) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadTarget, in.Target, len(in.ListPages))
+	}
+	if len(in.DetailPages) == 0 {
+		return nil, ErrNoDetailPages
+	}
+	if opts.MinSlotQuality == 0 {
+		opts.MinSlotQuality = 0.5
+	}
+
+	// 1. Tokenize everything.
+	listToks := make([][]token.Token, len(in.ListPages))
+	for i, p := range in.ListPages {
+		listToks[i] = token.Tokenize(p.HTML)
+	}
+	detailToks := make([][]token.Token, len(in.DetailPages))
+	for i, p := range in.DetailPages {
+		detailToks[i] = token.Tokenize(p.HTML)
+	}
+	target := listToks[in.Target]
+
+	// 2. Template induction and table-slot location.
+	seg := &Segmentation{Method: opts.Method}
+	slot := pagetemplate.Slot{Start: 0, End: len(target)}
+	if opts.ForceWholePage {
+		seg.UsedWholePage = true
+	} else if len(in.ListPages) < 2 {
+		// A single sample page cannot support cross-page template
+		// induction; fall back to single-page row-repetition analysis
+		// (the IEPAD-style detector) to bound the table region, and to
+		// the whole page when no repeated row structure exists.
+		if s, ok := singlePageSlot(target); ok {
+			slot = s
+			seg.TemplateQuality = 1
+		} else {
+			seg.UsedWholePage = true
+		}
+	} else {
+		tpl := pagetemplate.Induce(listToks)
+		slots := tpl.SlotsOn(in.Target, len(target))
+		tableSlot, quality := pagetemplate.TableSlot(slots, target)
+		seg.TemplateQuality = quality
+		// When the slot is shattered, optionally try the §6.3
+		// enumerated-entries heuristic before giving up on the
+		// template.
+		if quality < opts.MinSlotQuality && opts.StripEnumeration {
+			if stripped, n := tpl.StripEnumeration(); n > 0 {
+				slots = stripped.SlotsOn(in.Target, len(target))
+				if s2, q2 := pagetemplate.TableSlot(slots, target); q2 > quality {
+					tpl, tableSlot, quality = stripped, s2, q2
+					seg.EnumerationStripped = n
+					seg.TemplateQuality = quality
+				}
+			}
+		}
+		// The fallback fires when the table is shattered across slots
+		// (numbered entries) or the skeleton is too thin to be a real
+		// template (volatile headers): the paper's "page template
+		// problem; entire page used".
+		if quality < opts.MinSlotQuality || tpl.TextSkeletonLen() < minTextSkeleton {
+			seg.UsedWholePage = true
+		} else {
+			slot = tableSlot
+		}
+	}
+	if seg.UsedWholePage {
+		slot = pagetemplate.Slot{Start: 0, End: len(target)}
+	}
+
+	// 3. Extracts and observations.
+	var otherLists [][]token.Token
+	for i, lt := range listToks {
+		if i != in.Target {
+			otherLists = append(otherLists, lt)
+		}
+	}
+	extracts := extract.Split(target, slot.Start, slot.End)
+	obs := extract.Observe(extracts, detailToks, otherLists)
+	analyzed := extract.InformativeSubset(obs, len(in.DetailPages))
+
+	// Structural sanity check: every detail page is a record of this
+	// list page, so every detail page should support at least one
+	// analyzed extract. If some pages are uncovered the table slot is
+	// probably truncated (a data value masquerading as a template
+	// token split the table) — retry with the whole page.
+	if !seg.UsedWholePage && !coversAllPages(obs, analyzed, len(in.DetailPages)) {
+		seg.UsedWholePage = true
+		slot = pagetemplate.Slot{Start: 0, End: len(target)}
+		extracts = extract.Split(target, slot.Start, slot.End)
+		obs = extract.Observe(extracts, detailToks, otherLists)
+		analyzed = extract.InformativeSubset(obs, len(in.DetailPages))
+	}
+	seg.TotalExtracts = len(extracts)
+	seg.Analyzed = len(analyzed)
+	if len(analyzed) == 0 {
+		return seg, nil // nothing to segment: all records unsegmented
+	}
+
+	// Vertical-table extension: transpose the analyzed stream into
+	// record-major order when the evidence says records run down the
+	// columns. Everything downstream (consecutiveness, forced starts,
+	// position groups) then applies unchanged.
+	if opts.DetectVertical {
+		cands := candidateSets(obs, analyzed)
+		if vertical.IsVertical(cands) {
+			if perm, ok := vertical.Transpose(cands, len(in.DetailPages)); ok {
+				analyzed = vertical.Apply(perm, analyzed)
+				seg.Vertical = true
+			}
+		}
+	}
+
+	// 4. Run the selected method over the analyzed extracts.
+	records := make([]int, len(analyzed)) // record per analyzed extract
+	columns := make([]int, len(analyzed))
+	confidence := make([]float64, len(analyzed))
+	for i := range columns {
+		columns[i] = -1
+		confidence[i] = -1
+	}
+	runCSP := func(params csp.SolveParams) *csp.SegmentResult {
+		sin := csp.SegmentInput{
+			NumRecords:     len(in.DetailPages),
+			Candidates:     candidateSets(obs, analyzed),
+			PositionGroups: extract.PositionGroups(obs, analyzed, len(in.DetailPages)),
+		}
+		res := csp.SolveSegmentation(sin, params)
+		seg.CSPStatus = res.Status
+		seg.Relaxed = res.Relaxed
+		return res
+	}
+	runPHMM := func() error {
+		inst := phmm.Instance{
+			NumRecords: len(in.DetailPages),
+			Candidates: candidateSets(obs, analyzed),
+		}
+		inst.TypeVecs = make([][token.NumTypes]bool, len(analyzed))
+		for ai, oi := range analyzed {
+			inst.TypeVecs[ai] = obs[oi].Extract.TypeVector()
+		}
+		res, err := phmm.Segment(inst, opts.PHMMParams)
+		if err != nil {
+			return fmt.Errorf("core: probabilistic segmentation: %w", err)
+		}
+		seg.PHMM = res
+		copy(records, res.Records)
+		copy(columns, res.Columns)
+		copy(confidence, res.Confidence)
+		return nil
+	}
+	cspColumns := func() {
+		if !opts.CSPColumns {
+			return
+		}
+		types := make([]token.Type, len(analyzed))
+		for ai, oi := range analyzed {
+			types[ai] = obs[oi].Extract.FirstType()
+		}
+		copy(columns, csp.AssignColumns(records, types, opts.CSPParams.WSAT))
+	}
+	switch opts.Method {
+	case CSP:
+		copy(records, runCSP(opts.CSPParams).Records)
+		cspColumns()
+	case Probabilistic:
+		if err := runPHMM(); err != nil {
+			return nil, err
+		}
+	case Combined:
+		// Trust the CSP only when the strict constraints hold; any
+		// inconsistency hands the page to the probabilistic model.
+		params := opts.CSPParams
+		params.NoRelax = true
+		if res := runCSP(params); res.Status == csp.Solved {
+			copy(records, res.Records)
+			cspColumns()
+		} else if err := runPHMM(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown method %d", opts.Method)
+	}
+
+	// 5. Mine semantic column labels from the detail-page captions.
+	if opts.MineLabels {
+		seg.ColumnLabels = labels.Mine(detailToks, obs, analyzed, records, columns)
+	}
+
+	// 6. Attach the rest of the table data to the record of the last
+	// assigned extract and assemble the output records.
+	seg.Records = assemble(extracts, analyzed, records, columns, confidence)
+	return seg, nil
+}
+
+// singlePageSlot bounds the table region of a page using repeated-row
+// structure alone (no second sample page): the span from the first to
+// the last row found by the tag-repetition detector.
+func singlePageSlot(page []token.Token) (pagetemplate.Slot, bool) {
+	rows, err := baseline.TagRepetition(page, 0, len(page))
+	if err != nil || len(rows) < 2 {
+		return pagetemplate.Slot{}, false
+	}
+	// Rows are sub-slices of page; recover their bounds by offset. The
+	// detector's final row absorbs everything to the end of the range
+	// (table close, page footer), so cap it at the longest non-final
+	// row: rows of one table share their shape.
+	first, last := rows[0], rows[len(rows)-1]
+	maxLen := 0
+	for _, r := range rows[:len(rows)-1] {
+		if len(r) > maxLen {
+			maxLen = len(r)
+		}
+	}
+	if len(last) > maxLen {
+		last = last[:maxLen]
+	}
+	start := tokenIndexOf(page, first[0].Offset)
+	end := tokenIndexOf(page, last[len(last)-1].Offset) + 1
+	if start < 0 || end <= start {
+		return pagetemplate.Slot{}, false
+	}
+	return pagetemplate.Slot{Start: start, End: end}, true
+}
+
+// tokenIndexOf finds the index of the token with the given byte offset
+// (offsets are strictly increasing).
+func tokenIndexOf(page []token.Token, offset int) int {
+	lo, hi := 0, len(page)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case page[mid].Offset == offset:
+			return mid
+		case page[mid].Offset < offset:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return -1
+}
+
+// coversAllPages reports whether every detail page supports at least
+// one analyzed extract.
+func coversAllPages(obs []extract.Observation, analyzed []int, numPages int) bool {
+	covered := make([]bool, numPages)
+	n := 0
+	for _, oi := range analyzed {
+		for _, p := range obs[oi].Pages {
+			if !covered[p] {
+				covered[p] = true
+				n++
+			}
+		}
+	}
+	return n == numPages
+}
+
+// candidateSets projects the observations of the analyzed extracts to
+// their D_i record candidate lists.
+func candidateSets(obs []extract.Observation, analyzed []int) [][]int {
+	out := make([][]int, len(analyzed))
+	for ai, oi := range analyzed {
+		out[ai] = obs[oi].Pages
+	}
+	return out
+}
+
+// assemble groups all extracts into records: each analyzed extract goes
+// to its assigned record; every other extract (uninformative, or left
+// unassigned by a relaxed CSP solve) joins the record of the last
+// assigned extract before it. Extracts preceding the first assignment
+// belong to no record (page prologue).
+func assemble(extracts []extract.Extract, analyzed []int, records, columns []int, confidence []float64) []Record {
+	// Assignment per extract index.
+	recOf := make([]int, len(extracts))
+	colOf := make([]int, len(extracts))
+	confOf := make([]float64, len(extracts))
+	assignedBy := make([]bool, len(extracts)) // method-assigned (not attached)
+	for i := range recOf {
+		recOf[i] = -1
+		colOf[i] = -1
+		confOf[i] = -1
+	}
+	for ai, oi := range analyzed {
+		recOf[oi] = records[ai]
+		colOf[oi] = columns[ai]
+		confOf[oi] = confidence[ai]
+		assignedBy[oi] = records[ai] >= 0
+	}
+	cur := -1
+	for i := range extracts {
+		if assignedBy[i] {
+			cur = recOf[i]
+		} else {
+			recOf[i] = cur
+			colOf[i] = -1
+		}
+	}
+	byRecord := map[int]*Record{}
+	var order []int
+	for i := range extracts {
+		r := recOf[i]
+		if r < 0 {
+			continue
+		}
+		rec, ok := byRecord[r]
+		if !ok {
+			rec = &Record{Index: r}
+			byRecord[r] = rec
+			order = append(order, r)
+		}
+		rec.Extracts = append(rec.Extracts, extracts[i])
+		rec.Columns = append(rec.Columns, colOf[i])
+		rec.Analyzed = append(rec.Analyzed, assignedBy[i])
+		rec.Confidence = append(rec.Confidence, confOf[i])
+	}
+	out := make([]Record, 0, len(order))
+	for _, r := range order {
+		out = append(out, *byRecord[r])
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tableseg/internal/sitegen"
+)
+
+func verticalInput(t *testing.T, site *sitegen.Site, pageIdx int) Input {
+	t.Helper()
+	in := Input{Target: pageIdx}
+	for _, l := range site.Lists {
+		in.ListPages = append(in.ListPages, Page{HTML: l.HTML})
+	}
+	for _, d := range site.Lists[pageIdx].Details {
+		in.DetailPages = append(in.DetailPages, Page{HTML: d})
+	}
+	return in
+}
+
+// recordValueSets extracts each predicted record's analyzed extract
+// texts as a sorted set.
+func recordValueSets(seg *Segmentation) []map[string]bool {
+	out := make([]map[string]bool, len(seg.Records))
+	for i, rec := range seg.Records {
+		out[i] = map[string]bool{}
+		for k, ex := range rec.Extracts {
+			if rec.Analyzed[k] {
+				out[i][ex.Text()] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestVerticalTableDetectedAndSegmented(t *testing.T) {
+	site := sitegen.GenerateVerticalDemo(11, 5)
+	in := verticalInput(t, site, 0)
+	for _, m := range []Method{CSP, Probabilistic} {
+		opts := DefaultOptions(m)
+		opts.DetectVertical = true
+		seg, err := Segment(in, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !seg.Vertical {
+			t.Fatalf("%v: vertical layout not detected", m)
+		}
+		if len(seg.Records) != 5 {
+			t.Fatalf("%v: %d records, want 5", m, len(seg.Records))
+		}
+		// Every record must contain exactly its own ground-truth
+		// values (vertical truth has no spans; judge by content).
+		sets := recordValueSets(seg)
+		for ri, truth := range site.Lists[0].Truth {
+			// Find the predicted record matching by the unique phone
+			// (last field).
+			phone := truth.Values[len(truth.Values)-1]
+			found := -1
+			for pi, set := range sets {
+				if set[phone] {
+					found = pi
+				}
+			}
+			if found < 0 {
+				t.Fatalf("%v: record %d (phone %s) not found", m, ri, phone)
+			}
+			for _, v := range truth.Values {
+				if !sets[found][v] {
+					t.Errorf("%v: record %d missing value %q (got %v)", m, ri, v, keys(sets[found]))
+				}
+			}
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Without the extension, a vertical table confounds the standard
+// horizontal machinery: consecutiveness cannot hold, so the CSP is
+// forced to relax and shreds the records.
+func TestVerticalTableWithoutExtension(t *testing.T) {
+	site := sitegen.GenerateVerticalDemo(11, 5)
+	in := verticalInput(t, site, 0)
+	seg, err := Segment(in, DefaultOptions(CSP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Vertical {
+		t.Fatal("extension disabled but Vertical flag set")
+	}
+	intact := 0
+	sets := recordValueSets(seg)
+	for _, truth := range site.Lists[0].Truth {
+		for _, set := range sets {
+			all := true
+			for _, v := range truth.Values {
+				if !set[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				intact++
+				break
+			}
+		}
+	}
+	if intact == len(site.Lists[0].Truth) {
+		t.Error("horizontal machinery unexpectedly reconstructed every vertical record; the extension is redundant")
+	}
+}
+
+// Horizontal sites must be unaffected when detection is on (no false
+// positives).
+func TestVerticalDetectionNoFalsePositive(t *testing.T) {
+	site, err := sitegen.GenerateBySlug("butler", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := verticalInput(t, site, 0)
+	opts := DefaultOptions(CSP)
+	opts.DetectVertical = true
+	seg, err := Segment(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Vertical {
+		t.Error("horizontal site judged vertical")
+	}
+	if len(seg.Records) != 15 {
+		t.Errorf("%d records, want 15", len(seg.Records))
+	}
+	for ri, rec := range seg.Records {
+		got := strings.Join(rec.Texts(), " ")
+		want := strings.Join(site.Lists[0].Truth[ri].Values, " ")
+		if got != want {
+			t.Errorf("record %d changed under DetectVertical: %q vs %q", ri, got, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package crawl
+
+import (
+	"fmt"
+	"strings"
+
+	"tableseg/internal/core"
+	"tableseg/internal/htmlx"
+	"tableseg/internal/relation"
+)
+
+// nextLabels are the anchor texts that conventionally lead to the next
+// page of results.
+var nextLabels = map[string]bool{
+	"next":         true,
+	"next page":    true,
+	"more results": true,
+	"more":         true,
+	">>":           true,
+}
+
+// anchorTexts returns, for each <a> element in document order, its href
+// and visible text.
+type anchor struct {
+	href, text string
+}
+
+func anchors(html string) []anchor {
+	var out []anchor
+	toks := htmlx.Tokenize(html)
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != htmlx.StartTag || t.Data != "a" {
+			continue
+		}
+		href, _ := t.Attr("href")
+		var text strings.Builder
+		for j := i + 1; j < len(toks); j++ {
+			if toks[j].Kind == htmlx.EndTag && toks[j].Data == "a" {
+				break
+			}
+			if toks[j].Kind == htmlx.Text {
+				text.WriteString(toks[j].Data)
+			}
+		}
+		out = append(out, anchor{href: href, text: strings.TrimSpace(text.String())})
+	}
+	return out
+}
+
+// NextLink returns the URL behind the page's "Next" anchor (resolved
+// against pageURL), or "" when the page has none — §6.3's "simply
+// follow the 'Next' link" heuristic.
+func NextLink(pageURL, html string) string {
+	for _, a := range anchors(html) {
+		if a.href == "" {
+			continue
+		}
+		if nextLabels[strings.ToLower(a.text)] {
+			resolved := Links(pageURL, `<a href="`+a.href+`">x</a>`)
+			if len(resolved) == 1 {
+				return resolved[0]
+			}
+		}
+	}
+	return ""
+}
+
+// DiscoverListPages starts from one results page and follows Next links
+// to collect the site's sample list pages, up to maxPages (0 selects a
+// default of 5). The entry page is always first; cycles are broken.
+func DiscoverListPages(f Fetcher, entryURL string, maxPages int) ([]string, []string, error) {
+	if maxPages <= 0 {
+		maxPages = 5
+	}
+	var urls, bodies []string
+	seen := map[string]bool{}
+	cur := entryURL
+	for len(urls) < maxPages && cur != "" && !seen[cur] {
+		body, err := f.Fetch(cur)
+		if err != nil {
+			if len(urls) == 0 {
+				return nil, nil, fmt.Errorf("crawl: entry page %s: %w", cur, err)
+			}
+			break // a dead Next link ends discovery, not the harvest
+		}
+		seen[cur] = true
+		urls = append(urls, cur)
+		bodies = append(bodies, body)
+		cur = NextLink(cur, body)
+	}
+	return urls, bodies, nil
+}
+
+// HarvestFrom runs the complete §3 vision from a single entry URL: it
+// discovers the sample list pages by following Next links, then
+// harvests the entry page.
+func (h *Harvester) HarvestFrom(entryURL string) (*Result, error) {
+	urls, _, err := DiscoverListPages(h.Fetcher, entryURL, 0)
+	if err != nil {
+		return nil, err
+	}
+	return h.Harvest(urls, 0)
+}
+
+// HarvestAll discovers the list pages from an entry URL, harvests every
+// one of them, and merges the per-page segmentations into the site's
+// relation (§6.3's "reconstruct the relational database behind the Web
+// site"). The per-page results are returned alongside the table.
+func (h *Harvester) HarvestAll(entryURL string) (*relation.Table, []*Result, error) {
+	urls, _, err := DiscoverListPages(h.Fetcher, entryURL, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []*Result
+	var segs []*core.Segmentation
+	for target := range urls {
+		res, err := h.Harvest(urls, target)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crawl: page %s: %w", urls[target], err)
+		}
+		results = append(results, res)
+		segs = append(segs, res.Segmentation)
+	}
+	return relation.Merge(segs), results, nil
+}

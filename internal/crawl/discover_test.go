@@ -1,0 +1,127 @@
+package crawl
+
+import (
+	"testing"
+
+	"tableseg/internal/core"
+	"tableseg/internal/eval"
+	"tableseg/internal/sitegen"
+)
+
+func TestAnchors(t *testing.T) {
+	html := `<a href="x.html">First <b>Link</b></a> plain <a href="y.html">Next</a><a>bare</a>`
+	got := anchors(html)
+	if len(got) != 3 {
+		t.Fatalf("%d anchors", len(got))
+	}
+	if got[0].href != "x.html" || got[0].text != "First Link" {
+		t.Errorf("anchor 0 = %+v", got[0])
+	}
+	if got[1].text != "Next" {
+		t.Errorf("anchor 1 = %+v", got[1])
+	}
+	if got[2].href != "" {
+		t.Errorf("anchor 2 = %+v", got[2])
+	}
+}
+
+func TestNextLink(t *testing.T) {
+	html := `<a href="detail1.html">More Info</a> <a href="list2.html">Next</a>`
+	if got := NextLink("http://s.example/list1.html", html); got != "http://s.example/list2.html" {
+		t.Errorf("NextLink = %q", got)
+	}
+	if got := NextLink("/x.html", `<a href="y.html">Previous</a>`); got != "" {
+		t.Errorf("no-next page gave %q", got)
+	}
+	// Case-insensitive labels.
+	if got := NextLink("/a/l.html", `<a href="l2.html">NEXT</a>`); got != "/a/l2.html" {
+		t.Errorf("NEXT label gave %q", got)
+	}
+}
+
+func TestDiscoverListPages(t *testing.T) {
+	site, err := sitegen.GenerateBySlug("ohio", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MapFetcher(site.SiteMap())
+	urls, bodies, err := DiscoverListPages(f, "/list1.html", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 2 || urls[0] != "/list1.html" || urls[1] != "/list2.html" {
+		t.Fatalf("urls = %v", urls)
+	}
+	if len(bodies) != 2 {
+		t.Fatalf("%d bodies", len(bodies))
+	}
+}
+
+func TestDiscoverBreaksCycles(t *testing.T) {
+	f := MapFetcher{
+		"/a.html": `<a href="b.html">Next</a>`,
+		"/b.html": `<a href="a.html">Next</a>`,
+	}
+	urls, _, err := DiscoverListPages(f, "/a.html", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 2 {
+		t.Fatalf("cycle not broken: %v", urls)
+	}
+}
+
+func TestDiscoverDeadNextLink(t *testing.T) {
+	f := MapFetcher{"/a.html": `<a href="gone.html">Next</a>`}
+	urls, _, err := DiscoverListPages(f, "/a.html", 10)
+	if err != nil || len(urls) != 1 {
+		t.Fatalf("urls=%v err=%v", urls, err)
+	}
+	if _, _, err := DiscoverListPages(f, "/missing.html", 0); err == nil {
+		t.Error("unfetchable entry must error")
+	}
+}
+
+// HarvestFrom: the full §3 vision from one URL.
+func TestHarvestFromEntryURL(t *testing.T) {
+	for _, slug := range []string{"butler", "superpages"} {
+		site, err := sitegen.GenerateBySlug(slug, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &Harvester{
+			Fetcher: MapFetcher(site.SiteMap()),
+			Options: core.DefaultOptions(core.Probabilistic),
+		}
+		res, err := h.HarvestFrom("/list1.html")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := eval.Score(res.Segmentation, site.Lists[0].Truth)
+		if counts.Cor != len(site.Lists[0].Truth) {
+			t.Errorf("%s: HarvestFrom scored %v", slug, counts)
+		}
+	}
+}
+
+func TestHarvestAllMergesRelation(t *testing.T) {
+	site, err := sitegen.GenerateBySlug("butler", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Harvester{
+		Fetcher: MapFetcher(site.SiteMap()),
+		Options: core.DefaultOptions(core.Probabilistic),
+	}
+	table, results, err := h.HarvestAll("/list1.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d pages harvested", len(results))
+	}
+	want := len(site.Lists[0].Truth) + len(site.Lists[1].Truth)
+	if table.NumRows() != want {
+		t.Errorf("%d relation rows, want %d", table.NumRows(), want)
+	}
+}

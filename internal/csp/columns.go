@@ -1,0 +1,151 @@
+package csp
+
+import (
+	"fmt"
+
+	"tableseg/internal/token"
+)
+
+// AssignColumns implements the §6.3 suggestion that column (attribute)
+// assignment is obtainable in the CSP framework too, "by using the
+// observation that different values of the same attribute should be
+// similar in content, e.g., start with the same token type", expressed
+// as constraints:
+//
+//   - each record-assigned extract takes exactly one column label;
+//   - the first extract of a record takes column L1 (the paper's
+//     first-column-never-missing assumption);
+//   - columns increase strictly within a record (hard);
+//   - extracts of neighboring records whose first word has the same
+//     syntactic type prefer the same column (soft).
+//
+// records[i] is the record assignment of analyzed extract i (-1 =
+// unassigned); firstTypes[i] is the syntactic type of the extract's
+// first word. The result assigns a 0-based column to every
+// record-assigned extract and -1 to the rest.
+func AssignColumns(records []int, firstTypes []token.Type, params WSATParams) []int {
+	if len(records) != len(firstTypes) {
+		panic(fmt.Sprintf("csp: %d record assignments but %d types", len(records), len(firstTypes)))
+	}
+	out := make([]int, len(records))
+	for i := range out {
+		out[i] = -1
+	}
+
+	// Group assigned extracts by record, in stream order.
+	byRecord := map[int][]int{}
+	var recOrder []int
+	for i, r := range records {
+		if r < 0 {
+			continue
+		}
+		if _, ok := byRecord[r]; !ok {
+			recOrder = append(recOrder, r)
+		}
+		byRecord[r] = append(byRecord[r], i)
+	}
+	if len(recOrder) == 0 {
+		return out
+	}
+	numCols := 0
+	for _, idxs := range byRecord {
+		if len(idxs) > numCols {
+			numCols = len(idxs)
+		}
+	}
+	if numCols == 1 {
+		for _, idxs := range byRecord {
+			out[idxs[0]] = 0
+		}
+		return out
+	}
+
+	p := NewProblem()
+	// yVar[i][c] — allocated only over each extract's feasible column
+	// window: the k-th extract of an m-extract record can only take
+	// columns in [k, numCols-(m-k)].
+	yVar := make(map[int]map[int]int)
+	for _, r := range recOrder {
+		idxs := byRecord[r]
+		m := len(idxs)
+		for k, i := range idxs {
+			lo, hi := k, numCols-(m-k)
+			if k == 0 {
+				hi = 0 // first column never missing
+			}
+			yVar[i] = map[int]int{}
+			terms := make([]Term, 0, hi-lo+1)
+			for c := lo; c <= hi; c++ {
+				v := p.AddVar(fmt.Sprintf("y[%d,%d]", i, c))
+				yVar[i][c] = v
+				terms = append(terms, Term{1, v})
+			}
+			p.AddHard(terms, EQ, 1, "col-uniq")
+		}
+		// Strict increase between consecutive extracts of the record.
+		// (Iterate columns in numeric order: constraint order must be
+		// deterministic or the local search becomes run-dependent.)
+		for k := 1; k < m; k++ {
+			prev, cur := idxs[k-1], idxs[k]
+			for cPrev := 0; cPrev < numCols; cPrev++ {
+				vPrev, ok := yVar[prev][cPrev]
+				if !ok {
+					continue
+				}
+				for cCur := 0; cCur <= cPrev; cCur++ {
+					if vCur, ok := yVar[cur][cCur]; ok {
+						p.AddHard([]Term{{1, vPrev}, {1, vCur}}, LE, 1, "col-order")
+					}
+				}
+			}
+		}
+	}
+
+	// Soft alignment between neighboring records: same first token type
+	// wants the same column.
+	for ri := 1; ri < len(recOrder); ri++ {
+		prev, cur := byRecord[recOrder[ri-1]], byRecord[recOrder[ri]]
+		for _, i := range prev {
+			for _, j := range cur {
+				if firstTypes[i] != firstTypes[j] {
+					continue
+				}
+				for c := 0; c < numCols; c++ {
+					vi, ok := yVar[i][c]
+					if !ok {
+						continue
+					}
+					vj, ok := yVar[j][c]
+					if !ok {
+						continue
+					}
+					// |y_ic − y_jc| = 0 preferred.
+					p.AddSoft([]Term{{1, vi}, {-1, vj}}, EQ, 0, 1, "col-align")
+				}
+			}
+		}
+	}
+
+	sol := SolveWSAT(p, params)
+	if !sol.Feasible {
+		// The hard constraints are always satisfiable (k-th extract →
+		// column k is a witness); an infeasible local-search outcome
+		// just means the search budget ran dry, so fall back to that
+		// witness assignment.
+		for _, idxs := range byRecord {
+			for k, i := range idxs {
+				out[i] = k
+			}
+		}
+		return out
+	}
+	for i, cols := range yVar {
+		for c, v := range cols {
+			if sol.Assign[v] {
+				out[i] = c
+				break
+			}
+		}
+	}
+	return out
+}

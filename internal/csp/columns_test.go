@@ -1,0 +1,94 @@
+package csp
+
+import (
+	"testing"
+
+	"tableseg/internal/token"
+)
+
+func TestAssignColumnsCleanRecords(t *testing.T) {
+	// Three records of three extracts each: Name (capitalized),
+	// Address (numeric-ish), Phone (numeric). Columns must be 0,1,2
+	// per record.
+	name := token.TypeOf("John")
+	num := token.TypeOf("221")
+	records := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	types := []token.Type{name, num, num, name, num, num, name, num, num}
+	cols := AssignColumns(records, types, WSATParams{Seed: 1})
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("cols = %v, want %v", cols, want)
+		}
+	}
+}
+
+func TestAssignColumnsMissingField(t *testing.T) {
+	// Record 1 misses its middle field (address): the phone extract
+	// should align with the other records' phone column (2), not take
+	// column 1, because its first token type matches theirs. The
+	// address type must genuinely differ from the phone type ("221B"
+	// is ALNUM only; "(740)" is ALNUM|NUMERIC) or the alignment pull
+	// is tied.
+	name := token.TypeOf("John")
+	addr := token.TypeOf("221B")
+	phone := token.TypeOf("(740)")
+	records := []int{0, 0, 0, 1, 1, 2, 2, 2}
+	types := []token.Type{name, addr, phone, name, phone, name, addr, phone}
+	cols := AssignColumns(records, types, WSATParams{Seed: 1})
+	want := []int{0, 1, 2, 0, 2, 0, 1, 2}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("cols = %v, want %v (missing field should skip its column)", cols, want)
+		}
+	}
+}
+
+func TestAssignColumnsUnassignedExtracts(t *testing.T) {
+	records := []int{0, -1, 0}
+	types := []token.Type{token.TypeOf("A"), token.TypeOf("x"), token.TypeOf("1")}
+	cols := AssignColumns(records, types, WSATParams{Seed: 1})
+	if cols[1] != -1 {
+		t.Errorf("unassigned extract got column %d", cols[1])
+	}
+	if cols[0] != 0 || cols[2] != 1 {
+		t.Errorf("cols = %v", cols)
+	}
+}
+
+func TestAssignColumnsEmptyAndSingle(t *testing.T) {
+	if got := AssignColumns(nil, nil, WSATParams{}); len(got) != 0 {
+		t.Error("empty input")
+	}
+	got := AssignColumns([]int{-1, -1}, make([]token.Type, 2), WSATParams{})
+	if got[0] != -1 || got[1] != -1 {
+		t.Errorf("all-unassigned: %v", got)
+	}
+	one := AssignColumns([]int{0}, []token.Type{token.TypeOf("A")}, WSATParams{})
+	if one[0] != 0 {
+		t.Errorf("single extract column = %d", one[0])
+	}
+}
+
+func TestAssignColumnsFirstColumnForced(t *testing.T) {
+	// Whatever the types, the first extract of each record gets L1.
+	records := []int{0, 0, 1, 1, 1}
+	types := []token.Type{token.TypeOf("1"), token.TypeOf("A"), token.TypeOf("A"), token.TypeOf("1"), token.TypeOf("x")}
+	cols := AssignColumns(records, types, WSATParams{Seed: 2})
+	if cols[0] != 0 || cols[2] != 0 {
+		t.Errorf("record starts not at column 0: %v", cols)
+	}
+	// Columns strictly increase within each record.
+	if !(cols[0] < cols[1]) || !(cols[2] < cols[3] && cols[3] < cols[4]) {
+		t.Errorf("columns not increasing: %v", cols)
+	}
+}
+
+func TestAssignColumnsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	AssignColumns([]int{0}, nil, WSATParams{})
+}

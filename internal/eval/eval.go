@@ -1,0 +1,138 @@
+// Package eval scores automatic record segmentations against generator
+// ground truth using the paper's §6.2 protocol: each truth record is
+// judged correctly segmented (Cor), incorrectly segmented (InCor) or
+// unsegmented (FN), each predicted record matching no truth record is a
+// non-record (FP), and precision/recall/F are computed as
+//
+//	P = Cor/(Cor+InCor+FP)   R = Cor/(Cor+FN)   F = 2PR/(P+R)
+package eval
+
+import (
+	"fmt"
+
+	"tableseg/internal/core"
+	"tableseg/internal/sitegen"
+)
+
+// Counts are the §6.2 per-page (or aggregated) outcome counts.
+type Counts struct {
+	Cor, InCor, FN, FP int
+}
+
+// Add returns the element-wise sum.
+func (c Counts) Add(o Counts) Counts {
+	return Counts{c.Cor + o.Cor, c.InCor + o.InCor, c.FN + o.FN, c.FP + o.FP}
+}
+
+// Total returns the number of truth records covered by the counts.
+func (c Counts) Total() int { return c.Cor + c.InCor + c.FN }
+
+// Precision per §6.2.
+func (c Counts) Precision() float64 {
+	den := c.Cor + c.InCor + c.FP
+	if den == 0 {
+		return 0
+	}
+	return float64(c.Cor) / float64(den)
+}
+
+// Recall per §6.2.
+func (c Counts) Recall() float64 {
+	den := c.Cor + c.FN
+	if den == 0 {
+		return 0
+	}
+	return float64(c.Cor) / float64(den)
+}
+
+// F is the harmonic mean of precision and recall.
+func (c Counts) F() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("Cor=%d InCor=%d FN=%d FP=%d (P=%.2f R=%.2f F=%.2f)",
+		c.Cor, c.InCor, c.FN, c.FP, c.Precision(), c.Recall(), c.F())
+}
+
+// Score judges a segmentation against the ground-truth spans of the
+// list page it was computed from.
+//
+// Every extract of every predicted record is located in the truth spans
+// by its byte offset; extracts outside all spans (page boilerplate,
+// sponsored junk) are ignorable padding. A truth record is Cor when
+// exactly one predicted record touches it and that predicted record
+// touches no other truth record; InCor when touched otherwise; FN when
+// untouched. A predicted record touching no truth record at all is an
+// FP (non-record).
+func Score(seg *core.Segmentation, truth []sitegen.TruthRecord) Counts {
+	// predsOf[t] = set of predicted-record indices touching truth t;
+	// truthsOf[q] = set of truth indices touched by predicted q.
+	predsOf := make([]map[int]bool, len(truth))
+	for t := range predsOf {
+		predsOf[t] = map[int]bool{}
+	}
+	truthsOf := make([]map[int]bool, len(seg.Records))
+	for q := range truthsOf {
+		truthsOf[q] = map[int]bool{}
+	}
+	for q := range seg.Records {
+		for _, ex := range seg.Records[q].Extracts {
+			t := locate(truth, ex.ByteStart)
+			if t < 0 {
+				continue
+			}
+			predsOf[t][q] = true
+			truthsOf[q][t] = true
+		}
+	}
+
+	var c Counts
+	for t := range truth {
+		switch len(predsOf[t]) {
+		case 0:
+			c.FN++
+		case 1:
+			q := firstKey(predsOf[t])
+			if len(truthsOf[q]) == 1 {
+				c.Cor++
+			} else {
+				c.InCor++
+			}
+		default:
+			c.InCor++
+		}
+	}
+	for q := range seg.Records {
+		if len(truthsOf[q]) == 0 {
+			c.FP++
+		}
+	}
+	return c
+}
+
+// locate returns the index of the truth span containing byte offset
+// off, or -1. Spans are disjoint and ordered, so a linear scan with
+// early exit suffices (record counts are small).
+func locate(truth []sitegen.TruthRecord, off int) int {
+	for t := range truth {
+		if off >= truth[t].Start && off < truth[t].End {
+			return t
+		}
+		if truth[t].Start > off {
+			break
+		}
+	}
+	return -1
+}
+
+func firstKey(m map[int]bool) int {
+	for k := range m {
+		return k
+	}
+	return -1
+}

@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"tableseg/internal/core"
+	"tableseg/internal/extract"
+	"tableseg/internal/sitegen"
+)
+
+func TestCountsMetrics(t *testing.T) {
+	// The paper's overall probabilistic numbers: P=0.74, R=0.99 come
+	// from the formulas P=Cor/(Cor+InCor+FP), R=Cor/(Cor+FN).
+	c := Counts{Cor: 74, InCor: 25, FN: 1, FP: 1}
+	if p := c.Precision(); math.Abs(p-0.74) > 1e-9 {
+		t.Errorf("precision = %f", p)
+	}
+	if r := c.Recall(); math.Abs(r-74.0/75.0) > 1e-9 {
+		t.Errorf("recall = %f", r)
+	}
+	f := c.F()
+	p, r := c.Precision(), c.Recall()
+	if math.Abs(f-2*p*r/(p+r)) > 1e-12 {
+		t.Errorf("F = %f", f)
+	}
+	if c.Total() != 100 {
+		t.Errorf("total = %d", c.Total())
+	}
+}
+
+func TestCountsZero(t *testing.T) {
+	var c Counts
+	if c.Precision() != 0 || c.Recall() != 0 || c.F() != 0 {
+		t.Error("zero counts must give zero metrics")
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{1, 2, 3, 4}
+	b := Counts{10, 20, 30, 40}
+	s := a.Add(b)
+	if s != (Counts{11, 22, 33, 44}) {
+		t.Errorf("Add = %+v", s)
+	}
+}
+
+// seg builds a fake segmentation: each record is a list of byte offsets
+// (one synthetic extract per offset).
+func seg(records ...[]int) *core.Segmentation {
+	s := &core.Segmentation{}
+	for ri, offs := range records {
+		rec := core.Record{Index: ri}
+		for _, off := range offs {
+			rec.Extracts = append(rec.Extracts, extract.Extract{ByteStart: off, ByteEnd: off + 1})
+			rec.Columns = append(rec.Columns, -1)
+			rec.Analyzed = append(rec.Analyzed, true)
+		}
+		s.Records = append(s.Records, rec)
+	}
+	return s
+}
+
+func truth(spans ...[2]int) []sitegen.TruthRecord {
+	out := make([]sitegen.TruthRecord, len(spans))
+	for i, sp := range spans {
+		out[i] = sitegen.TruthRecord{Start: sp[0], End: sp[1], Values: []string{"x"}}
+	}
+	return out
+}
+
+func TestScorePerfect(t *testing.T) {
+	tr := truth([2]int{0, 10}, [2]int{10, 20}, [2]int{20, 30})
+	s := seg([]int{1, 5}, []int{12, 18}, []int{22})
+	c := Score(s, tr)
+	if c != (Counts{Cor: 3}) {
+		t.Errorf("perfect segmentation scored %+v", c)
+	}
+}
+
+func TestScoreMergedRecords(t *testing.T) {
+	tr := truth([2]int{0, 10}, [2]int{10, 20})
+	// One predicted record spans both truth records.
+	s := seg([]int{1, 12})
+	c := Score(s, tr)
+	if c != (Counts{InCor: 2}) {
+		t.Errorf("merged records scored %+v", c)
+	}
+}
+
+func TestScoreSplitRecord(t *testing.T) {
+	tr := truth([2]int{0, 10})
+	// Two predicted records inside one truth record.
+	s := seg([]int{1}, []int{5})
+	c := Score(s, tr)
+	if c != (Counts{InCor: 1}) {
+		t.Errorf("split record scored %+v", c)
+	}
+}
+
+func TestScoreFNAndFP(t *testing.T) {
+	tr := truth([2]int{0, 10}, [2]int{10, 20})
+	// Truth record 2 untouched; a junk-only predicted record at 100.
+	s := seg([]int{1}, []int{100})
+	c := Score(s, tr)
+	if c != (Counts{Cor: 1, FN: 1, FP: 1}) {
+		t.Errorf("scored %+v", c)
+	}
+}
+
+func TestScoreEmptySegmentation(t *testing.T) {
+	tr := truth([2]int{0, 10}, [2]int{10, 20})
+	c := Score(&core.Segmentation{}, tr)
+	if c != (Counts{FN: 2}) {
+		t.Errorf("empty segmentation scored %+v", c)
+	}
+}
+
+func TestScorePaddingIgnored(t *testing.T) {
+	tr := truth([2]int{10, 20})
+	// The predicted record has one extract in the span and one in page
+	// boilerplate (outside all spans) — still correct.
+	s := seg([]int{12, 500})
+	c := Score(s, tr)
+	if c != (Counts{Cor: 1}) {
+		t.Errorf("padding changed the verdict: %+v", c)
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	got := Counts{Cor: 1, InCor: 1, FN: 0, FP: 0}.String()
+	if got == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	tr := truth([2]int{10, 20}, [2]int{30, 40})
+	cases := map[int]int{5: -1, 10: 0, 19: 0, 20: -1, 35: 1, 40: -1, 100: -1}
+	for off, want := range cases {
+		if got := locate(tr, off); got != want {
+			t.Errorf("locate(%d) = %d, want %d", off, got, want)
+		}
+	}
+}

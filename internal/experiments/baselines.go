@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tableseg/internal/baseline"
+	"tableseg/internal/core"
+	"tableseg/internal/eval"
+	"tableseg/internal/extract"
+	"tableseg/internal/pagetemplate"
+	"tableseg/internal/sitegen"
+	"tableseg/internal/token"
+)
+
+// BaselineRow summarizes one layout baseline on one list page.
+type BaselineRow struct {
+	Site   string
+	Page   int
+	Failed bool
+	Reason string
+	Counts eval.Counts
+}
+
+// BaselineResult aggregates a baseline over the full study.
+type BaselineResult struct {
+	Name   string
+	Rows   []BaselineRow
+	Total  eval.Counts
+	Failed int
+}
+
+// RunBaselines runs both layout-only baselines over the twelve sites,
+// reproducing the §6.3 argument: union-free inference fails wherever a
+// field has alternate formatting, while the content-based methods of
+// Table 4 are unaffected.
+func RunBaselines(seed int64) ([]*BaselineResult, error) {
+	var out []*BaselineResult
+	for _, name := range []string{baseline.NameUnionFree, baseline.NameTagRepetition} {
+		res := &BaselineResult{Name: name}
+		for _, profile := range sitegen.Profiles() {
+			site := sitegen.Generate(profile, seed)
+			for pageIdx, lp := range site.Lists {
+				row := BaselineRow{Site: profile.Name, Page: pageIdx + 1}
+				toks := token.Tokenize(lp.HTML)
+				start, end := tableRange(site, pageIdx, toks)
+				rows, err := baseline.Run(name, toks, start, end)
+				if err != nil {
+					row.Failed = true
+					row.Reason = err.Error()
+					res.Failed++
+					// An extraction failure leaves every record
+					// unsegmented.
+					row.Counts = eval.Counts{FN: len(lp.Truth)}
+				} else {
+					row.Counts = eval.Score(rowsToSegmentation(rows), lp.Truth)
+				}
+				res.Rows = append(res.Rows, row)
+				res.Total = res.Total.Add(row.Counts)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// rowsToSegmentation converts baseline rows into a core.Segmentation so
+// the shared scorer applies. Rows with no extracts are dropped.
+func rowsToSegmentation(rows [][]token.Token) *core.Segmentation {
+	seg := &core.Segmentation{}
+	for ri, row := range rows {
+		ex := extract.Split(row, 0, len(row))
+		if len(ex) == 0 {
+			continue
+		}
+		rec := core.Record{Index: ri}
+		rec.Extracts = append(rec.Extracts, ex...)
+		for range ex {
+			rec.Columns = append(rec.Columns, -1)
+			rec.Analyzed = append(rec.Analyzed, true)
+			rec.Confidence = append(rec.Confidence, -1)
+		}
+		seg.Records = append(seg.Records, rec)
+		seg.TotalExtracts += len(ex)
+	}
+	seg.Analyzed = seg.TotalExtracts
+	return seg
+}
+
+// tableRange locates the table slot for a baseline using the same
+// template machinery as the main pipeline, falling back to the whole
+// page.
+func tableRange(site *sitegen.Site, pageIdx int, toks []token.Token) (int, int) {
+	pages := make([][]token.Token, len(site.Lists))
+	for i := range site.Lists {
+		if i == pageIdx {
+			pages[i] = toks
+		} else {
+			pages[i] = token.Tokenize(site.Lists[i].HTML)
+		}
+	}
+	tpl := pagetemplate.Induce(pages)
+	slots := tpl.SlotsOn(pageIdx, len(toks))
+	slot, quality := pagetemplate.TableSlot(slots, toks)
+	if quality < 0.5 || tpl.TextSkeletonLen() < 6 {
+		return 0, len(toks)
+	}
+	return slot.Start, slot.End
+}
+
+// RenderBaselines formats the comparison.
+func RenderBaselines(results []*BaselineResult) string {
+	var b strings.Builder
+	b.WriteString("Layout-only baselines (cf. §6.3 RoadRunner discussion)\n\n")
+	for _, res := range results {
+		fmt.Fprintf(&b, "%s — %d/%d pages failed\n", res.Name, res.Failed, len(res.Rows))
+		for _, row := range res.Rows {
+			status := row.Counts.String()
+			if row.Failed {
+				status = "FAILED: " + row.Reason
+			}
+			fmt.Fprintf(&b, "  %-28s %s\n", fmt.Sprintf("%s (%d)", row.Site, row.Page), status)
+		}
+		fmt.Fprintf(&b, "  TOTAL %s\n\n", res.Total)
+	}
+	return b.String()
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tableseg/internal/csp"
+	"tableseg/internal/sitegen"
+)
+
+// The worked example must reproduce the paper's Tables 1–3 exactly.
+func TestExampleReproducesPaperTables(t *testing.T) {
+	ex := RunExample()
+	if len(ex.Analyzed) != 11 {
+		t.Fatalf("%d analyzed extracts, want 11 (E1..E11)", len(ex.Analyzed))
+	}
+	// Table 1: the D_i sets.
+	wantD := [][]int{
+		{0, 1}, {0}, {0}, {0, 1},
+		{0, 1}, {1}, {0, 1}, {0, 1},
+		{2}, {2}, {2},
+	}
+	for i, want := range wantD {
+		got := ex.Input.Candidates[i]
+		if len(got) != len(want) {
+			t.Errorf("E%d: D = %v, want %v", i+1, got, want)
+			continue
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Errorf("E%d: D = %v, want %v", i+1, got, want)
+			}
+		}
+	}
+	// Table 2: the assignment.
+	wantR := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2}
+	if ex.Result.Status != csp.Solved {
+		t.Fatalf("status %v", ex.Result.Status)
+	}
+	for i, want := range wantR {
+		if ex.Result.Records[i] != want {
+			t.Errorf("E%d -> r%d, want r%d", i+1, ex.Result.Records[i]+1, want+1)
+		}
+	}
+	// Table 3: shared positions on pages r1 and r2.
+	if len(ex.Input.PositionGroups[0]) == 0 || len(ex.Input.PositionGroups[1]) == 0 {
+		t.Errorf("position groups missing: %v", ex.Input.PositionGroups)
+	}
+	// Renderings are non-empty and mention the key extracts.
+	if s := ex.RenderTable1(); !strings.Contains(s, "John Smith") {
+		t.Error("Table 1 rendering incomplete")
+	}
+	if s := ex.RenderTable2(); !strings.Contains(s, "-> r3") {
+		t.Error("Table 2 rendering incomplete")
+	}
+	if s := ex.RenderTable3(); !strings.Contains(s, "E1") {
+		t.Error("Table 3 rendering incomplete")
+	}
+}
+
+func TestExamplePages(t *testing.T) {
+	list, details := ExamplePages()
+	if !strings.Contains(list, "More Info") || len(details) != 3 {
+		t.Error("example pages malformed")
+	}
+}
+
+func TestRunTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	res, err := RunTable4(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 24 {
+		t.Fatalf("%d rows, want 24 (12 sites x 2 pages)", len(res.Rows))
+	}
+	// Total records must match the per-profile counts.
+	wantRecords := 0
+	for _, p := range sitegen.Profiles() {
+		wantRecords += p.RecordsPerList[0] + p.RecordsPerList[1]
+	}
+	if got := res.ProbTotal.Total(); got != wantRecords {
+		t.Errorf("probabilistic covers %d records, want %d", got, wantRecords)
+	}
+	if got := res.CSPTotal.Total(); got != wantRecords {
+		t.Errorf("CSP covers %d records, want %d", got, wantRecords)
+	}
+
+	// Shape assertions mirroring the paper's qualitative claims:
+	// both methods work well overall...
+	if f := res.ProbTotal.F(); f < 0.85 {
+		t.Errorf("probabilistic F = %.2f, want >= 0.85", f)
+	}
+	if f := res.CSPTotal.F(); f < 0.85 {
+		t.Errorf("CSP F = %.2f, want >= 0.85", f)
+	}
+	// ...the probabilistic method has near-perfect recall (paper: 0.99)...
+	if r := res.ProbTotal.Recall(); r < 0.95 {
+		t.Errorf("probabilistic recall = %.2f, want >= 0.95", r)
+	}
+	// ...and the CSP is near-perfect on the clean subset (paper: P=0.99).
+	if p := res.CleanCSP.Precision(); p < 0.95 {
+		t.Errorf("clean-subset CSP precision = %.2f, want >= 0.95", p)
+	}
+	if res.CleanPages < 6 {
+		t.Errorf("only %d clean pages; dirty-site injection too aggressive", res.CleanPages)
+	}
+	if res.CleanPages > 20 {
+		t.Errorf("%d clean pages; pathologies not firing", res.CleanPages)
+	}
+
+	// The dirty sites must show their Table 4 notes.
+	notes := map[string]string{}
+	for _, row := range res.Rows {
+		if row.Notes != "" {
+			notes[row.Site] += row.Notes + ";"
+		}
+	}
+	for _, site := range []string{"Amazon Books", "BN Books", "Minnesota Corrections", "Yahoo People", "Superpages"} {
+		if !strings.Contains(notes[site], "b") {
+			t.Errorf("%s: no whole-page note (got %q)", site, notes[site])
+		}
+	}
+	for _, site := range []string{"Michigan Corrections", "Canada 411", "Minnesota Corrections"} {
+		if !strings.Contains(notes[site], "d") {
+			t.Errorf("%s: no relaxation note (got %q)", site, notes[site])
+		}
+	}
+
+	out := RenderTable4(res)
+	for _, want := range []string{"Amazon Books (1)", "Superpages (2)", "Clean subset"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestRunTable4Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	a, err := RunTable4(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTable4(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderTable4(a) != RenderTable4(b) {
+		t.Error("Table 4 is not deterministic for a fixed seed")
+	}
+}
+
+func TestRelaxationAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	res, err := RunRelaxationAblation(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLadder, strictOnly := res.Rows[0].Counts, res.Rows[1].Counts
+	// The ladder is what rescues recall on dirty sites (§6.3): strict-
+	// only must lose recall badly while keeping precision.
+	if strictOnly.Recall() >= withLadder.Recall() {
+		t.Errorf("strict-only recall %.2f not below ladder %.2f", strictOnly.Recall(), withLadder.Recall())
+	}
+	if strictOnly.FN == 0 {
+		t.Error("strict-only produced no unsegmented pages on dirty sites")
+	}
+	if strictOnly.Precision() < 0.95 {
+		t.Errorf("strict-only precision %.2f; failures should be silent, not wrong", strictOnly.Precision())
+	}
+}
+
+func TestBaselinesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baselines in -short mode")
+	}
+	results, err := RunBaselines(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d baselines", len(results))
+	}
+	unionFree, tagRep := results[0], results[1]
+	// Union-free inference must fail on a substantial share of pages
+	// (the §6.3 disjunction argument) and the free-form white pages in
+	// particular.
+	if unionFree.Failed < 6 {
+		t.Errorf("union-free failed on only %d pages", unionFree.Failed)
+	}
+	failedSites := map[string]bool{}
+	for _, row := range unionFree.Rows {
+		if row.Failed {
+			failedSites[row.Site] = true
+		}
+	}
+	if !failedSites["Superpages"] {
+		t.Error("union-free did not fail on Superpages (the paper's central example)")
+	}
+	// Property-tax grids are union-free-friendly.
+	for _, row := range unionFree.Rows {
+		if row.Site == "Allegheny County" && row.Failed {
+			t.Error("union-free failed on a clean grid site")
+		}
+	}
+	// The tag-repetition fallback always segments but is less precise
+	// than the content-based methods.
+	if tagRep.Failed != 0 {
+		t.Errorf("tag-repetition failed on %d pages", tagRep.Failed)
+	}
+	if out := RenderBaselines(results); !strings.Contains(out, "roadrunner-lite") {
+		t.Error("baseline rendering incomplete")
+	}
+}
+
+func TestBuildInput(t *testing.T) {
+	site := sitegen.Generate(mustProfile(t, "ohio"), 1)
+	in := BuildInput(site, 1)
+	if in.Target != 1 || len(in.ListPages) != 2 {
+		t.Errorf("input: %+v", in.Target)
+	}
+	if len(in.DetailPages) != len(site.Lists[1].Details) {
+		t.Error("detail count mismatch")
+	}
+}
+
+func mustProfile(t *testing.T, slug string) sitegen.Profile {
+	t.Helper()
+	p, err := sitegen.ProfileBySlug(slug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAblationRender(t *testing.T) {
+	a := &AblationResult{Name: "demo", Rows: []AblationRow{{Label: "x"}}}
+	if out := a.Render(); !strings.Contains(out, "demo") || !strings.Contains(out, "x") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+// The books-domain degradation direction must match the paper: on the
+// polluted Amazon site the CSP loses at least as much as the
+// probabilistic method (it was "completely derailed" in the paper).
+func TestAmazonDegradationDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study in -short mode")
+	}
+	res, err := RunTable4(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probCor, cspCor int
+	for _, row := range res.Rows {
+		if row.Site != "Amazon Books" {
+			continue
+		}
+		probCor += row.Prob.Cor
+		cspCor += row.CSP.Cor
+		if row.Notes == "" {
+			t.Errorf("Amazon page %d carries no pathology notes", row.Page)
+		}
+	}
+	if cspCor > probCor {
+		t.Errorf("Amazon: CSP Cor %d exceeds probabilistic %d (paper direction reversed)", cspCor, probCor)
+	}
+	if cspCor == 20 {
+		t.Error("Amazon CSP unscathed; browsing-history pollution toothless")
+	}
+}

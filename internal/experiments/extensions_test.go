@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunClassificationPerfect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classification study in -short mode")
+	}
+	rows, err := RunClassification(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 24 {
+		t.Fatalf("%d rows, want 24", len(rows))
+	}
+	for _, r := range rows {
+		if r.Linked <= r.Details {
+			t.Errorf("%s (%d): no ads interleaved (linked=%d details=%d)", r.Site, r.Page, r.Linked, r.Details)
+		}
+		if r.FalsePos != 0 {
+			t.Errorf("%s (%d): %d ads classified as details", r.Site, r.Page, r.FalsePos)
+		}
+		if r.Recall() < 1 {
+			t.Errorf("%s (%d): recall %.2f", r.Site, r.Page, r.Recall())
+		}
+	}
+	out := RenderClassification(rows)
+	if !strings.Contains(out, "TOTAL precision") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestClassifyRowMetrics(t *testing.T) {
+	r := ClassifyRow{Details: 10, Selected: 8, TruePos: 8}
+	if r.Precision() != 1 || r.Recall() != 0.8 {
+		t.Errorf("P=%f R=%f", r.Precision(), r.Recall())
+	}
+	var zero ClassifyRow
+	if zero.Precision() != 0 || zero.Recall() != 0 {
+		t.Error("zero row metrics")
+	}
+}
+
+func TestRunWrapperTransferShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wrapper study in -short mode")
+	}
+	rows, err := RunWrapperTransfer(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	transferred := 0
+	var totalCor, totalRecords int
+	for _, r := range rows {
+		totalRecords += r.Counts.Total()
+		totalCor += r.Counts.Cor
+		if r.Err == "" {
+			transferred++
+			if r.Signature == "" {
+				t.Errorf("%s: empty signature", r.Site)
+			}
+		}
+	}
+	if transferred < 9 {
+		t.Errorf("wrapper transferred on only %d/12 sites", transferred)
+	}
+	if float64(totalCor)/float64(totalRecords) < 0.8 {
+		t.Errorf("wrapper transfer Cor rate %.2f", float64(totalCor)/float64(totalRecords))
+	}
+	if out := RenderWrapperTransfer(rows); !strings.Contains(out, "TOTAL") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestRunVerticalExtension(t *testing.T) {
+	rows, err := RunVertical(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Extension {
+			if !r.Detected || r.Intact != r.Records {
+				t.Errorf("%s with extension: detected=%v intact=%d/%d", r.Method, r.Detected, r.Intact, r.Records)
+			}
+		} else {
+			if r.Detected {
+				t.Errorf("%s without extension: Detected set", r.Method)
+			}
+			if r.Intact == r.Records {
+				t.Errorf("%s without extension: vertical table segmented perfectly; extension redundant", r.Method)
+			}
+		}
+	}
+	if out := RenderVertical(rows); !strings.Contains(out, "transposition") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestRunSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep in -short mode")
+	}
+	prob, cspRes, err := RunSeedSweep([]int64{42, 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Rows) != 2 || len(cspRes.Rows) != 2 {
+		t.Fatalf("rows: %d/%d", len(prob.Rows), len(cspRes.Rows))
+	}
+	for _, row := range prob.Rows {
+		if row.Counts.F() < 0.85 {
+			t.Errorf("%s: probabilistic F %.2f", row.Label, row.Counts.F())
+		}
+	}
+	for _, row := range cspRes.Rows {
+		if row.Counts.F() < 0.85 {
+			t.Errorf("%s: CSP F %.2f", row.Label, row.Counts.F())
+		}
+	}
+}
+
+func TestRunAllAblationsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation suite in -short mode")
+	}
+	abls, err := RunAllAblations(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abls) != 8 {
+		t.Fatalf("%d ablations, want 8", len(abls))
+	}
+	names := map[string]bool{}
+	for _, a := range abls {
+		if len(a.Rows) < 2 {
+			t.Errorf("%s: only %d rows", a.Name, len(a.Rows))
+		}
+		names[a.Name] = true
+		if out := a.Render(); !strings.Contains(out, "configuration") {
+			t.Errorf("%s: rendering incomplete", a.Name)
+		}
+	}
+	for _, want := range []string{"epsilon", "period", "template", "relaxation", "consecutiveness", "enumerated", "numbered entries", "method comparison"} {
+		found := false
+		for n := range names {
+			if strings.Contains(strings.ToLower(n), want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no ablation matching %q", want)
+		}
+	}
+}
+
+func TestMethodComparisonOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("method comparison in -short mode")
+	}
+	res, err := RunMethodComparison(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range res.Rows {
+		byName[r.Label] = r.Counts.F()
+	}
+	// The §7 combination must never lose to the CSP alone (it only
+	// replaces the CSP where strict constraints already failed).
+	if byName["combined"] < byName["csp"]-1e-9 {
+		t.Errorf("combined F %.3f below csp %.3f", byName["combined"], byName["csp"])
+	}
+}
+
+func TestRunScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling study in -short mode")
+	}
+	rows, err := RunScale(DefaultSeed, []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerPage <= 0 {
+			t.Errorf("%d/%s: non-positive duration", r.Records, r.Method)
+		}
+		if r.Counts.F() < 0.99 {
+			t.Errorf("%d/%s: F %.2f", r.Records, r.Method, r.Counts.F())
+		}
+	}
+	if out := RenderScale(rows); !strings.Contains(out, "time/page") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestStressSweepDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep in -short mode")
+	}
+	rows, err := RunStressSweep(DefaultSeed, []float64{0, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := map[string]map[float64]float64{}
+	for _, r := range rows {
+		if f[r.Method] == nil {
+			f[r.Method] = map[float64]float64{}
+		}
+		f[r.Method][r.Rate] = r.Counts.F()
+	}
+	// Clean data: both perfect.
+	if f["csp"][0] < 0.999 || f["probabilistic"][0] < 0.999 {
+		t.Errorf("clean point not perfect: csp %.3f prob %.3f", f["csp"][0], f["probabilistic"][0])
+	}
+	// Heavy pollution: the CSP must degrade more than the probabilistic
+	// method (§6.3's robustness contrast, quantified).
+	if f["csp"][0.8] >= f["probabilistic"][0.8] {
+		t.Errorf("at 80%% pollution csp F %.3f not below probabilistic %.3f", f["csp"][0.8], f["probabilistic"][0.8])
+	}
+	if f["csp"][0.8] > 0.99 {
+		t.Errorf("pollution toothless: csp F %.3f at 80%%", f["csp"][0.8])
+	}
+	if out := RenderStressSweep(rows); !strings.Contains(out, "pollution") {
+		t.Error("rendering incomplete")
+	}
+}

@@ -1,0 +1,119 @@
+// Package extract implements the data-extraction step of §3.2 and the
+// observation tables of §3.2–§4.2: splitting the table slot of a list
+// page into extracts (visible strings), matching each extract against
+// the detail pages (ignoring intervening separators), and building the
+// observation matrix D_i and the position index pos_j(E_i) that the CSP
+// and probabilistic record-segmentation algorithms consume.
+package extract
+
+import (
+	"strings"
+
+	"tableseg/internal/token"
+)
+
+// safePunct is the set of punctuation characters that do NOT act as
+// separators (§3.2: separators are "any character that is not in the set
+// '.,()-'"). A standalone token made only of these characters is still
+// part of an extract; any other pure-punctuation token is a separator.
+const safePunct = ".,()-"
+
+// IsSeparator reports whether a page token is a separator: an HTML tag,
+// or a punctuation-only token containing a character outside safePunct.
+func IsSeparator(t token.Token) bool {
+	if t.IsHTML() {
+		return true
+	}
+	if !t.Type.Has(token.Punct) {
+		return false
+	}
+	for i := 0; i < len(t.Text); i++ {
+		if !strings.ContainsRune(safePunct, rune(t.Text[i])) {
+			return true
+		}
+	}
+	return false
+}
+
+// Extract is one visible string from the table slot: a maximal run of
+// non-separator tokens.
+type Extract struct {
+	// Index is the extract's ordinal on the list page (E_1, E_2, ...,
+	// in text-stream order), assigned by Split.
+	Index int
+	// Words are the extract's word tokens in order.
+	Words []string
+	// Types are the syntactic type sets of the words.
+	Types []token.Type
+	// TokenStart and TokenEnd delimit the extract in the page token
+	// stream (half-open, global page indices).
+	TokenStart, TokenEnd int
+	// ByteStart and ByteEnd delimit the extract in the page source
+	// (half-open byte offsets), for alignment with external ground
+	// truth.
+	ByteStart, ByteEnd int
+}
+
+// Text returns the extract's words joined with single spaces; this is
+// the canonical form used for matching against detail pages.
+func (e *Extract) Text() string { return strings.Join(e.Words, " ") }
+
+// FirstType returns the syntactic type of the first word (the paper's
+// models key on the starting token type); zero if empty.
+func (e *Extract) FirstType() token.Type {
+	if len(e.Types) == 0 {
+		return 0
+	}
+	return e.Types[0]
+}
+
+// TypeVector returns the union of the word type sets as the paper's
+// 8-element T_i observation vector.
+func (e *Extract) TypeVector() [token.NumTypes]bool {
+	var u token.Type
+	for _, t := range e.Types {
+		u |= t
+	}
+	return u.Vector()
+}
+
+// Split segments the token range [start, end) of a page into extracts.
+// Consecutive non-separator tokens form one extract; separators are
+// dropped. Indices are assigned in stream order starting at 0.
+func Split(page []token.Token, start, end int) []Extract {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(page) {
+		end = len(page)
+	}
+	var out []Extract
+	i := start
+	for i < end {
+		for i < end && IsSeparator(page[i]) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		runStart := i
+		for i < end && !IsSeparator(page[i]) {
+			i++
+		}
+		e := Extract{
+			Index:      len(out),
+			TokenStart: runStart,
+			TokenEnd:   i,
+			ByteStart:  page[runStart].Offset,
+			ByteEnd:    page[i-1].Offset + len(page[i-1].Text),
+			Words:      make([]string, 0, i-runStart),
+			Types:      make([]token.Type, 0, i-runStart),
+		}
+		for k := runStart; k < i; k++ {
+			e.Words = append(e.Words, page[k].Text)
+			e.Types = append(e.Types, page[k].Type)
+		}
+		out = append(out, e)
+	}
+	return out
+}

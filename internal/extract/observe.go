@@ -1,0 +1,216 @@
+package extract
+
+import (
+	"sort"
+
+	"tableseg/internal/token"
+)
+
+// Occurrence records one sighting of an extract on a detail page.
+type Occurrence struct {
+	// Page is the detail-page index (record number candidate r_j).
+	Page int
+	// Pos is the position of the sighting: the page-stream token index
+	// of the first matched word on the detail page (the pos_j^k of
+	// Table 3).
+	Pos int
+}
+
+// Observation couples an extract with everything the detail pages say
+// about it.
+type Observation struct {
+	Extract Extract
+	// Pages is D_i: the sorted set of detail-page indices on which the
+	// extract was observed.
+	Pages []int
+	// Occurrences lists every sighting (a page may appear several
+	// times if the string occurs at several positions on it).
+	Occurrences []Occurrence
+	// OnAllListPages is true when the extract's text appears on every
+	// sample list page — boilerplate to be ignored per §3.2.
+	OnAllListPages bool
+}
+
+// OnPage reports whether the extract was observed on detail page j.
+func (o *Observation) OnPage(j int) bool {
+	k := sort.SearchInts(o.Pages, j)
+	return k < len(o.Pages) && o.Pages[k] == j
+}
+
+// Informative reports whether the observation should participate in
+// record segmentation: §3.2 ignores extracts that appear on all list
+// pages or on all detail pages, and extracts seen on no detail page
+// carry no record evidence.
+func (o *Observation) Informative(numDetailPages int) bool {
+	if len(o.Pages) == 0 || o.OnAllListPages {
+		return false
+	}
+	return len(o.Pages) < numDetailPages
+}
+
+// DetailIndex is a preprocessed detail page ready for extract matching.
+// Matching ignores intervening separators (§3.2 footnote: "FirstName
+// LastName" on the list page matches "FirstName <br> LastName" on the
+// detail page), so the index keeps only the page's non-separator word
+// tokens, remembering each word's original stream position.
+type DetailIndex struct {
+	words   []string
+	streams []int            // original token index per word
+	starts  map[string][]int // word text -> indices into words
+}
+
+// IndexDetail builds a matching index over a tokenized detail page.
+func IndexDetail(page []token.Token) *DetailIndex {
+	di := &DetailIndex{starts: make(map[string][]int)}
+	for i, t := range page {
+		if IsSeparator(t) {
+			continue
+		}
+		di.starts[t.Text] = append(di.starts[t.Text], len(di.words))
+		di.words = append(di.words, t.Text)
+		di.streams = append(di.streams, i)
+	}
+	return di
+}
+
+// NumWords returns the number of visible words on the indexed page.
+func (di *DetailIndex) NumWords() int { return len(di.words) }
+
+// Find returns the original-stream positions at which the word sequence
+// occurs contiguously in the page's visible text.
+func (di *DetailIndex) Find(words []string) []int {
+	if len(words) == 0 {
+		return nil
+	}
+	var out []int
+	for _, w0 := range di.starts[words[0]] {
+		if w0+len(words) > len(di.words) {
+			continue
+		}
+		ok := true
+		for k := 1; k < len(words); k++ {
+			if di.words[w0+k] != words[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, di.streams[w0])
+		}
+	}
+	return out
+}
+
+// Contains reports whether the word sequence occurs on the page.
+func (di *DetailIndex) Contains(words []string) bool {
+	return len(di.Find(words)) > 0
+}
+
+// Observe builds observations for every extract of the target list page.
+//
+//	extracts     — the extracts of the target list page, in stream order
+//	details      — tokenized detail pages, in record (link) order
+//	otherLists   — tokenized sample list pages other than the target,
+//	               used for the "appears on all list pages" filter
+func Observe(extracts []Extract, details [][]token.Token, otherLists [][]token.Token) []Observation {
+	idx := make([]*DetailIndex, len(details))
+	for j, d := range details {
+		idx[j] = IndexDetail(d)
+	}
+	otherIdx := make([]*DetailIndex, len(otherLists))
+	for j, p := range otherLists {
+		otherIdx[j] = IndexDetail(p)
+	}
+
+	obs := make([]Observation, len(extracts))
+	for i, e := range extracts {
+		o := Observation{Extract: e}
+		for j := range idx {
+			positions := idx[j].Find(e.Words)
+			if len(positions) == 0 {
+				continue
+			}
+			o.Pages = append(o.Pages, j)
+			for _, p := range positions {
+				o.Occurrences = append(o.Occurrences, Occurrence{Page: j, Pos: p})
+			}
+		}
+		if len(otherIdx) > 0 {
+			onAll := true
+			for _, li := range otherIdx {
+				if !li.Contains(e.Words) {
+					onAll = false
+					break
+				}
+			}
+			o.OnAllListPages = onAll
+		}
+		obs[i] = o
+	}
+	return obs
+}
+
+// InformativeSubset returns the indices (into obs) of the observations
+// that participate in segmentation, preserving stream order.
+func InformativeSubset(obs []Observation, numDetailPages int) []int {
+	var out []int
+	for i := range obs {
+		if obs[i].Informative(numDetailPages) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PositionGroups returns, for each detail page, the groups of analyzed
+// extracts that share a position on that page. Each group is a set of
+// indices into analyzed (which indexes obs); only groups with two or
+// more members are returned, because singleton groups impose no
+// position constraint (§4.2).
+func PositionGroups(obs []Observation, analyzed []int, numDetailPages int) map[int][][]int {
+	type key struct{ page, pos int }
+	byKey := make(map[key][]int)
+	for ai, oi := range analyzed {
+		for _, occ := range obs[oi].Occurrences {
+			k := key{occ.Page, occ.Pos}
+			byKey[k] = append(byKey[k], ai)
+		}
+	}
+	groups := make(map[int][][]int)
+	for k, members := range byKey {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Ints(members)
+		members = dedupInts(members)
+		if len(members) < 2 {
+			continue
+		}
+		groups[k.page] = append(groups[k.page], members)
+	}
+	// Map iteration above is unordered; fix a canonical group order so
+	// downstream constraint problems are byte-identical across runs
+	// (local search is trajectory-sensitive).
+	for page := range groups {
+		sort.Slice(groups[page], func(a, b int) bool {
+			ga, gb := groups[page][a], groups[page][b]
+			for i := 0; i < len(ga) && i < len(gb); i++ {
+				if ga[i] != gb[i] {
+					return ga[i] < gb[i]
+				}
+			}
+			return len(ga) < len(gb)
+		})
+	}
+	return groups
+}
+
+func dedupInts(a []int) []int {
+	out := a[:0]
+	for i, v := range a {
+		if i == 0 || v != a[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package extract
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tableseg/internal/token"
+)
+
+// htmlish generates pseudo-random HTML-looking documents for property
+// tests, deterministically from a seed.
+func htmlish(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	pieces := []string{
+		"<td>", "</td>", "<tr>", "</tr>", "<br>", "<b>", "</b>", "|", "~",
+		"word", "Word", "WORD", "123", "12.5", "a-b", "(555)", "x,y", "-", ".",
+		" ", "\n",
+	}
+	var b strings.Builder
+	n := 5 + rng.Intn(60)
+	for i := 0; i < n; i++ {
+		b.WriteString(pieces[rng.Intn(len(pieces))])
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// Split partitions the non-separator tokens: every non-separator token
+// belongs to exactly one extract, extracts are non-empty, ordered,
+// non-overlapping, and contain no separators.
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		page := token.Tokenize(htmlish(seed))
+		ex := Split(page, 0, len(page))
+		covered := make([]int, len(page))
+		prevEnd := 0
+		for _, e := range ex {
+			if e.TokenStart < prevEnd || e.TokenEnd <= e.TokenStart {
+				return false
+			}
+			prevEnd = e.TokenEnd
+			if len(e.Words) != e.TokenEnd-e.TokenStart {
+				return false
+			}
+			for k := e.TokenStart; k < e.TokenEnd; k++ {
+				covered[k]++
+				if IsSeparator(page[k]) {
+					return false
+				}
+			}
+		}
+		for k, tk := range page {
+			want := 1
+			if IsSeparator(tk) {
+				want = 0
+			}
+			if covered[k] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Byte offsets are monotone and consistent with token offsets.
+func TestSplitByteOffsetsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := htmlish(seed)
+		page := token.Tokenize(src)
+		ex := Split(page, 0, len(page))
+		prev := -1
+		for _, e := range ex {
+			if e.ByteStart <= prev || e.ByteEnd <= e.ByteStart {
+				return false
+			}
+			prev = e.ByteStart
+			if e.ByteStart != page[e.TokenStart].Offset {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// An extract always matches the detail index built over a page that
+// embeds the same words, regardless of the separators around them.
+func TestObserveSelfMatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		page := token.Tokenize(htmlish(seed))
+		ex := Split(page, 0, len(page))
+		if len(ex) == 0 {
+			return true
+		}
+		// A detail page embedding every extract with <br> separators.
+		var b strings.Builder
+		b.WriteString("<html><body>")
+		for _, e := range ex {
+			b.WriteString(strings.Join(e.Words, "<br>") + "<hr>")
+		}
+		b.WriteString("</body></html>")
+		detail := token.Tokenize(b.String())
+		obs := Observe(ex, [][]token.Token{detail}, nil)
+		for i := range obs {
+			if len(obs[i].Pages) != 1 || obs[i].Pages[0] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Observation pages are always sorted and duplicate-free, and every
+// occurrence's page appears in Pages.
+func TestObservePagesInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		page := token.Tokenize(htmlish(seed))
+		ex := Split(page, 0, len(page))
+		var details [][]token.Token
+		for d := 0; d < 3; d++ {
+			details = append(details, token.Tokenize(htmlish(seed*7+int64(d)+int64(rng.Intn(5)))))
+		}
+		obs := Observe(ex, details, nil)
+		for i := range obs {
+			pages := obs[i].Pages
+			for k := 1; k < len(pages); k++ {
+				if pages[k] <= pages[k-1] {
+					return false
+				}
+			}
+			inPages := map[int]bool{}
+			for _, p := range pages {
+				inPages[p] = true
+			}
+			for _, occ := range obs[i].Occurrences {
+				if !inPages[occ.Page] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package htmlx
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities maps HTML entity names (without '&' and ';') to their
+// replacement text. The set covers the entities that occur on the kinds
+// of pages the paper studies (yellow/white pages, government records,
+// book stores); unknown entities are passed through unchanged so no
+// content is ever lost.
+var namedEntities = map[string]string{
+	"amp":    "&",
+	"lt":     "<",
+	"gt":     ">",
+	"quot":   `"`,
+	"apos":   "'",
+	"nbsp":   " ",
+	"copy":   "(c)",
+	"reg":    "(R)",
+	"trade":  "(TM)",
+	"middot": "*",
+	"bull":   "*",
+	"hellip": "...",
+	"mdash":  "--",
+	"ndash":  "-",
+	"lsquo":  "'",
+	"rsquo":  "'",
+	"ldquo":  `"`,
+	"rdquo":  `"`,
+	"laquo":  "<<",
+	"raquo":  ">>",
+	"sect":   "S",
+	"para":   "P",
+	"deg":    "deg",
+	"plusmn": "+/-",
+	"frac12": "1/2",
+	"frac14": "1/4",
+	"times":  "x",
+	"divide": "/",
+	"cent":   "c",
+	"pound":  "GBP",
+	"yen":    "JPY",
+	"euro":   "EUR",
+	"iexcl":  "!",
+	"iquest": "?",
+}
+
+// DecodeEntities converts HTML escape sequences in s to plain ASCII
+// text, per §3.1 of the paper ("HTML escape sequences are converted to
+// ASCII text"). Named entities are looked up in a fixed table; numeric
+// entities (&#NN; and &#xNN;) in the ASCII range decode to the byte,
+// while non-ASCII code points decode to '?' so downstream token typing
+// stays byte-oriented. Malformed sequences are left untouched.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	i := amp
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		rep, n := decodeOne(s[i:])
+		if n == 0 {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		b.WriteString(rep)
+		i += n
+	}
+	return b.String()
+}
+
+// decodeOne decodes a single entity at the start of s (s[0] == '&').
+// It returns the replacement and the number of source bytes consumed,
+// or ("", 0) if s does not start with a recognizable entity.
+func decodeOne(s string) (string, int) {
+	// Longest plausible entity: &frac12; (8 bytes incl. & and ;).
+	end := strings.IndexByte(s, ';')
+	if end < 0 || end > 12 {
+		return "", 0
+	}
+	body := s[1:end]
+	if body == "" {
+		return "", 0
+	}
+	if body[0] == '#' {
+		num := body[1:]
+		base := 10
+		if len(num) > 0 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		v, err := strconv.ParseInt(num, base, 32)
+		if err != nil || v <= 0 {
+			return "", 0
+		}
+		if v < 128 {
+			return string(rune(v)), end + 1
+		}
+		return "?", end + 1
+	}
+	if rep, ok := namedEntities[body]; ok {
+		return rep, end + 1
+	}
+	// Case-insensitive fallback (&NBSP; appears in the wild).
+	if rep, ok := namedEntities[strings.ToLower(body)]; ok {
+		return rep, end + 1
+	}
+	return "", 0
+}

@@ -1,0 +1,82 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeEntitiesNamed(t *testing.T) {
+	cases := map[string]string{
+		"a&amp;b":          "a&b",
+		"&lt;td&gt;":       "<td>",
+		"Tom&nbsp;Jones":   "Tom Jones",
+		"&quot;hi&quot;":   `"hi"`,
+		"&copy; 2004":      "(c) 2004",
+		"x&hellip;":        "x...",
+		"5&ndash;10":       "5-10",
+		"&NBSP;":           " ",
+		"no entities here": "no entities here",
+	}
+	for in, want := range cases {
+		if got := DecodeEntities(in); got != want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDecodeEntitiesNumeric(t *testing.T) {
+	cases := map[string]string{
+		"&#65;":           "A",
+		"&#x41;":          "A",
+		"&#X41;":          "A",
+		"&#38;":           "&",
+		"&#8212;":         "?", // non-ASCII decodes to placeholder
+		"&#xE9;":          "?",
+		"&#0;":            "&#0;", // invalid stays put
+		"&#;":             "&#;",
+		"&#xZZ;":          "&#xZZ;",
+		"&#65;&#66;&#67;": "ABC",
+	}
+	for in, want := range cases {
+		if got := DecodeEntities(in); got != want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDecodeEntitiesMalformed(t *testing.T) {
+	cases := []string{"&", "&amp", "&;", "&unknown;", "& amp;", "&&amp;&"}
+	for _, in := range cases {
+		got := DecodeEntities(in)
+		// Malformed sequences must not vanish; ampersands are preserved.
+		if strings.Count(got, "&")+strings.Count(got, " ") < 1 && in != "" {
+			t.Errorf("DecodeEntities(%q) = %q lost content", in, got)
+		}
+	}
+	if got := DecodeEntities("&unknown;"); got != "&unknown;" {
+		t.Errorf("unknown entity altered: %q", got)
+	}
+}
+
+// Decoding entity-free strings is the identity.
+func TestDecodeEntitiesIdentity(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.ReplaceAll(s, "&", "")
+		return DecodeEntities(clean) == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Decoding never panics and never grows pathologically.
+func TestDecodeEntitiesTotal(t *testing.T) {
+	f := func(s string) bool {
+		out := DecodeEntities(s)
+		return len(out) <= len(s)+4*strings.Count(s, "&")+4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

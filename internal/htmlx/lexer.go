@@ -1,0 +1,369 @@
+// Package htmlx implements a small, dependency-free HTML lexer.
+//
+// The segmentation algorithms in this repository never build a DOM; the
+// paper's pipeline (Lerman et al., SIGMOD 2004, §3.1) works on a flat
+// token stream in which HTML tags are opaque single tokens and text is
+// split into words. This lexer produces that stream: it recognizes start
+// tags, end tags, comments, doctype declarations and text runs, and it
+// decodes HTML entity escape sequences into ASCII text as the paper
+// requires ("HTML escape sequences are converted to ASCII text").
+//
+// The lexer is intentionally forgiving: real 2004-era pages (and our
+// synthetic reproductions of them) contain unquoted attributes, stray
+// '<' characters and unterminated constructs. Any malformed input still
+// lexes to *some* token stream; nothing ever fails.
+package htmlx
+
+import (
+	"strings"
+)
+
+// Kind classifies a lexical token.
+type Kind int
+
+const (
+	// Text is a run of character data between tags (entities decoded).
+	Text Kind = iota
+	// StartTag is an opening tag such as <td class="x">.
+	StartTag
+	// EndTag is a closing tag such as </td>.
+	EndTag
+	// SelfClosing is a self-closed tag such as <br/>.
+	SelfClosing
+	// Comment is an HTML comment <!-- ... -->.
+	Comment
+	// Doctype is a <!DOCTYPE ...> declaration.
+	Doctype
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Text:
+		return "Text"
+	case StartTag:
+		return "StartTag"
+	case EndTag:
+		return "EndTag"
+	case SelfClosing:
+		return "SelfClosing"
+	case Comment:
+		return "Comment"
+	case Doctype:
+		return "Doctype"
+	default:
+		return "Unknown"
+	}
+}
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	Kind Kind
+	// Raw is the exact source text of the token, including angle
+	// brackets for tags. For Text tokens, Raw is the undecoded source.
+	Raw string
+	// Data is the payload: the decoded text for Text tokens, the
+	// lower-cased tag name for tags, the comment body for comments.
+	Data string
+	// Attrs holds tag attributes in source order (tags only).
+	Attrs []Attr
+	// Offset is the byte offset of the token in the input.
+	Offset int
+}
+
+// Attr is a single name="value" attribute on a tag.
+type Attr struct {
+	Name  string // lower-cased
+	Value string // entity-decoded; empty for valueless attributes
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// TagName returns the lower-cased element name for tag tokens, "" otherwise.
+func (t *Token) TagName() string {
+	switch t.Kind {
+	case StartTag, EndTag, SelfClosing:
+		return t.Data
+	}
+	return ""
+}
+
+// rawTextTags lists elements whose content is raw text: the lexer must
+// not interpret '<' inside them as markup until the matching end tag.
+var rawTextTags = map[string]bool{
+	"script": true,
+	"style":  true,
+}
+
+// Tokenize lexes an entire HTML document into a token slice.
+func Tokenize(src string) []Token {
+	lx := &lexer{src: src}
+	return lx.run()
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []Token
+}
+
+func (l *lexer) run() []Token {
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '<' {
+			if !l.lexMarkup() {
+				// A stray '<' that does not begin markup: treat it as text.
+				l.lexText(true)
+			}
+		} else {
+			l.lexText(false)
+		}
+	}
+	return l.tokens
+}
+
+// lexMarkup attempts to lex a construct starting with '<' at l.pos.
+// It reports whether it consumed anything.
+func (l *lexer) lexMarkup() bool {
+	start := l.pos
+	rest := l.src[l.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		end := strings.Index(rest[4:], "-->")
+		var raw, body string
+		if end < 0 { // unterminated comment: consume to EOF
+			raw, body = rest, rest[4:]
+			l.pos = len(l.src)
+		} else {
+			raw, body = rest[:4+end+3], rest[4:4+end]
+			l.pos += 4 + end + 3
+		}
+		l.tokens = append(l.tokens, Token{Kind: Comment, Raw: raw, Data: body, Offset: start})
+		return true
+	case strings.HasPrefix(rest, "<![CDATA["):
+		// CDATA sections may contain '>' freely; they end only at "]]>".
+		end := strings.Index(rest[9:], "]]>")
+		var raw, body string
+		if end < 0 {
+			raw, body = rest, rest[9:]
+			l.pos = len(l.src)
+		} else {
+			raw, body = rest[:9+end+3], rest[9:9+end]
+			l.pos += 9 + end + 3
+		}
+		// CDATA content is character data.
+		l.tokens = append(l.tokens, Token{Kind: Text, Raw: raw, Data: body, Offset: start})
+		return true
+	case strings.HasPrefix(rest, "<!"):
+		end := strings.IndexByte(rest, '>')
+		var raw string
+		if end < 0 {
+			raw = rest
+			l.pos = len(l.src)
+		} else {
+			raw = rest[:end+1]
+			l.pos += end + 1
+		}
+		body := raw[2:]
+		body = strings.TrimSuffix(body, ">")
+		l.tokens = append(l.tokens, Token{Kind: Doctype, Raw: raw, Data: strings.TrimSpace(body), Offset: start})
+		return true
+	case strings.HasPrefix(rest, "<?"):
+		// Processing instruction (<?xml ...?>, PHP remnants): consume
+		// to the next '>' and drop it as a comment-like token.
+		end := strings.IndexByte(rest, '>')
+		var raw string
+		if end < 0 {
+			raw = rest
+			l.pos = len(l.src)
+		} else {
+			raw = rest[:end+1]
+			l.pos += end + 1
+		}
+		l.tokens = append(l.tokens, Token{Kind: Comment, Raw: raw, Data: strings.Trim(raw, "<?>"), Offset: start})
+		return true
+	case strings.HasPrefix(rest, "</"):
+		return l.lexTag(start, true)
+	default:
+		// A start tag must be followed by an ASCII letter.
+		if len(rest) >= 2 && isTagNameStart(rest[1]) {
+			return l.lexTag(start, false)
+		}
+		return false
+	}
+}
+
+func isTagNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isTagNameByte(c byte) bool {
+	return isTagNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+// lexTag lexes a start or end tag beginning at offset start.
+func (l *lexer) lexTag(start int, closing bool) bool {
+	i := start + 1
+	if closing {
+		i++
+	}
+	nameStart := i
+	for i < len(l.src) && isTagNameByte(l.src[i]) {
+		i++
+	}
+	if i == nameStart {
+		return false
+	}
+	name := strings.ToLower(l.src[nameStart:i])
+
+	// Scan attributes until '>' honoring quoted values.
+	var attrs []Attr
+	selfClose := false
+	for i < len(l.src) && l.src[i] != '>' {
+		c := l.src[i]
+		switch {
+		case c == '/' && i+1 < len(l.src) && l.src[i+1] == '>':
+			selfClose = true
+			i++
+		case isSpace(c) || c == '/':
+			i++
+		default:
+			var a Attr
+			var ok bool
+			a, i, ok = lexAttr(l.src, i)
+			if !ok {
+				i++ // skip one byte of garbage and keep going
+			} else {
+				attrs = append(attrs, a)
+			}
+		}
+	}
+	if i < len(l.src) {
+		i++ // consume '>'
+	}
+	raw := l.src[start:i]
+	kind := StartTag
+	if closing {
+		kind = EndTag
+		attrs = nil
+	} else if selfClose {
+		kind = SelfClosing
+	}
+	l.pos = i
+	l.tokens = append(l.tokens, Token{Kind: kind, Raw: raw, Data: name, Attrs: attrs, Offset: start})
+
+	// Raw-text elements: emit their entire content as one Text token.
+	if kind == StartTag && rawTextTags[name] {
+		idx := indexCloseTag(l.src[l.pos:], name)
+		if idx < 0 {
+			idx = len(l.src) - l.pos
+		}
+		if idx > 0 {
+			body := l.src[l.pos : l.pos+idx]
+			l.tokens = append(l.tokens, Token{Kind: Text, Raw: body, Data: body, Offset: l.pos})
+			l.pos += idx
+		}
+	}
+	return true
+}
+
+// indexCloseTag finds the byte offset of "</name" in src,
+// ASCII-case-insensitively, or -1. A byte-exact scan is required:
+// lowering the haystack with strings.ToLower would re-encode invalid
+// UTF-8 sequences and shift every offset after them.
+func indexCloseTag(src, name string) int {
+	n := len(name)
+	for i := 0; i+2+n <= len(src); i++ {
+		if src[i] != '<' || src[i+1] != '/' {
+			continue
+		}
+		match := true
+		for k := 0; k < n; k++ {
+			c := src[i+2+k]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != name[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+// lexAttr lexes one attribute starting at i. Returns the attribute, the
+// new position, and whether an attribute was recognized.
+func lexAttr(src string, i int) (Attr, int, bool) {
+	nameStart := i
+	for i < len(src) && src[i] != '=' && src[i] != '>' && src[i] != '/' && !isSpace(src[i]) {
+		i++
+	}
+	if i == nameStart {
+		return Attr{}, i, false
+	}
+	a := Attr{Name: strings.ToLower(src[nameStart:i])}
+	// Optional whitespace around '='.
+	j := i
+	for j < len(src) && isSpace(src[j]) {
+		j++
+	}
+	if j >= len(src) || src[j] != '=' {
+		return a, i, true // valueless attribute
+	}
+	j++
+	for j < len(src) && isSpace(src[j]) {
+		j++
+	}
+	if j >= len(src) {
+		return a, j, true
+	}
+	switch src[j] {
+	case '"', '\'':
+		q := src[j]
+		j++
+		valStart := j
+		for j < len(src) && src[j] != q {
+			j++
+		}
+		a.Value = DecodeEntities(src[valStart:j])
+		if j < len(src) {
+			j++ // consume closing quote
+		}
+	default:
+		valStart := j
+		for j < len(src) && !isSpace(src[j]) && src[j] != '>' {
+			j++
+		}
+		a.Value = DecodeEntities(src[valStart:j])
+	}
+	return a, j, true
+}
+
+// lexText lexes a text run starting at l.pos. If forceFirst is true the
+// first byte is consumed unconditionally (used for stray '<').
+func (l *lexer) lexText(forceFirst bool) {
+	start := l.pos
+	if forceFirst {
+		l.pos++
+	}
+	for l.pos < len(l.src) && l.src[l.pos] != '<' {
+		l.pos++
+	}
+	raw := l.src[start:l.pos]
+	l.tokens = append(l.tokens, Token{Kind: Text, Raw: raw, Data: DecodeEntities(raw), Offset: start})
+}

@@ -1,0 +1,232 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeSimple(t *testing.T) {
+	toks := Tokenize(`<html><body>Hello</body></html>`)
+	want := []Kind{StartTag, StartTag, Text, EndTag, EndTag}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: kind %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[2].Data != "Hello" {
+		t.Errorf("text data = %q, want Hello", toks[2].Data)
+	}
+}
+
+func TestTokenizeTagNames(t *testing.T) {
+	toks := Tokenize(`<TD Class="Big"><Br/></td>`)
+	if toks[0].Data != "td" || toks[1].Data != "br" || toks[2].Data != "td" {
+		t.Fatalf("tag names not lower-cased: %+v", toks)
+	}
+	if toks[1].Kind != SelfClosing {
+		t.Errorf("br kind = %v, want SelfClosing", toks[1].Kind)
+	}
+	if v, ok := toks[0].Attr("class"); !ok || v != "Big" {
+		t.Errorf("class attr = %q,%v want Big,true", v, ok)
+	}
+}
+
+func TestTokenizeAttributes(t *testing.T) {
+	cases := []struct {
+		src        string
+		name, want string
+	}{
+		{`<a href="x.html">`, "href", "x.html"},
+		{`<a href='x.html'>`, "href", "x.html"},
+		{`<a href=x.html>`, "href", "x.html"},
+		{`<a href = "x.html">`, "href", "x.html"},
+		{`<input disabled>`, "disabled", ""},
+		{`<a href="a&amp;b">`, "href", "a&b"},
+	}
+	for _, c := range cases {
+		toks := Tokenize(c.src)
+		if len(toks) != 1 {
+			t.Fatalf("%q: %d tokens", c.src, len(toks))
+		}
+		v, ok := toks[0].Attr(c.name)
+		if !ok || v != c.want {
+			t.Errorf("%q: attr %s = %q,%v, want %q", c.src, c.name, v, ok, c.want)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks := Tokenize(`a<!-- hidden <b> -->z`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if toks[1].Kind != Comment || toks[1].Data != " hidden <b> " {
+		t.Errorf("comment token wrong: %+v", toks[1])
+	}
+}
+
+func TestTokenizeDoctype(t *testing.T) {
+	toks := Tokenize(`<!DOCTYPE html><p>x</p>`)
+	if toks[0].Kind != Doctype {
+		t.Fatalf("first token %v, want Doctype", toks[0].Kind)
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	toks := Tokenize(`<script>if (a<b) { x = "<td>"; }</script><p>after</p>`)
+	if toks[0].Kind != StartTag || toks[0].Data != "script" {
+		t.Fatalf("token 0: %+v", toks[0])
+	}
+	if toks[1].Kind != Text || !strings.Contains(toks[1].Data, `"<td>"`) {
+		t.Fatalf("script body not raw text: %+v", toks[1])
+	}
+	if toks[2].Kind != EndTag || toks[2].Data != "script" {
+		t.Fatalf("token 2: %+v", toks[2])
+	}
+}
+
+func TestTokenizeStrayLt(t *testing.T) {
+	toks := Tokenize(`3 < 5 and <b>bold</b>`)
+	// The stray '<' must be treated as text, not markup.
+	var text strings.Builder
+	for _, tok := range toks {
+		if tok.Kind == Text {
+			text.WriteString(tok.Data)
+		}
+	}
+	if !strings.Contains(text.String(), "<") {
+		t.Errorf("stray < lost: %q", text.String())
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == StartTag && tok.Data == "b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("real <b> tag not found in %+v", toks)
+	}
+}
+
+func TestTokenizeUnterminated(t *testing.T) {
+	for _, src := range []string{"<", "<a", "<a href=", "<!--", "<!", "</", "text<"} {
+		toks := Tokenize(src)
+		if len(toks) == 0 && src != "" {
+			t.Errorf("%q: no tokens", src)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	src := `<a>b</a>`
+	toks := Tokenize(src)
+	wantOff := []int{0, 3, 4}
+	for i, w := range wantOff {
+		if toks[i].Offset != w {
+			t.Errorf("token %d offset = %d, want %d", i, toks[i].Offset, w)
+		}
+	}
+}
+
+// TestTokenizeCoversInput checks that every input byte is covered by
+// exactly the concatenation of Raw fields (no bytes lost or duplicated),
+// for any input. This is the lexer's core totality invariant.
+func TestTokenizeCoversInput(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		var b strings.Builder
+		for _, tok := range toks {
+			b.WriteString(tok.Raw)
+		}
+		return b.String() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTokenizeCoversHTMLish repeats the totality check on inputs biased
+// toward HTML-looking strings, which random strings rarely produce.
+func TestTokenizeCoversHTMLish(t *testing.T) {
+	pieces := []string{"<td>", "</td>", "<br/>", "text", "&amp;", "<", ">", `<a href="x">`, "<!--c-->", " ", `"`, "'", "=", "<!DOCTYPE html>", "<sCrIpT>", "</script>"}
+	// Deterministic pseudo-random composition.
+	seed := 12345
+	next := func(n int) int {
+		seed = seed*1103515245 + 12345
+		if seed < 0 {
+			seed = -seed
+		}
+		return seed % n
+	}
+	for trial := 0; trial < 300; trial++ {
+		var b strings.Builder
+		for k := 0; k < next(20)+1; k++ {
+			b.WriteString(pieces[next(len(pieces))])
+		}
+		s := b.String()
+		toks := Tokenize(s)
+		var r strings.Builder
+		for _, tok := range toks {
+			r.WriteString(tok.Raw)
+		}
+		if r.String() != s {
+			t.Fatalf("coverage broken for %q: got %q", s, r.String())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Text: "Text", StartTag: "StartTag", EndTag: "EndTag", SelfClosing: "SelfClosing", Comment: "Comment", Doctype: "Doctype", Kind(99): "Unknown"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestTagNameNonTag(t *testing.T) {
+	toks := Tokenize("plain")
+	if got := toks[0].TagName(); got != "" {
+		t.Errorf("TagName of text = %q, want empty", got)
+	}
+}
+
+func TestTokenizeCDATA(t *testing.T) {
+	toks := Tokenize(`a<![CDATA[raw <b> & stuff]]>z`)
+	if len(toks) != 3 {
+		t.Fatalf("%d tokens: %+v", len(toks), toks)
+	}
+	if toks[1].Kind != Text || toks[1].Data != "raw <b> & stuff" {
+		t.Errorf("CDATA token: %+v", toks[1])
+	}
+	// Unterminated CDATA consumes to EOF without panicking.
+	toks2 := Tokenize(`<![CDATA[never closed`)
+	if len(toks2) != 1 || toks2[0].Data != "never closed" {
+		t.Errorf("unterminated CDATA: %+v", toks2)
+	}
+}
+
+func TestTokenizeProcessingInstruction(t *testing.T) {
+	toks := Tokenize(`<?xml version="1.0"?><p>x</p>`)
+	if toks[0].Kind != Comment {
+		t.Fatalf("PI kind = %v", toks[0].Kind)
+	}
+	if toks[1].Kind != StartTag || toks[1].Data != "p" {
+		t.Errorf("content after PI: %+v", toks[1])
+	}
+	if got := Tokenize(`<?broken`); len(got) != 1 {
+		t.Errorf("unterminated PI: %+v", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Package labels derives human-readable column names for extracted
+// tables. §3.4 notes that the automatically numbered column labels
+// L1..Lk can be given "more semantically meaningful labels" using the
+// redundancy of the site itself: detail pages typically caption each
+// field ("Owner:", "Phone:"), so the visible word immediately preceding
+// a value's occurrence on its own detail page is a strong label
+// candidate. Mining takes a majority vote per column across all records.
+package labels
+
+import (
+	"strings"
+
+	"tableseg/internal/extract"
+	"tableseg/internal/token"
+)
+
+// Mine returns one label per column (index = column number). details
+// are the tokenized detail pages; obs/analyzed identify the extracts;
+// records and columns give each analyzed extract's assignment. Columns
+// whose votes produce no usable caption get "".
+func Mine(details [][]token.Token, obs []extract.Observation, analyzed []int, records, columns []int) []string {
+	numCols := 0
+	for _, c := range columns {
+		if c+1 > numCols {
+			numCols = c + 1
+		}
+	}
+	if numCols == 0 {
+		return nil
+	}
+	votes := make([]map[string]int, numCols)
+	for c := range votes {
+		votes[c] = map[string]int{}
+	}
+	for ai, oi := range analyzed {
+		r, c := records[ai], columns[ai]
+		if r < 0 || c < 0 {
+			continue
+		}
+		for _, occ := range obs[oi].Occurrences {
+			if occ.Page != r {
+				continue
+			}
+			if lbl, ok := captionBefore(details[r], occ.Pos); ok {
+				votes[c][lbl]++
+			}
+		}
+	}
+	out := make([]string, numCols)
+	for c := range votes {
+		best, bestN := "", 0
+		for lbl, n := range votes[c] {
+			if n > bestN || (n == bestN && lbl < best) {
+				best, bestN = lbl, n
+			}
+		}
+		out[c] = best
+	}
+	return out
+}
+
+// captionBefore scans backward from the token before pos for the
+// nearest visible word and returns a cleaned caption. Only
+// caption-shaped text qualifies: a word ending in ':' (optionally
+// preceded by further capitalized words of the same caption, as in
+// "Birth Date:"), or a capitalized word immediately adjacent — anything
+// else (a previous field's trailing value) is rejected rather than
+// mis-voted.
+func captionBefore(page []token.Token, pos int) (string, bool) {
+	seps := 0
+	for i := pos - 1; i >= 0 && seps < 6; i-- {
+		t := page[i]
+		if extract.IsSeparator(t) {
+			seps++
+			continue
+		}
+		w := t.Text
+		if strings.HasSuffix(w, ":") {
+			return extendCaption(page, i, strings.TrimSuffix(w, ":")), true
+		}
+		// A plain word directly before the value (no separator gap)
+		// may still be a caption ("Phone 555-1212") if capitalized.
+		if seps == 0 && t.Type.Has(token.Capitalized) {
+			return w, true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// extendCaption prepends the capitalized words that run contiguously
+// (no intervening separators) before the colon word: "Birth Date:" is
+// one caption, not "Date".
+func extendCaption(page []token.Token, colonIdx int, caption string) string {
+	for i := colonIdx - 1; i >= 0 && colonIdx-i <= 3; i-- {
+		t := page[i]
+		if extract.IsSeparator(t) || !t.Type.Has(token.Capitalized) {
+			break
+		}
+		caption = t.Text + " " + caption
+	}
+	return caption
+}

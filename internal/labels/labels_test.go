@@ -1,0 +1,116 @@
+package labels
+
+import (
+	"testing"
+
+	"tableseg/internal/extract"
+	"tableseg/internal/token"
+)
+
+func build(listHTML string, detailHTML []string) (obs []extract.Observation, analyzed []int, details [][]token.Token) {
+	list := token.Tokenize(listHTML)
+	for _, d := range detailHTML {
+		details = append(details, token.Tokenize(d))
+	}
+	ex := extract.Split(list, 0, len(list))
+	obs = extract.Observe(ex, details, nil)
+	analyzed = extract.InformativeSubset(obs, len(details))
+	return obs, analyzed, details
+}
+
+func TestMineCaptionedLabels(t *testing.T) {
+	obs, analyzed, details := build(
+		`<p>Ann Lee</p><p>12 Oak St</p><p>Bob Day</p><p>99 Elm Rd</p>`,
+		[]string{
+			`<table><tr><td>Name:</td><td>Ann Lee</td></tr><tr><td>Address:</td><td>12 Oak St</td></tr></table>`,
+			`<table><tr><td>Name:</td><td>Bob Day</td></tr><tr><td>Address:</td><td>99 Elm Rd</td></tr></table>`,
+		})
+	records := []int{0, 0, 1, 1}
+	columns := []int{0, 1, 0, 1}
+	got := Mine(details, obs, analyzed, records, columns)
+	if len(got) != 2 || got[0] != "Name" || got[1] != "Address" {
+		t.Errorf("labels = %v, want [Name Address]", got)
+	}
+}
+
+func TestMineMajorityVote(t *testing.T) {
+	// One record's value also occurs elsewhere on its page under a
+	// different caption; the majority from the other records must win.
+	obs, analyzed, details := build(
+		`<p>Alpha</p><p>Beta</p><p>Gamma</p>`,
+		[]string{
+			`<p>Status: Alpha</p><p>Seen: Alpha</p>`,
+			`<p>Status: Beta</p>`,
+			`<p>Status: Gamma</p>`,
+		})
+	records := []int{0, 1, 2}
+	columns := []int{0, 0, 0}
+	got := Mine(details, obs, analyzed, records, columns)
+	if len(got) != 1 || got[0] != "Status" {
+		t.Errorf("labels = %v, want [Status]", got)
+	}
+}
+
+func TestMineNoColumns(t *testing.T) {
+	obs, analyzed, details := build(`<p>X1</p>`, []string{`<p>X1</p>`})
+	if got := Mine(details, obs, analyzed, []int{0}, []int{-1}); got != nil {
+		t.Errorf("no columns should give nil, got %v", got)
+	}
+}
+
+func TestMineUncaptionedColumn(t *testing.T) {
+	obs, analyzed, details := build(
+		`<p>Val1x</p>`,
+		[]string{`<p>lowercase before Val1x</p>`},
+	)
+	got := Mine(details, obs, analyzed, []int{0}, []int{0})
+	// "before" is lowercase and not caption-shaped: no label.
+	if len(got) != 1 || got[0] != "" {
+		t.Errorf("labels = %v, want one empty label", got)
+	}
+}
+
+func TestCaptionBefore(t *testing.T) {
+	page := token.Tokenize(`<tr><td>Owner:</td><td>John Smith</td></tr>`)
+	// Find the position of "John".
+	pos := -1
+	for i, tk := range page {
+		if tk.Text == "John" {
+			pos = i
+		}
+	}
+	lbl, ok := captionBefore(page, pos)
+	if !ok || lbl != "Owner" {
+		t.Errorf("caption = %q, %v", lbl, ok)
+	}
+	if _, ok := captionBefore(page, 0); ok {
+		t.Error("caption at page start should fail")
+	}
+}
+
+func TestMineMultiWordCaption(t *testing.T) {
+	obs, analyzed, details := build(
+		`<p>03/15/1964</p><p>07/22/1970</p>`,
+		[]string{
+			`<p>Birth Date: 03/15/1964</p>`,
+			`<p>Birth Date: 07/22/1970</p>`,
+		})
+	got := Mine(details, obs, analyzed, []int{0, 1}, []int{0, 0})
+	if len(got) != 1 || got[0] != "Birth Date" {
+		t.Errorf("labels = %v, want [Birth Date]", got)
+	}
+}
+
+func TestExtendCaptionStopsAtSeparator(t *testing.T) {
+	page := token.Tokenize(`<td>Unrelated</td><td>Date: 01/02/2003</td>`)
+	pos := -1
+	for i, tk := range page {
+		if tk.Text == "01/02/2003" {
+			pos = i
+		}
+	}
+	lbl, ok := captionBefore(page, pos)
+	if !ok || lbl != "Date" {
+		t.Errorf("caption = %q, %v (must not absorb the previous cell)", lbl, ok)
+	}
+}

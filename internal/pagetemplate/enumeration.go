@@ -1,0 +1,109 @@
+package pagetemplate
+
+// Enumeration handling: the paper's template finder fails on sites that
+// number their result entries ("1.", "2.", ...) because the numbers
+// occur exactly once per page and become skeleton tokens, shattering the
+// table across slots (§6.3 blames this for Amazon, BNBooks and
+// Minnesota). §6.3 proposes, as future work, "to build a heuristic into
+// the page template algorithm that finds enumerated entries"; this file
+// implements that heuristic: detect increasing numeric runs in the
+// skeleton and strip them, restoring a usable table slot.
+
+// enumValue parses an enumeration token: "7", "7.", "7)" or "(7)".
+// It returns the numeric value and whether the token qualifies.
+func enumValue(s string) (int, bool) {
+	if len(s) == 0 || len(s) > 6 {
+		return 0, false
+	}
+	if s[0] == '(' && s[len(s)-1] == ')' {
+		s = s[1 : len(s)-1]
+	} else if last := s[len(s)-1]; last == '.' || last == ')' {
+		s = s[:len(s)-1]
+	}
+	if s == "" {
+		return 0, false
+	}
+	v := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, true
+}
+
+// StripEnumeration returns a copy of the template with enumerated-entry
+// skeleton tokens removed, plus the number of tokens stripped. A token
+// is stripped when it belongs to a run of three or more consecutive
+// skeleton tokens whose numeric values increase by exactly one ("1."
+// "2." "3." ...). Other numeric skeleton tokens (years in a copyright
+// line, a stable result count) are untouched. If nothing qualifies the
+// original template is returned with count 0.
+func (t *Template) StripEnumeration() (*Template, int) {
+	n := len(t.Skeleton)
+	vals := make([]int, n)
+	isNum := make([]bool, n)
+	for i, s := range t.Skeleton {
+		vals[i], isNum[i] = enumValue(s)
+	}
+
+	strip := make([]bool, n)
+	i := 0
+	for i < n {
+		if !isNum[i] {
+			i++
+			continue
+		}
+		// Extend a +1 run over the numeric skeleton tokens, allowing
+		// non-numeric skeleton tokens in between (a stray template
+		// token can sit between two entry numbers).
+		runIdx := []int{i}
+		j := i + 1
+		for j < n {
+			if !isNum[j] {
+				j++
+				continue
+			}
+			if vals[j] == vals[runIdx[len(runIdx)-1]]+1 {
+				runIdx = append(runIdx, j)
+				j++
+				continue
+			}
+			break
+		}
+		if len(runIdx) >= 3 {
+			for _, k := range runIdx {
+				strip[k] = true
+			}
+		}
+		i = runIdx[len(runIdx)-1] + 1
+	}
+
+	count := 0
+	for _, s := range strip {
+		if s {
+			count++
+		}
+	}
+	if count == 0 {
+		return t, 0
+	}
+
+	out := &Template{numPages: t.numPages}
+	out.positions = make([][]int, len(t.positions))
+	for p := range t.positions {
+		out.positions[p] = make([]int, 0, n-count)
+	}
+	for k := 0; k < n; k++ {
+		if strip[k] {
+			continue
+		}
+		out.Skeleton = append(out.Skeleton, t.Skeleton[k])
+		for p := range t.positions {
+			out.positions[p] = append(out.positions[p], t.positions[p][k])
+		}
+	}
+	return out, count
+}

@@ -1,0 +1,167 @@
+package pagetemplate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tableseg/internal/token"
+)
+
+func TestEnumValue(t *testing.T) {
+	cases := []struct {
+		s  string
+		v  int
+		ok bool
+	}{
+		{"7", 7, true},
+		{"7.", 7, true},
+		{"7)", 7, true},
+		{"(7)", 7, true},
+		{"10.", 10, true},
+		{"123456.", 0, false}, // longer than the cap
+		{"", 0, false},
+		{"a.", 0, false},
+		{"7a", 0, false},
+		{".", 0, false},
+		{"()", 0, false},
+	}
+	for _, c := range cases {
+		v, ok := enumValue(c.s)
+		if ok != c.ok || (ok && v != c.v) {
+			t.Errorf("enumValue(%q) = %d,%v want %d,%v", c.s, v, ok, c.v, c.ok)
+		}
+	}
+}
+
+func numberedBookPages(rows int) [][]token.Token {
+	render := func(words []string) []token.Token {
+		var b strings.Builder
+		b.WriteString("<html><body><h1>Numbered Books Result Listing</h1><p>Fine Titles Available Daily Here</p>")
+		for i, w := range words {
+			fmt.Fprintf(&b, `<p><b>%d.</b> <a href="d">%s Tome</a></p>`, i+1, w)
+		}
+		b.WriteString("<p>Copyright 2004 Numbered Books Inc Terms Privacy</p></body></html>")
+		return token.Tokenize(b.String())
+	}
+	w1 := []string{"Alpha", "Beta", "Gamma", "Delta", "Epsilon"}[:rows]
+	w2 := []string{"Zeta", "Etaq", "Theta", "Iotaq", "Kappa"}[:rows]
+	return [][]token.Token{render(w1), render(w2)}
+}
+
+func TestStripEnumerationRestoresSlot(t *testing.T) {
+	pages := numberedBookPages(5)
+	tpl := Induce(pages)
+
+	// Before stripping: the entry numbers "1." .. "5." are skeleton
+	// tokens, shattering the table.
+	entries := 0
+	for _, s := range tpl.Skeleton {
+		if strings.HasSuffix(s, ".") {
+			if _, ok := enumValue(s); ok {
+				entries++
+			}
+		}
+	}
+	if entries != 5 {
+		t.Fatalf("expected the 5 entry numbers in the skeleton, got %d in %v", entries, tpl.Skeleton)
+	}
+	_, qBefore := TableSlot(tpl.SlotsOn(0, len(pages[0])), pages[0])
+
+	stripped, n := tpl.StripEnumeration()
+	if n != 5 {
+		t.Errorf("stripped %d tokens, want the 5 entry numbers", n)
+	}
+	for _, s := range stripped.Skeleton {
+		if strings.HasSuffix(s, ".") {
+			if _, ok := enumValue(s); ok {
+				t.Errorf("entry number %q survived stripping", s)
+			}
+		}
+	}
+	// The copyright year is numeric but not part of a +1 run: it must
+	// survive (it is genuine template content).
+	year := false
+	for _, s := range stripped.Skeleton {
+		if s == "2004" {
+			year = true
+		}
+	}
+	if !year {
+		t.Error("copyright year wrongly stripped from the skeleton")
+	}
+	_, qAfter := TableSlot(stripped.SlotsOn(0, len(pages[0])), pages[0])
+	if qAfter <= qBefore {
+		t.Errorf("slot quality did not improve: %.2f -> %.2f", qBefore, qAfter)
+	}
+	if qAfter < 0.6 {
+		t.Errorf("slot quality after stripping %.2f, want >= 0.6", qAfter)
+	}
+}
+
+func TestStripEnumerationNoOp(t *testing.T) {
+	// A page whose only numbers are a year and a count: no +1 run of
+	// length >= 3, nothing stripped, the original template returned.
+	p1 := token.Tokenize(`<html><body><h1>Plain Site Results</h1><p>Showing 10 Items Since 1998</p><table><tr><td>a b c</td></tr><tr><td>d e f</td></tr></table><p>Footer Words Here</p></body></html>`)
+	p2 := token.Tokenize(`<html><body><h1>Plain Site Results</h1><p>Showing 10 Items Since 1998</p><table><tr><td>g h i</td></tr><tr><td>j k l</td></tr></table><p>Footer Words Here</p></body></html>`)
+	tpl := Induce([][]token.Token{p1, p2})
+	stripped, n := tpl.StripEnumeration()
+	if n != 0 {
+		t.Errorf("stripped %d tokens from an enumeration-free template (%v)", n, tpl.Skeleton)
+	}
+	if stripped != tpl {
+		t.Error("no-op strip should return the original template")
+	}
+}
+
+func TestStripEnumerationShortRunKept(t *testing.T) {
+	// Two consecutive numbers are not an enumeration.
+	t1 := &Template{
+		Skeleton:  []string{"Header", "1.", "2.", "Footer"},
+		positions: [][]int{{0, 1, 2, 3}},
+		numPages:  1,
+	}
+	_, n := t1.StripEnumeration()
+	if n != 0 {
+		t.Errorf("stripped a run of 2 (%d tokens)", n)
+	}
+	t2 := &Template{
+		Skeleton:  []string{"Header", "1.", "2.", "3.", "Footer"},
+		positions: [][]int{{0, 1, 2, 3, 4}},
+		numPages:  1,
+	}
+	s2, n2 := t2.StripEnumeration()
+	if n2 != 3 {
+		t.Errorf("run of 3: stripped %d", n2)
+	}
+	if len(s2.Skeleton) != 2 || s2.Skeleton[0] != "Header" || s2.Skeleton[1] != "Footer" {
+		t.Errorf("remaining skeleton %v", s2.Skeleton)
+	}
+}
+
+func TestStripEnumerationInterleaved(t *testing.T) {
+	// Non-numeric skeleton tokens between entry numbers do not break
+	// the run.
+	tpl := &Template{
+		Skeleton:  []string{"1.", "x", "2.", "y", "3."},
+		positions: [][]int{{0, 1, 2, 3, 4}},
+		numPages:  1,
+	}
+	s, n := tpl.StripEnumeration()
+	if n != 3 {
+		t.Fatalf("stripped %d, want 3 (skeleton %v)", n, s.Skeleton)
+	}
+	if len(s.Skeleton) != 2 || s.Skeleton[0] != "x" || s.Skeleton[1] != "y" {
+		t.Errorf("remaining skeleton %v", s.Skeleton)
+	}
+}
+
+func TestTextSkeletonLen(t *testing.T) {
+	tpl := &Template{Skeleton: []string{"<html>", "Hello", "<td>", "World", "1."}}
+	if got := tpl.TextSkeletonLen(); got != 3 {
+		t.Errorf("TextSkeletonLen = %d, want 3", got)
+	}
+	if got := (&Template{}).TextSkeletonLen(); got != 0 {
+		t.Errorf("empty skeleton text len = %d", got)
+	}
+}

@@ -1,0 +1,290 @@
+// Package pagetemplate implements the page-template finding step of §3.1.
+//
+// Dynamically generated pages from one site share an invariant skeleton —
+// the page template — interleaved with variable content ("slots"). Given
+// two or more sample pages the inducer recovers the skeleton as the
+// longest sequence of tokens that (a) occur exactly once on every page
+// and (b) appear in the same relative order on every page. Anything
+// between consecutive skeleton tokens is a slot. Table rows and table
+// data occur more than once per page or vary across pages, so — exactly
+// as the paper argues — the whole table lands inside a single slot, and
+// the table slot is identified with the heuristic "the slot that contains
+// the largest number of text tokens".
+//
+// The inducer also reproduces the paper's documented failure mode: when
+// list entries are numbered ("1.", "2.", ...), the numbers occur exactly
+// once per page and become skeleton tokens, shattering the table across
+// many small slots. Quality reports how concentrated the page's text is
+// in the best slot, so callers can fall back to using the whole page
+// (the paper's workaround for Amazon, BNBooks, Minnesota, Yahoo and
+// Superpages).
+package pagetemplate
+
+import (
+	"fmt"
+
+	"tableseg/internal/token"
+)
+
+// Template is an induced page template: an ordered token skeleton shared
+// by all sample pages.
+type Template struct {
+	// Skeleton is the ordered list of invariant token texts.
+	Skeleton []string
+	// pages holds, for each sample page, the position of each skeleton
+	// token in that page's token stream.
+	positions [][]int
+	numPages  int
+}
+
+// NumPages returns the number of sample pages the template was induced from.
+func (t *Template) NumPages() int { return t.numPages }
+
+// TextSkeletonLen returns the number of skeleton tokens that are text
+// (not HTML tags). Structural tags (<html>, <body>, <h1>) are invariant
+// on almost any pair of pages, so a template whose skeleton is tags-only
+// carries no real layout information; callers treat a near-zero text
+// skeleton as template-finding failure.
+func (t *Template) TextSkeletonLen() int {
+	n := 0
+	for _, s := range t.Skeleton {
+		if len(s) == 0 || s[0] != '<' {
+			n++
+		}
+	}
+	return n
+}
+
+// Slot is a maximal run of non-template tokens on a particular page,
+// identified by its half-open token index range [Start, End).
+type Slot struct {
+	Start, End int
+}
+
+// Len returns the number of tokens in the slot.
+func (s Slot) Len() int { return s.End - s.Start }
+
+func (s Slot) String() string { return fmt.Sprintf("[%d,%d)", s.Start, s.End) }
+
+// Induce derives a page template from two or more tokenized sample
+// pages. With fewer than two pages there is nothing to compare and the
+// returned template has an empty skeleton (every token is slot content).
+func Induce(pages [][]token.Token) *Template {
+	t := &Template{numPages: len(pages)}
+	if len(pages) < 2 {
+		return t
+	}
+
+	// A token text is a skeleton candidate iff it occurs exactly once on
+	// every page. Count occurrences per page.
+	counts := make([]map[string]int, len(pages))
+	firstPos := make([]map[string]int, len(pages))
+	for p, toks := range pages {
+		counts[p] = make(map[string]int, len(toks))
+		firstPos[p] = make(map[string]int, len(toks))
+		for i, tk := range toks {
+			counts[p][tk.Text]++
+			if counts[p][tk.Text] == 1 {
+				firstPos[p][tk.Text] = i
+			}
+		}
+	}
+
+	type cand struct {
+		text string
+		pos  []int // position on each page
+	}
+	var cands []cand
+	for i, tk := range pages[0] {
+		if counts[0][tk.Text] != 1 {
+			continue
+		}
+		c := cand{text: tk.Text, pos: make([]int, len(pages))}
+		c.pos[0] = i
+		ok := true
+		for p := 1; p < len(pages); p++ {
+			if counts[p][tk.Text] != 1 {
+				ok = false
+				break
+			}
+			c.pos[p] = firstPos[p][tk.Text]
+		}
+		if ok && consistentContext(pages, c.pos) {
+			cands = append(cands, c)
+		}
+	}
+
+	// Candidates are already sorted by position on page 0. Keep the
+	// longest subsequence whose positions are strictly increasing on
+	// every page simultaneously (longest chain in the product order).
+	posOnly := make([][]int, len(cands))
+	for i := range cands {
+		posOnly[i] = cands[i].pos
+	}
+	keep := longestChain(posOnly)
+	t.Skeleton = make([]string, len(keep))
+	t.positions = make([][]int, len(pages))
+	for p := range t.positions {
+		t.positions[p] = make([]int, len(keep))
+	}
+	for k, ci := range keep {
+		t.Skeleton[k] = cands[ci].text
+		for p := range pages {
+			t.positions[p][k] = cands[ci].pos[p]
+		}
+	}
+	return t
+}
+
+// consistentContext reports whether the token at the given per-page
+// positions has identical neighbors on every page: the token before it
+// and the token after it must each have the same text across all pages.
+// Genuine template tokens sit in invariant runs of markup and
+// boilerplate, so their contexts agree; a data value that happens to
+// occur exactly once per page (the same city on two result pages) has
+// differing neighbors and is pruned. Without this check such
+// coincidences become skeleton tokens and shatter the table slot.
+func consistentContext(pages [][]token.Token, pos []int) bool {
+	var prev, next string
+	for p, toks := range pages {
+		i := pos[p]
+		pv, nx := "^", "$"
+		if i > 0 {
+			pv = toks[i-1].Text
+		}
+		if i+1 < len(toks) {
+			nx = toks[i+1].Text
+		}
+		if p == 0 {
+			prev, next = pv, nx
+			continue
+		}
+		if pv != prev || nx != next {
+			return false
+		}
+	}
+	return true
+}
+
+// longestChain returns indices into pos forming the longest subsequence
+// that is strictly increasing in every page's position, in order.
+// Quadratic DP; candidate counts are small (template tokens are the rare
+// unique ones).
+func longestChain(pos [][]int) []int {
+	n := len(pos)
+	if n == 0 {
+		return nil
+	}
+	best := make([]int, n) // chain length ending at i
+	prev := make([]int, n)
+	argBest := 0
+	for i := 0; i < n; i++ {
+		best[i], prev[i] = 1, -1
+		for j := 0; j < i; j++ {
+			if best[j]+1 > best[i] && dominates(pos[j], pos[i]) {
+				best[i] = best[j] + 1
+				prev[i] = j
+			}
+		}
+		if best[i] > best[argBest] {
+			argBest = i
+		}
+	}
+	var out []int
+	for i := argBest; i >= 0; i = prev[i] {
+		out = append(out, i)
+	}
+	// Reverse in place.
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// dominates reports whether a < b componentwise (strictly).
+func dominates(a, b []int) bool {
+	for p := range a {
+		if a[p] >= b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// SlotsOn computes the slots of a page that was one of the induction
+// samples, identified by its index in the original pages slice.
+func (t *Template) SlotsOn(pageIdx, pageLen int) []Slot {
+	if pageIdx < 0 || pageIdx >= len(t.positions) {
+		return []Slot{{0, pageLen}}
+	}
+	return slotsFromSkeleton(t.positions[pageIdx], pageLen)
+}
+
+// Match locates the skeleton on a new page (not necessarily an induction
+// sample) and returns the slots it induces there. Skeleton tokens that do
+// not occur on the page (in order) are skipped; matching is greedy
+// left-to-right, which is exact when the page really was generated from
+// the same template.
+func (t *Template) Match(page []token.Token) []Slot {
+	if len(t.Skeleton) == 0 {
+		return []Slot{{0, len(page)}}
+	}
+	var hits []int
+	i := 0
+	for _, want := range t.Skeleton {
+		for i < len(page) && page[i].Text != want {
+			i++
+		}
+		if i >= len(page) {
+			break
+		}
+		hits = append(hits, i)
+		i++
+	}
+	return slotsFromSkeleton(hits, len(page))
+}
+
+func slotsFromSkeleton(hits []int, pageLen int) []Slot {
+	var slots []Slot
+	prevEnd := 0
+	for _, h := range hits {
+		if h > prevEnd {
+			slots = append(slots, Slot{prevEnd, h})
+		}
+		prevEnd = h + 1
+	}
+	if prevEnd < pageLen {
+		slots = append(slots, Slot{prevEnd, pageLen})
+	}
+	return slots
+}
+
+// TableSlot applies the paper's heuristic: the table lives in the slot
+// with the largest number of text (non-HTML) tokens. It returns the
+// chosen slot and the fraction of the page's slot-resident text tokens
+// that fall inside it — a quality measure in [0,1]. A low fraction means
+// the template shattered the table across slots (numbered entries) and
+// the caller should fall back to the whole page.
+func TableSlot(slots []Slot, page []token.Token) (Slot, float64) {
+	bestIdx, bestCount, total := -1, 0, 0
+	for si, s := range slots {
+		n := 0
+		for i := s.Start; i < s.End && i < len(page); i++ {
+			if !page[i].IsHTML() {
+				n++
+			}
+		}
+		total += n
+		if n > bestCount {
+			bestCount, bestIdx = n, si
+		}
+	}
+	if bestIdx < 0 {
+		return Slot{0, len(page)}, 0
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(bestCount) / float64(total)
+	}
+	return slots[bestIdx], frac
+}

@@ -1,0 +1,187 @@
+package pagetemplate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tableseg/internal/token"
+)
+
+// listPage builds a small list page with a fixed header/footer and the
+// given table rows.
+func listPage(header string, rows []string) string {
+	var b strings.Builder
+	b.WriteString("<html><body><h1>" + header + "</h1><p>Results Page For You</p><table>")
+	for _, r := range rows {
+		b.WriteString("<tr><td>" + r + "</td></tr>")
+	}
+	b.WriteString("</table><p>Copyright Example Corp</p></body></html>")
+	return b.String()
+}
+
+func TestInduceBasicTemplate(t *testing.T) {
+	p1 := token.Tokenize(listPage("Search", []string{"John Smith", "Jane Doe", "Jim Beam"}))
+	p2 := token.Tokenize(listPage("Search", []string{"Al Green", "Bo Diddley", "Cy Young"}))
+	tpl := Induce([][]token.Token{p1, p2})
+
+	if len(tpl.Skeleton) == 0 {
+		t.Fatal("empty skeleton")
+	}
+	// The invariant words appear in the skeleton; table data must not.
+	skel := strings.Join(tpl.Skeleton, " ")
+	for _, want := range []string{"Search", "Copyright", "Results"} {
+		if !strings.Contains(skel, want) {
+			t.Errorf("skeleton missing %q: %v", want, tpl.Skeleton)
+		}
+	}
+	for _, bad := range []string{"John", "Green", "<td>", "<tr>"} {
+		if strings.Contains(skel, bad) {
+			t.Errorf("skeleton wrongly contains %q", bad)
+		}
+	}
+}
+
+func TestInduceSkeletonOrderConsistent(t *testing.T) {
+	p1 := token.Tokenize(listPage("Alpha", []string{"r1 r2", "r3"}))
+	p2 := token.Tokenize(listPage("Alpha", []string{"x1", "x2 x3"}))
+	tpl := Induce([][]token.Token{p1, p2})
+	// Every skeleton token must occur on both pages and in order.
+	for p, page := range [][]token.Token{p1, p2} {
+		last := -1
+		for _, want := range tpl.Skeleton {
+			found := -1
+			for i := last + 1; i < len(page); i++ {
+				if page[i].Text == want {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				t.Fatalf("page %d: skeleton token %q not found after %d", p, want, last)
+			}
+			last = found
+		}
+	}
+}
+
+func TestTableSlotHeuristic(t *testing.T) {
+	rows := []string{"John Smith 100 Main St", "Jane Doe 200 Oak Ave", "Jim Beam 300 Elm Rd"}
+	p1 := token.Tokenize(listPage("Query", rows))
+	p2 := token.Tokenize(listPage("Query", []string{"A B C D E", "F G H I J", "K L M N O"}))
+	tpl := Induce([][]token.Token{p1, p2})
+	slots := tpl.SlotsOn(0, len(p1))
+	slot, frac := TableSlot(slots, p1)
+	if frac < 0.8 {
+		t.Errorf("table slot fraction %.2f, want ≥0.8 (slot shattered)", frac)
+	}
+	// All row words must be inside the chosen slot.
+	inSlot := map[string]bool{}
+	for i := slot.Start; i < slot.End; i++ {
+		inSlot[p1[i].Text] = true
+	}
+	for _, r := range rows {
+		for _, w := range strings.Fields(r) {
+			if !inSlot[w] {
+				t.Errorf("table word %q outside table slot %v", w, slot)
+			}
+		}
+	}
+}
+
+// Numbered entries become template tokens and shatter the table: the
+// paper's documented failure mode. Quality must drop so callers fall
+// back to the whole page.
+func TestNumberedEntriesShatterTemplate(t *testing.T) {
+	numberedPage := func(rows []string) string {
+		var b strings.Builder
+		b.WriteString("<html><body><h1>Books Found Today</h1><ol>")
+		for i, r := range rows {
+			// Numbers carry invariant markup context (<b>N.</b>), as on
+			// the real book sites, so they survive context pruning.
+			fmt.Fprintf(&b, "<li><b>%d.</b> %s</li>", i+1, r)
+		}
+		b.WriteString("</ol><p>Copyright Bookstore Example</p></body></html>")
+		return b.String()
+	}
+	p1 := token.Tokenize(numberedPage([]string{"War and Peace", "Anna Karenina", "The Idiot", "Dead Souls"}))
+	p2 := token.Tokenize(numberedPage([]string{"Moby Dick", "White Jacket", "Typee Tales", "Omoo Story"}))
+	tpl := Induce([][]token.Token{p1, p2})
+
+	foundNumber := false
+	for _, s := range tpl.Skeleton {
+		if s == "1." || s == "2." {
+			foundNumber = true
+		}
+	}
+	if !foundNumber {
+		t.Fatalf("entry numbers did not become template tokens: %v", tpl.Skeleton)
+	}
+	slots := tpl.SlotsOn(0, len(p1))
+	_, frac := TableSlot(slots, p1)
+	if frac > 0.55 {
+		t.Errorf("quality %.2f: expected shattered table (≤0.55)", frac)
+	}
+}
+
+func TestInduceFewPages(t *testing.T) {
+	p := token.Tokenize(listPage("X", []string{"a"}))
+	tpl := Induce([][]token.Token{p})
+	if len(tpl.Skeleton) != 0 {
+		t.Errorf("single page must give empty skeleton, got %v", tpl.Skeleton)
+	}
+	slots := tpl.SlotsOn(0, len(p))
+	if len(slots) != 1 || slots[0].Len() != len(p) {
+		t.Errorf("empty skeleton must give whole-page slot, got %v", slots)
+	}
+	empty := Induce(nil)
+	if len(empty.Skeleton) != 0 || empty.NumPages() != 0 {
+		t.Errorf("nil input: %v", empty.Skeleton)
+	}
+}
+
+func TestMatchOnNewPage(t *testing.T) {
+	p1 := token.Tokenize(listPage("Zed", []string{"one two", "three four"}))
+	p2 := token.Tokenize(listPage("Zed", []string{"five six", "seven eight"}))
+	tpl := Induce([][]token.Token{p1, p2})
+	p3 := token.Tokenize(listPage("Zed", []string{"nine ten", "eleven twelve"}))
+	slots := Slots(tpl, p3)
+	slot, frac := TableSlot(slots, p3)
+	if frac < 0.6 {
+		t.Errorf("match on fresh page: fraction %.2f", frac)
+	}
+	inSlot := map[string]bool{}
+	for i := slot.Start; i < slot.End; i++ {
+		inSlot[p3[i].Text] = true
+	}
+	for _, w := range []string{"nine", "twelve"} {
+		if !inSlot[w] {
+			t.Errorf("fresh page data %q outside slot", w)
+		}
+	}
+}
+
+// Slots is a test-local alias documenting the intended call pattern.
+func Slots(t *Template, page []token.Token) []Slot { return t.Match(page) }
+
+func TestSlotString(t *testing.T) {
+	s := Slot{3, 9}
+	if s.String() != "[3,9)" || s.Len() != 6 {
+		t.Errorf("Slot rendering: %s len %d", s, s.Len())
+	}
+}
+
+func TestTableSlotEmpty(t *testing.T) {
+	slot, frac := TableSlot(nil, nil)
+	if frac != 0 || slot.Len() != 0 {
+		t.Errorf("empty input: slot %v frac %f", slot, frac)
+	}
+}
+
+func TestSlotsOnOutOfRange(t *testing.T) {
+	tpl := Induce(nil)
+	slots := tpl.SlotsOn(5, 10)
+	if len(slots) != 1 || slots[0] != (Slot{0, 10}) {
+		t.Errorf("out-of-range page index: %v", slots)
+	}
+}

@@ -1,0 +1,167 @@
+// Package pattern implements the specific-to-general token patterns of
+// Lerman & Minton's "Learning the Common Structure of Data" (the
+// paper's reference [16], whose syntactic type system §3.1 adopts). A
+// pattern describes a set of strings as a sequence of positions, each
+// the most specific description common to all examples: a literal token
+// where every example agrees, otherwise the most specific shared
+// syntactic type. Patterns summarize learned columns ("NUMERIC
+// CAPITALIZED Correctional") and power schema reports over extracted
+// relations.
+package pattern
+
+import (
+	"strings"
+
+	"tableseg/internal/token"
+)
+
+// Item is one position of a pattern.
+type Item struct {
+	// Literal is the exact token, when every example agrees ("" when
+	// generalized to a type class).
+	Literal string
+	// Type is the most specific syntactic type shared by the examples
+	// at this position (used when Literal is empty; 0 = ANY).
+	Type token.Type
+}
+
+// String renders the item: a quoted literal, a type-class name, or ANY.
+func (it Item) String() string {
+	if it.Literal != "" {
+		return it.Literal
+	}
+	if it.Type == 0 {
+		return "ANY"
+	}
+	return mostSpecificName(it.Type)
+}
+
+// specificity orders type bits from most to least specific in the §3.1
+// lattice.
+var specificity = []token.Type{
+	token.Capitalized, token.Lowercase, token.AllCaps,
+	token.Numeric, token.Alpha, token.Alnum, token.Punct, token.HTML,
+}
+
+func mostSpecificName(t token.Type) string {
+	for _, bit := range specificity {
+		if t.Has(bit) {
+			return bit.String()
+		}
+	}
+	return "ANY"
+}
+
+// mostSpecificBit reduces a shared mask to its most specific single bit.
+func mostSpecificBit(t token.Type) token.Type {
+	for _, bit := range specificity {
+		if t.Has(bit) {
+			return bit
+		}
+	}
+	return 0
+}
+
+// Pattern describes a set of strings.
+type Pattern struct {
+	// Items describe the common prefix positions.
+	Items []Item
+	// MinWords and MaxWords record the example length range; when they
+	// differ, Items cover only the common prefix (a variable-length
+	// field such as a multi-word name).
+	MinWords, MaxWords int
+}
+
+// String renders the pattern, with a trailing ellipsis for
+// variable-length fields: `NUMERIC CAPITALIZED St` or `CAPITALIZED ...`.
+func (p *Pattern) String() string {
+	if p == nil || p.MaxWords == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, 0, len(p.Items)+1)
+	for _, it := range p.Items {
+		parts = append(parts, it.String())
+	}
+	if p.MinWords != p.MaxWords || len(p.Items) < p.MaxWords {
+		parts = append(parts, "...")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Learn induces the most specific common pattern of the example word
+// sequences. Positionwise: a literal where all examples agree, else the
+// most specific shared type; the pattern covers the longest prefix
+// present in every example. Nil for no examples.
+func Learn(examples [][]string) *Pattern {
+	if len(examples) == 0 {
+		return nil
+	}
+	p := &Pattern{MinWords: len(examples[0]), MaxWords: len(examples[0])}
+	for _, ex := range examples[1:] {
+		if len(ex) < p.MinWords {
+			p.MinWords = len(ex)
+		}
+		if len(ex) > p.MaxWords {
+			p.MaxWords = len(ex)
+		}
+	}
+	for pos := 0; pos < p.MinWords; pos++ {
+		lit := examples[0][pos]
+		shared := token.TypeOf(lit)
+		allEqual := true
+		for _, ex := range examples[1:] {
+			if ex[pos] != lit {
+				allEqual = false
+			}
+			shared &= token.TypeOf(ex[pos])
+		}
+		if allEqual {
+			p.Items = append(p.Items, Item{Literal: lit})
+		} else {
+			p.Items = append(p.Items, Item{Type: mostSpecificBit(shared)})
+		}
+	}
+	return p
+}
+
+// LearnStrings is Learn over whitespace-split strings.
+func LearnStrings(values []string) *Pattern {
+	examples := make([][]string, 0, len(values))
+	for _, v := range values {
+		examples = append(examples, strings.Fields(v))
+	}
+	return Learn(examples)
+}
+
+// Matches reports whether a word sequence fits the pattern: its length
+// within [MinWords, MaxWords] and each prefix position subsumed by the
+// corresponding item (literal equality, or the word's type containing
+// the item's type bit; ANY matches everything).
+func (p *Pattern) Matches(words []string) bool {
+	if p == nil {
+		return false
+	}
+	if len(words) < p.MinWords || len(words) > p.MaxWords {
+		return false
+	}
+	for pos, it := range p.Items {
+		if pos >= len(words) {
+			break
+		}
+		if it.Literal != "" {
+			if words[pos] != it.Literal {
+				return false
+			}
+			continue
+		}
+		if it.Type != 0 && !token.TypeOf(words[pos]).Has(it.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesString is Matches over a whitespace-split string.
+func (p *Pattern) MatchesString(s string) bool {
+	return p.Matches(strings.Fields(s))
+}

@@ -1,0 +1,125 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLearnLiteralsAndTypes(t *testing.T) {
+	p := LearnStrings([]string{
+		"221 Washington St",
+		"99 Oak St",
+		"7 Pine St",
+	})
+	if got := p.String(); got != "NUMERIC CAPITALIZED St" {
+		t.Errorf("pattern = %q", got)
+	}
+	if p.MinWords != 3 || p.MaxWords != 3 {
+		t.Errorf("lengths: %d..%d", p.MinWords, p.MaxWords)
+	}
+}
+
+func TestLearnVariableLength(t *testing.T) {
+	p := LearnStrings([]string{
+		"John Smith",
+		"Mary Jane Watson",
+	})
+	if p.MinWords != 2 || p.MaxWords != 3 {
+		t.Errorf("lengths: %d..%d", p.MinWords, p.MaxWords)
+	}
+	if got := p.String(); got != "CAPITALIZED CAPITALIZED ..." {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestLearnPhonePattern(t *testing.T) {
+	p := LearnStrings([]string{"(740) 335-5555", "(555) 283-9922"})
+	if got := p.String(); got != "NUMERIC NUMERIC" {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestLearnMixedFallsToAny(t *testing.T) {
+	p := LearnStrings([]string{"word", "123"})
+	// lowercase & numeric share only ALNUM.
+	if got := p.String(); got != "ALNUM" {
+		t.Errorf("pattern = %q", got)
+	}
+	q := LearnStrings([]string{"word", "|"})
+	// A word and pure punctuation share nothing.
+	if got := q.String(); got != "ANY" {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestLearnSingleExample(t *testing.T) {
+	p := LearnStrings([]string{"Marion Correctional"})
+	// Single example: every position is a literal.
+	if got := p.String(); got != "Marion Correctional" {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestLearnEmpty(t *testing.T) {
+	if p := Learn(nil); p != nil {
+		t.Errorf("nil examples gave %v", p)
+	}
+	if got := (*Pattern)(nil).String(); got != "(empty)" {
+		t.Errorf("nil pattern String = %q", got)
+	}
+	if (*Pattern)(nil).MatchesString("x") {
+		t.Error("nil pattern matched")
+	}
+}
+
+// Every training example matches its own learned pattern.
+func TestLearnSelfMatchProperty(t *testing.T) {
+	pools := [][]string{
+		{"John Smith", "Mary Jones", "Al Green Jr"},
+		{"221 Oak St", "9 Elm Ave"},
+		{"(555) 123-4567", "(740) 335-5555"},
+		{"$12.99", "$45.00"},
+		{"MARION", "LEBANON"},
+	}
+	f := func(pick uint8) bool {
+		values := pools[int(pick)%len(pools)]
+		p := LearnStrings(values)
+		for _, v := range values {
+			if !p.MatchesString(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchesRejects(t *testing.T) {
+	p := LearnStrings([]string{"221 Oak St", "99 Elm St"})
+	cases := map[string]bool{
+		"77 Pine St":    true,
+		"77 Pine Ave":   false, // literal "St" mismatch
+		"Oak St":        false, // first word not numeric
+		"221 Oak St St": false, // too long
+		"221":           false, // too short
+	}
+	for s, want := range cases {
+		if got := p.MatchesString(s); got != want {
+			t.Errorf("Matches(%q) = %v, want %v (pattern %s)", s, got, want, p)
+		}
+	}
+}
+
+func TestMostSpecificPreference(t *testing.T) {
+	// CAPITALIZED is more specific than ALPHA/ALNUM.
+	p := LearnStrings([]string{"Alpha", "Beta"})
+	if got := p.String(); got != "CAPITALIZED" {
+		t.Errorf("pattern = %q", got)
+	}
+	q := LearnStrings([]string{"alpha", "Beta"})
+	if got := q.String(); got != "ALPHA" {
+		t.Errorf("pattern = %q", got)
+	}
+}

@@ -1,0 +1,169 @@
+package phmm
+
+import (
+	"math"
+
+	"tableseg/internal/token"
+)
+
+// emStats accumulates the expected sufficient statistics of one E-step.
+type emStats struct {
+	// typeTrue[c][j] / colMass[c]: Bernoulli counts for Theta.
+	typeTrue [][]float64
+	colMass  []float64
+	xiCont   [][]float64
+	endC     []float64
+}
+
+// estep runs forward–backward and converts posteriors into sufficient
+// statistics.
+func (m *Model) estep(lt *lattice) (*emStats, float64) {
+	post := lt.forwardBackward()
+	st := &emStats{
+		typeTrue: make([][]float64, m.C),
+		colMass:  make([]float64, m.C),
+		xiCont:   post.xiCont,
+		endC:     post.endC,
+	}
+	for c := 0; c < m.C; c++ {
+		st.typeTrue[c] = make([]float64, token.NumTypes)
+	}
+	for i, g := range post.gamma {
+		tv := lt.inst.TypeVecs[i]
+		for r := 0; r < m.K; r++ {
+			for c := 0; c < m.C; c++ {
+				w := g[r*m.C+c]
+				if w == 0 {
+					continue
+				}
+				st.colMass[c] += w
+				for j := 0; j < token.NumTypes; j++ {
+					if tv[j] {
+						st.typeTrue[c][j] += w
+					}
+				}
+			}
+		}
+	}
+	return st, post.loglik
+}
+
+// mstep re-estimates the parameters from the statistics (§5.2.3 steps
+// 1–5: period, column transitions, emissions).
+func (m *Model) mstep(st *emStats) {
+	const (
+		thetaPrior = 0.5  // Beta(½,½)-style smoothing on each type bit
+		transPrior = 0.05 // Dirichlet smoothing on column advances
+		piPrior    = 0.1  // Dirichlet smoothing on the period model
+	)
+	for c := 0; c < m.C; c++ {
+		den := st.colMass[c] + 2*thetaPrior
+		for j := 0; j < token.NumTypes; j++ {
+			m.Theta[c][j] = (st.typeTrue[c][j] + thetaPrior) / den
+		}
+	}
+	for c := 0; c < m.C; c++ {
+		total := 0.0
+		for c2 := c + 1; c2 < m.C; c2++ {
+			total += st.xiCont[c][c2] + transPrior
+		}
+		if total <= 0 {
+			continue
+		}
+		for c2 := c + 1; c2 < m.C; c2++ {
+			m.Trans[c][c2] = (st.xiCont[c][c2] + transPrior) / total
+		}
+	}
+	if m.params.PeriodModel {
+		total := 0.0
+		for c := 0; c < m.C; c++ {
+			total += st.endC[c] + piPrior
+		}
+		for c := 0; c < m.C; c++ {
+			m.Pi[c] = (st.endC[c] + piPrior) / total
+		}
+	}
+}
+
+// Fit runs EM to convergence (or MaxIter) and returns the final
+// log-likelihood and the iteration count.
+func (m *Model) Fit(inst Instance) (loglik float64, iters int) {
+	prev := math.Inf(-1)
+	for iters = 1; iters <= m.params.MaxIter; iters++ {
+		lt := newLattice(m, inst)
+		st, ll := m.estep(lt)
+		m.mstep(st)
+		loglik = ll
+		if prev != math.Inf(-1) {
+			denom := math.Abs(prev)
+			if denom < 1 {
+				denom = 1
+			}
+			if math.Abs(ll-prev)/denom < m.params.Tol {
+				break
+			}
+		}
+		prev = ll
+	}
+	if iters > m.params.MaxIter {
+		iters = m.params.MaxIter // loop exhausted the bound without converging
+	}
+	return loglik, iters
+}
+
+// Result is the output of Segment: the MAP record segmentation and the
+// column extraction of §3.4.
+type Result struct {
+	// Records[i] is the MAP record number R_i (0-based) of analyzed
+	// extract i.
+	Records []int
+	// Columns[i] is the MAP column label C_i (0-based, L_1 = 0).
+	Columns []int
+	// LogLik is the training log-likelihood at convergence.
+	LogLik float64
+	// MAPLogProb is the Viterbi path score.
+	MAPLogProb float64
+	// Confidence[i] is the posterior probability P(R_i, C_i | T, D) of
+	// extract i's MAP assignment — a calibrated per-extract confidence
+	// in [0,1].
+	Confidence []float64
+	// Iters is the number of EM iterations performed.
+	Iters int
+	// Model exposes the learned parameters (period distribution,
+	// emission and transition tables) for inspection.
+	Model *Model
+}
+
+// Segment learns a model for the instance with EM and returns the MAP
+// segmentation — the probabilistic pipeline of §5 end to end.
+func Segment(inst Instance, params Params) (*Result, error) {
+	if err := validate(inst); err != nil {
+		return nil, err
+	}
+	params = params.withDefaults()
+	if len(inst.TypeVecs) == 0 {
+		return &Result{Model: NewModel(inst.NumRecords, 2, params)}, nil
+	}
+	cols := params.MaxColumns
+	if cols == 0 {
+		cols = deriveColumns(inst)
+	}
+	m := NewModel(inst.NumRecords, cols, params)
+	ll, iters := m.Fit(inst)
+	lt := newLattice(m, inst)
+	records, columns, mapLP := lt.viterbi()
+	post := lt.forwardBackward()
+	confidence := make([]float64, len(records))
+	for i := range records {
+		confidence[i] = post.gamma[i][records[i]*m.C+columns[i]]
+	}
+	return &Result{
+		Records:    records,
+		Columns:    columns,
+		LogLik:     ll,
+		MAPLogProb: mapLP,
+		Confidence: confidence,
+		Iters:      iters,
+		Model:      m,
+	}, nil
+}

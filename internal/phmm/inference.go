@@ -1,0 +1,399 @@
+package phmm
+
+import "math"
+
+// stallWeight is a tiny probability of remaining in the same column for
+// one step. The paper's model advances columns strictly, but degenerate
+// inputs (whole-page fallback with very long runs) can otherwise exhaust
+// the column set and disconnect the lattice; the stall keeps every
+// position reachable at negligible probability.
+const stallWeight = 1e-6
+
+// lattice precomputes per-position emission tables and bootstrap masks
+// for one instance under a model.
+type lattice struct {
+	m      *Model
+	inst   Instance
+	n      int
+	forced []bool
+	// contPenalty[i] multiplies within-record continuation into
+	// position i: 1 normally, a small factor when the bootstrap says
+	// S_i = true (D_{i-1} ∩ D_i = ∅). Softness keeps dirty data (whose
+	// spurious disjointness can demand more record starts than records
+	// exist) from making the whole lattice unreachable.
+	contPenalty []float64
+	// emis[i][r*C+c] = w_i(r) · P(T_i | C=c)
+	emis [][]float64
+}
+
+func newLattice(m *Model, inst Instance) *lattice {
+	n := len(inst.TypeVecs)
+	lt := &lattice{m: m, inst: inst, n: n, forced: forcedStarts(inst.Candidates)}
+	lt.contPenalty = make([]float64, n)
+	soft := m.params.Epsilon
+	if soft < 1e-12 {
+		soft = 1e-12
+	}
+	for i := range lt.contPenalty {
+		if lt.forced[i] {
+			lt.contPenalty[i] = soft
+		} else {
+			lt.contPenalty[i] = 1
+		}
+	}
+	lt.emis = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		lt.emis[i] = make([]float64, m.K*m.C)
+		typeP := make([]float64, m.C)
+		for c := 0; c < m.C; c++ {
+			typeP[c] = m.emitType(inst.TypeVecs[i], c)
+		}
+		for r := 0; r < m.K; r++ {
+			w := evidence(inst.Candidates[i], r, m.params.Epsilon)
+			for c := 0; c < m.C; c++ {
+				lt.emis[i][r*m.C+c] = w * typeP[c]
+			}
+		}
+	}
+	return lt
+}
+
+// startWeight is the prior for the first observed record being r:
+// geometric in the number of skipped leading records.
+func (lt *lattice) startWeight(r int) float64 {
+	skip := lt.m.params.SkipPenalty
+	w := 1 - skip
+	for k := 0; k < r; k++ {
+		w *= skip
+	}
+	return w
+}
+
+// posteriors is the E-step output.
+type posteriors struct {
+	// gamma[i][r*C+c] = P(R_i=r, C_i=c | observations).
+	gamma [][]float64
+	// xiCont[c][c'] = expected count of within-record column
+	// transitions c→c'.
+	xiCont [][]float64
+	// endC[c] = expected count of records ending at column c.
+	endC []float64
+	// loglik is the scaled-forward log-likelihood.
+	loglik float64
+}
+
+// forwardBackward runs the structured forward–backward pass of §5.2.3.
+// The record-skip transitions are aggregated with prefix/suffix
+// recurrences so the pass costs O(n·K·C²) rather than O(n·(K·C)²).
+func (lt *lattice) forwardBackward() *posteriors {
+	m, n, K, C := lt.m, lt.n, lt.m.K, lt.m.C
+	S := K * C
+	skip := m.params.SkipPenalty
+
+	haz := make([]float64, C)
+	for c := 0; c < C; c++ {
+		haz[c] = m.hazard(c)
+	}
+
+	alpha := make([][]float64, n)
+	scale := make([]float64, n)
+
+	// Forward.
+	for i := 0; i < n; i++ {
+		alpha[i] = make([]float64, S)
+		if i == 0 {
+			for r := 0; r < K; r++ {
+				alpha[0][r*C] = lt.startWeight(r) * lt.emis[0][r*C]
+			}
+		} else {
+			// Record-end mass per record at i-1.
+			E := make([]float64, K)
+			for r := 0; r < K; r++ {
+				for c := 0; c < C; c++ {
+					E[r] += alpha[i-1][r*C+c] * haz[c]
+				}
+			}
+			// Aggregate new-record mass M(r) = Σ_{r0<r} E(r0)·skipW(r−r0−1).
+			M := make([]float64, K)
+			for r := 1; r < K; r++ {
+				M[r] = skip*M[r-1] + (1-skip)*E[r-1]
+			}
+			pen := lt.contPenalty[i]
+			for r := 0; r < K; r++ {
+				// New record lands in column 0.
+				alpha[i][r*C] = M[r] * lt.emis[i][r*C]
+				// Within-record column advances (penalized when the
+				// bootstrap demands a record start here).
+				for cPrev := 0; cPrev < C; cPrev++ {
+					a := alpha[i-1][r*C+cPrev]
+					if a == 0 {
+						continue
+					}
+					stay := a * (1 - haz[cPrev]) * pen
+					alpha[i][r*C+cPrev] += stay * stallWeight * lt.emis[i][r*C+cPrev]
+					for c := cPrev + 1; c < C; c++ {
+						tr := m.Trans[cPrev][c]
+						if tr == 0 {
+							continue
+						}
+						alpha[i][r*C+c] += stay * tr * lt.emis[i][r*C+c]
+					}
+				}
+			}
+		}
+		s := 0.0
+		for _, v := range alpha[i] {
+			s += v
+		}
+		if s <= 0 || math.IsNaN(s) {
+			// Degenerate evidence (all-zero row): inject uniform mass
+			// so the pass completes; the caller sees the -Inf-free
+			// loglik degrade instead of a crash.
+			for k := range alpha[i] {
+				alpha[i][k] = 1.0 / float64(S)
+			}
+			s = 1e-300
+		}
+		scale[i] = s
+		inv := 1.0 / s
+		for k := range alpha[i] {
+			alpha[i][k] *= inv
+		}
+	}
+
+	// Backward, with the final-record closing factor h(c) at i = n−1.
+	beta := make([][]float64, n)
+	beta[n-1] = make([]float64, S)
+	for r := 0; r < K; r++ {
+		for c := 0; c < C; c++ {
+			beta[n-1][r*C+c] = haz[c]
+		}
+	}
+	for i := n - 2; i >= 0; i-- {
+		beta[i] = make([]float64, S)
+		next := i + 1
+		// eb(r) = emis_{next}(r,0)·beta_{next}(r,0); suffix recurrence
+		// B(r) = Σ_{r'>r} skipW(r'−r−1)·eb(r').
+		B := make([]float64, K)
+		for r := K - 2; r >= 0; r-- {
+			eb := lt.emis[next][(r+1)*C] * beta[next][(r+1)*C]
+			B[r] = skip*B[r+1] + (1-skip)*eb
+		}
+		inv := 1.0 / scale[next]
+		pen := lt.contPenalty[next]
+		for r := 0; r < K; r++ {
+			for c := 0; c < C; c++ {
+				v := haz[c] * B[r]
+				cont := stallWeight * lt.emis[next][r*C+c] * beta[next][r*C+c]
+				for c2 := c + 1; c2 < C; c2++ {
+					tr := m.Trans[c][c2]
+					if tr == 0 {
+						continue
+					}
+					cont += tr * lt.emis[next][r*C+c2] * beta[next][r*C+c2]
+				}
+				v += (1 - haz[c]) * pen * cont
+				beta[i][r*C+c] = v * inv
+			}
+		}
+	}
+
+	post := &posteriors{
+		gamma:  make([][]float64, n),
+		xiCont: make([][]float64, C),
+		endC:   make([]float64, C),
+	}
+	for c := 0; c < C; c++ {
+		post.xiCont[c] = make([]float64, C)
+	}
+	for i := 0; i < n; i++ {
+		post.loglik += math.Log(scale[i])
+		g := make([]float64, S)
+		z := 0.0
+		for k := 0; k < S; k++ {
+			g[k] = alpha[i][k] * beta[i][k]
+			z += g[k]
+		}
+		if z > 0 {
+			inv := 1.0 / z
+			for k := range g {
+				g[k] *= inv
+			}
+		}
+		post.gamma[i] = g
+	}
+	// Closing mass contributes to the likelihood.
+	closing := 0.0
+	for k := 0; k < S; k++ {
+		closing += alpha[n-1][k] * beta[n-1][k]
+	}
+	if closing > 0 {
+		post.loglik += math.Log(closing)
+	}
+
+	// Transition posteriors (column advances and record ends).
+	for i := 0; i < n-1; i++ {
+		next := i + 1
+		B := make([]float64, K)
+		for r := K - 2; r >= 0; r-- {
+			eb := lt.emis[next][(r+1)*C] * beta[next][(r+1)*C]
+			B[r] = skip*B[r+1] + (1-skip)*eb
+		}
+		// Per-position normalizer: total transition mass.
+		type cell struct {
+			c1, c2 int
+			v      float64
+		}
+		var contCells []cell
+		endMass := make([]float64, C)
+		z := 0.0
+		pen := lt.contPenalty[next]
+		for r := 0; r < K; r++ {
+			for c := 0; c < C; c++ {
+				a := alpha[i][r*C+c]
+				if a == 0 {
+					continue
+				}
+				e := a * haz[c] * B[r] / scale[next]
+				endMass[c] += e
+				z += e
+				stay := a * (1 - haz[c]) * pen / scale[next]
+				for c2 := c + 1; c2 < C; c2++ {
+					tr := m.Trans[c][c2]
+					if tr == 0 {
+						continue
+					}
+					v := stay * tr * lt.emis[next][r*C+c2] * beta[next][r*C+c2]
+					if v > 0 {
+						contCells = append(contCells, cell{c, c2, v})
+						z += v
+					}
+				}
+			}
+		}
+		if z <= 0 {
+			continue
+		}
+		inv := 1.0 / z
+		for _, cc := range contCells {
+			post.xiCont[cc.c1][cc.c2] += cc.v * inv
+		}
+		for c := 0; c < C; c++ {
+			post.endC[c] += endMass[c] * inv
+		}
+	}
+	// Final records end where the chain closes.
+	for r := 0; r < K; r++ {
+		for c := 0; c < C; c++ {
+			post.endC[c] += post.gamma[n-1][r*C+c]
+		}
+	}
+	return post
+}
+
+// viterbi computes the MAP (R, C) assignment (arg max P(R,C|T,D)).
+func (lt *lattice) viterbi() (records, columns []int, logProb float64) {
+	m, n, K, C := lt.m, lt.n, lt.m.K, lt.m.C
+	S := K * C
+	skip := m.params.SkipPenalty
+	haz := make([]float64, C)
+	for c := 0; c < C; c++ {
+		haz[c] = m.hazard(c)
+	}
+	logv := func(x float64) float64 {
+		if x <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log(x)
+	}
+
+	delta := make([][]float64, n)
+	back := make([][]int, n)
+	for i := range delta {
+		delta[i] = make([]float64, S)
+		back[i] = make([]int, S)
+		for k := range delta[i] {
+			delta[i][k] = math.Inf(-1)
+			back[i][k] = -1
+		}
+	}
+	for r := 0; r < K; r++ {
+		delta[0][r*C] = logv(lt.startWeight(r)) + logv(lt.emis[0][r*C])
+	}
+	logSkip, logStay := logv(skip), logv(1-skip)
+	// endBest/endFrom: per record, the best record-closing score at the
+	// previous position; M/MFrom: the max-plus prefix aggregation of
+	// "start a new record at r" (mirrors the forward pass's linear-time
+	// skip recurrence, keeping Viterbi O(n·K·C²)).
+	endBest := make([]float64, K)
+	endFrom := make([]int, K)
+	M := make([]float64, K)
+	MFrom := make([]int, K)
+	for i := 1; i < n; i++ {
+		for r0 := 0; r0 < K; r0++ {
+			endBest[r0], endFrom[r0] = math.Inf(-1), -1
+			for c0 := 0; c0 < C; c0++ {
+				if v := delta[i-1][r0*C+c0] + logv(haz[c0]); v > endBest[r0] {
+					endBest[r0], endFrom[r0] = v, r0*C+c0
+				}
+			}
+		}
+		M[0], MFrom[0] = math.Inf(-1), -1
+		for r := 1; r < K; r++ {
+			M[r], MFrom[r] = M[r-1]+logSkip, MFrom[r-1]
+			if v := endBest[r-1] + logStay; v > M[r] {
+				M[r], MFrom[r] = v, endFrom[r-1]
+			}
+		}
+		for r := 0; r < K; r++ {
+			// New record from any earlier record's end.
+			if MFrom[r] >= 0 {
+				delta[i][r*C] = M[r] + logv(lt.emis[i][r*C])
+				back[i][r*C] = MFrom[r]
+			}
+			// Within-record advance (columns strictly increase, so
+			// c ≥ 1 here and the cell starts at −Inf), penalized at
+			// bootstrap-forced starts.
+			penLog := logv(lt.contPenalty[i])
+			for c := 0; c < C; c++ {
+				emisLog := logv(lt.emis[i][r*C+c])
+				bestV, bestFrom := delta[i][r*C+c], back[i][r*C+c]
+				// Stall move (same column, tiny weight).
+				if v := delta[i-1][r*C+c] + logv(1-haz[c]) + logv(stallWeight) + penLog + emisLog; v > bestV {
+					bestV, bestFrom = v, r*C+c
+				}
+				for c0 := 0; c0 < c; c0++ {
+					tr := m.Trans[c0][c]
+					if tr == 0 {
+						continue
+					}
+					v := delta[i-1][r*C+c0] + logv(1-haz[c0]) + logv(tr) + penLog + emisLog
+					if v > bestV {
+						bestV, bestFrom = v, r*C+c0
+					}
+				}
+				delta[i][r*C+c] = bestV
+				back[i][r*C+c] = bestFrom
+			}
+		}
+	}
+	// Close the final record.
+	bestEnd, bestK := math.Inf(-1), 0
+	for r := 0; r < K; r++ {
+		for c := 0; c < C; c++ {
+			v := delta[n-1][r*C+c] + logv(haz[c])
+			if v > bestEnd {
+				bestEnd, bestK = v, r*C+c
+			}
+		}
+	}
+	records = make([]int, n)
+	columns = make([]int, n)
+	k := bestK
+	for i := n - 1; i >= 0; i-- {
+		records[i] = k / C
+		columns[i] = k % C
+		k = back[i][k]
+	}
+	return records, columns, bestEnd
+}

@@ -1,0 +1,148 @@
+// Package relation assembles the output of per-page segmentations into
+// the relation behind a hidden-Web site — §6.3's endgame of
+// "reconstruct[ing] the relational database behind the Web site". Rows
+// from different result pages are merged, aligned by column label where
+// labels were mined, and deduplicated (result pages frequently overlap
+// when queries page through the same data).
+package relation
+
+import (
+	"strings"
+
+	"tableseg/internal/core"
+	"tableseg/internal/pattern"
+)
+
+// Table is an assembled relation.
+type Table struct {
+	// Columns are the column names (mined labels, or L1.. defaults).
+	Columns []string
+	// Rows hold one record each, aligned to Columns.
+	Rows [][]string
+	// Sources counts the contributing pages per row (1 unless the row
+	// was observed on several pages).
+	Sources []int
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Schema describes each column with the most specific common pattern of
+// its non-empty values (reference [16]'s specific-to-general token
+// patterns): e.g. "NUMERIC CAPITALIZED St" for a street column. Columns
+// with no values are described as "(empty)".
+func (t *Table) Schema() []string {
+	out := make([]string, len(t.Columns))
+	for c := range t.Columns {
+		var values []string
+		for _, row := range t.Rows {
+			if c < len(row) && row[c] != "" {
+				values = append(values, row[c])
+			}
+		}
+		out[c] = pattern.LearnStrings(values).String()
+	}
+	return out
+}
+
+// Merge assembles segmentations of several list pages from one site
+// into a single relation. Column alignment uses the mined labels when
+// every segmentation has them (positional otherwise); duplicate rows
+// (same cells) collapse, with Sources counting the multiplicity.
+func Merge(segs []*core.Segmentation) *Table {
+	t := &Table{}
+	if len(segs) == 0 {
+		return t
+	}
+
+	// Column universe: union of mined labels in first-seen order, or
+	// positional when any segmentation lacks labels.
+	labeled := true
+	for _, s := range segs {
+		if len(s.ColumnLabels) == 0 {
+			labeled = false
+			break
+		}
+	}
+	colIndex := map[string]int{}
+	addCol := func(name string) int {
+		if idx, ok := colIndex[name]; ok {
+			return idx
+		}
+		colIndex[name] = len(t.Columns)
+		t.Columns = append(t.Columns, name)
+		return len(t.Columns) - 1
+	}
+
+	seen := map[string]int{} // row key -> row index
+	for _, s := range segs {
+		width := 0
+		for _, rec := range s.Records {
+			for _, c := range rec.Columns {
+				if c+1 > width {
+					width = c + 1
+				}
+			}
+		}
+		// Map this segmentation's columns into the table's.
+		colMap := make([]int, width)
+		for c := 0; c < width; c++ {
+			name := defaultName(c)
+			if labeled && c < len(s.ColumnLabels) && s.ColumnLabels[c] != "" {
+				name = s.ColumnLabels[c]
+			}
+			colMap[c] = addCol(name)
+		}
+		for _, rec := range s.Records {
+			row := make([]string, len(t.Columns))
+			last := 0
+			for k, ex := range rec.Extracts {
+				c := rec.Columns[k]
+				if c < 0 {
+					c = last
+				} else {
+					last = c
+				}
+				if c >= len(colMap) {
+					continue
+				}
+				cell := &row[colMap[c]]
+				if *cell == "" {
+					*cell = ex.Text()
+				} else {
+					*cell += " " + ex.Text()
+				}
+			}
+			key := strings.Join(row, "\x00")
+			if idx, ok := seen[key]; ok {
+				t.Sources[idx]++
+				continue
+			}
+			seen[key] = len(t.Rows)
+			t.Rows = append(t.Rows, row)
+			t.Sources = append(t.Sources, 1)
+		}
+	}
+
+	// Rows appended before later pages widened the column set are
+	// shorter; pad them.
+	for i, row := range t.Rows {
+		if len(row) < len(t.Columns) {
+			padded := make([]string, len(t.Columns))
+			copy(padded, row)
+			t.Rows[i] = padded
+		}
+	}
+	return t
+}
+
+func defaultName(c int) string {
+	// L1, L2, ... (paper's §3.4 labels).
+	digits := ""
+	v := c + 1
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return "L" + digits
+}

@@ -1,0 +1,141 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"tableseg/internal/core"
+	"tableseg/internal/sitegen"
+)
+
+func segmentBoth(t *testing.T, slug string) (*core.Segmentation, *core.Segmentation, *sitegen.Site) {
+	t.Helper()
+	site, err := sitegen.GenerateBySlug(slug, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []*core.Segmentation
+	for pageIdx := range site.Lists {
+		in := core.Input{Target: pageIdx}
+		for _, l := range site.Lists {
+			in.ListPages = append(in.ListPages, core.Page{HTML: l.HTML})
+		}
+		for _, d := range site.Lists[pageIdx].Details {
+			in.DetailPages = append(in.DetailPages, core.Page{HTML: d})
+		}
+		seg, err := core.Segment(in, core.DefaultOptions(core.Probabilistic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, seg)
+	}
+	return segs[0], segs[1], site
+}
+
+func TestMergeTwoPages(t *testing.T) {
+	s0, s1, site := segmentBoth(t, "butler")
+	table := Merge([]*core.Segmentation{s0, s1})
+	wantRows := len(site.Lists[0].Truth) + len(site.Lists[1].Truth)
+	if table.NumRows() != wantRows {
+		t.Fatalf("%d rows, want %d (distinct records across pages)", table.NumRows(), wantRows)
+	}
+	joined := strings.Join(table.Columns, " ")
+	for _, want := range []string{"Parcel", "Owner"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("columns %v missing %q", table.Columns, want)
+		}
+	}
+	// Every truth record appears as a row prefix-matchable by its
+	// first value.
+	for li, lp := range site.Lists {
+		for ri, tr := range lp.Truth {
+			found := false
+			for _, row := range table.Rows {
+				if row[0] == tr.Values[0] {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("page %d record %d (%s) missing from relation", li, ri, tr.Values[0])
+			}
+		}
+	}
+	for _, n := range table.Sources {
+		if n != 1 {
+			t.Errorf("unexpected duplicate multiplicity %d", n)
+		}
+	}
+}
+
+func TestMergeDeduplicates(t *testing.T) {
+	s0, _, _ := segmentBoth(t, "lee")
+	table := Merge([]*core.Segmentation{s0, s0})
+	single := Merge([]*core.Segmentation{s0})
+	if table.NumRows() != single.NumRows() {
+		t.Fatalf("duplicated input: %d rows vs %d", table.NumRows(), single.NumRows())
+	}
+	for _, n := range table.Sources {
+		if n != 2 {
+			t.Errorf("multiplicity %d, want 2", n)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	table := Merge(nil)
+	if table.NumRows() != 0 || len(table.Columns) != 0 {
+		t.Errorf("empty merge: %+v", table)
+	}
+}
+
+func TestMergePositionalWithoutLabels(t *testing.T) {
+	site, err := sitegen.GenerateBySlug("ohio", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.Input{Target: 0}
+	for _, l := range site.Lists {
+		in.ListPages = append(in.ListPages, core.Page{HTML: l.HTML})
+	}
+	for _, d := range site.Lists[0].Details {
+		in.DetailPages = append(in.DetailPages, core.Page{HTML: d})
+	}
+	opts := core.DefaultOptions(core.Probabilistic)
+	opts.MineLabels = false
+	seg, err := core.Segment(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := Merge([]*core.Segmentation{seg})
+	if len(table.Columns) == 0 || !strings.HasPrefix(table.Columns[0], "L") {
+		t.Errorf("positional columns = %v", table.Columns)
+	}
+	if table.NumRows() != len(site.Lists[0].Truth) {
+		t.Errorf("%d rows", table.NumRows())
+	}
+}
+
+func TestDefaultName(t *testing.T) {
+	if defaultName(0) != "L1" || defaultName(10) != "L11" {
+		t.Errorf("defaultName: %s %s", defaultName(0), defaultName(10))
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s0, s1, _ := segmentBoth(t, "butler")
+	table := Merge([]*core.Segmentation{s0, s1})
+	schema := table.Schema()
+	if len(schema) != len(table.Columns) {
+		t.Fatalf("%d schema entries for %d columns", len(schema), len(table.Columns))
+	}
+	byName := map[string]string{}
+	for c, name := range table.Columns {
+		byName[name] = schema[c]
+	}
+	if got := byName["Parcel"]; got != "NUMERIC" {
+		t.Errorf("Parcel schema = %q", got)
+	}
+	if got := byName["Owner"]; !strings.HasPrefix(got, "CAPITALIZED CAPITALIZED") {
+		t.Errorf("Owner schema = %q", got)
+	}
+}

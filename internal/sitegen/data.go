@@ -1,0 +1,264 @@
+// Package sitegen generates synthetic hidden-Web sites that stand in for
+// the twelve 2004 sites of the paper's evaluation (§6.1). Each site
+// profile reproduces the documented structure of its namesake — domain,
+// layout style, record counts — and, crucially, its documented
+// pathologies: numbered entries that break template finding, Amazon's
+// browsing-history pollution and "et al" author abbreviation, Minnesota's
+// list/detail case mismatch, Michigan's Parole/Parolee value mismatch
+// with an unrelated-context confounder, and Canada411's missing town on
+// a single detail page. Generation is fully deterministic for a given
+// seed, and every list page carries exact ground-truth byte spans for
+// scoring.
+package sitegen
+
+import "math/rand"
+
+// Word pools for the four information domains. The values are synthetic
+// but shaped like the real data (capitalized names, numeric parcel ids,
+// phone formats) so the syntactic-type models see realistic T_i vectors.
+
+var firstNames = []string{
+	"John", "Mary", "Robert", "Patricia", "Michael", "Linda", "William",
+	"Barbara", "David", "Elizabeth", "Richard", "Jennifer", "Charles",
+	"Maria", "Joseph", "Susan", "Thomas", "Margaret", "Paul", "Dorothy",
+	"Mark", "Lisa", "Donald", "Nancy", "George", "Karen", "Kenneth",
+	"Betty", "Steven", "Helen", "Edward", "Sandra", "Brian", "Donna",
+	"Ronald", "Carol", "Anthony", "Ruth", "Kevin", "Sharon", "Jason",
+	"Michelle", "Jeffrey", "Laura", "Frank", "Sarah", "Scott", "Kimberly",
+	"Eric", "Deborah", "Stephen", "Jessica", "Andrew", "Shirley",
+	"Raymond", "Cynthia", "Gregory", "Angela", "Joshua", "Melissa",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Miller", "Davis",
+	"Garcia", "Rodriguez", "Wilson", "Martinez", "Anderson", "Taylor",
+	"Thomas", "Hernandez", "Moore", "Martin", "Jackson", "Thompson",
+	"White", "Lopez", "Lee", "Gonzalez", "Harris", "Clark", "Lewis",
+	"Robinson", "Walker", "Perez", "Hall", "Young", "Allen", "Sanchez",
+	"Wright", "King", "Scott", "Green", "Baker", "Adams", "Nelson",
+	"Hill", "Ramirez", "Campbell", "Mitchell", "Roberts", "Carter",
+	"Phillips", "Evans", "Turner", "Torres", "Parker", "Collins",
+	"Edwards", "Stewart", "Flores", "Morris", "Nguyen", "Murphy",
+	"Rivera", "Cook",
+}
+
+var streets = []string{
+	"Washington", "Main", "Oak", "Maple", "Cedar", "Elm", "Pine",
+	"Lake", "Hill", "Park", "Walnut", "Spring", "North", "Ridge",
+	"Church", "Chestnut", "Spruce", "Sunset", "Railroad", "Center",
+	"Highland", "Forest", "Jackson", "River", "Willow", "Jefferson",
+	"Madison", "Franklin", "Lincoln", "Adams", "Cherry", "Dogwood",
+	"Hickory", "Magnolia", "Meadow", "Mill", "Orchard", "Prospect",
+}
+
+var streetSuffixes = []string{"St", "Ave", "Rd", "Dr", "Ln", "Blvd", "Ct", "Way"}
+
+var cities = []string{
+	"New Holland", "Findlay", "Springfield", "Fairview", "Georgetown",
+	"Clinton", "Salem", "Madison", "Riverside", "Ashland", "Oxford",
+	"Arlington", "Burlington", "Manchester", "Milton", "Newport",
+	"Auburn", "Bristol", "Clayton", "Dayton", "Dover", "Franklin",
+	"Greenville", "Hudson", "Jackson", "Kingston", "Lebanon", "Marion",
+	"Milford", "Monroe", "Newark", "Princeton", "Quincy", "Richmond",
+	"Sharon", "Troy", "Union City", "Vernon", "Warren", "Winchester",
+}
+
+var states = []string{"OH", "PA", "FL", "MI", "MN", "CA", "NY", "TX", "WA", "VA", "ON", "BC"}
+
+var bookAdjectives = []string{
+	"Silent", "Hidden", "Lost", "Golden", "Broken", "Distant", "Secret",
+	"Burning", "Frozen", "Ancient", "Crimson", "Wandering", "Forgotten",
+	"Shattered", "Endless", "Quiet", "Savage", "Gentle", "Hollow", "Iron",
+}
+
+var bookNouns = []string{
+	"River", "Garden", "Empire", "Shadow", "Harvest", "Voyage", "Covenant",
+	"Labyrinth", "Horizon", "Kingdom", "Winter", "Summer", "Mirror",
+	"Fortress", "Island", "Prophecy", "Letter", "Symphony", "Orchard",
+	"Lantern",
+}
+
+var bookFormats = []string{"Hardcover", "Paperback", "Audiobook", "Library Binding"}
+
+var facilities = []string{
+	"Marion Correctional", "Lebanon Correctional", "Pickaway Correctional",
+	"Grafton Correctional", "Noble Correctional", "Ross Correctional",
+	"Trumbull Correctional", "Belmont Correctional", "London Correctional",
+	"Mansfield Correctional", "Richland Correctional", "Toledo Correctional",
+}
+
+var inmateStatuses = []string{"Incarcerated", "Parole", "Released", "Probation"}
+
+// gen wraps a deterministic RNG with domain-value helpers. All site
+// content flows through one gen so a single seed reproduces a site
+// byte-for-byte.
+type gen struct {
+	rng *rand.Rand
+	// usedPhones / usedIDs keep high-cardinality fields unique within
+	// a site, mirroring real data.
+	usedPhones map[string]bool
+	usedIDs    map[string]bool
+	// Per-site value pools. Real result pages cluster geographically:
+	// a county site shows a handful of towns, so low-cardinality values
+	// repeat within a page. (Values that occur exactly once on every
+	// sample page would otherwise masquerade as template tokens.)
+	cityPool, streetPool, statePool, facilityPool []string
+}
+
+func newGen(seed int64) *gen {
+	g := &gen{
+		rng:        rand.New(rand.NewSource(seed)),
+		usedPhones: map[string]bool{},
+		usedIDs:    map[string]bool{},
+	}
+	g.cityPool = g.subset(cities, 4)
+	g.streetPool = g.subset(streets, 8)
+	g.statePool = g.subset(states, 3)
+	g.facilityPool = g.subset(facilities, 5)
+	return g
+}
+
+// subset draws n distinct elements from pool.
+func (g *gen) subset(pool []string, n int) []string {
+	idx := g.rng.Perm(len(pool))[:n]
+	out := make([]string, n)
+	for i, k := range idx {
+		out[i] = pool[k]
+	}
+	return out
+}
+
+func (g *gen) pick(pool []string) string { return pool[g.rng.Intn(len(pool))] }
+
+func (g *gen) intn(n int) int { return g.rng.Intn(n) }
+
+func (g *gen) prob(p float64) bool { return g.rng.Float64() < p }
+
+// personName returns "First Last".
+func (g *gen) personName() string {
+	return g.pick(firstNames) + " " + g.pick(lastNames)
+}
+
+// address returns a street address like "221 Washington St".
+func (g *gen) address() string {
+	num := 100 + g.intn(9899)
+	return itoa(num) + " " + g.pick(g.streetPool) + " " + g.pick(streetSuffixes)
+}
+
+// cityState returns "City, ST" from the site's local pools.
+func (g *gen) cityState() string {
+	return g.pick(g.cityPool) + ", " + g.pick(g.statePool)
+}
+
+// phone returns "(NNN) NNN-NNNN", unique within the site.
+func (g *gen) phone() string {
+	for {
+		p := "(" + itoa(200+g.intn(799)) + ") " + itoa(200+g.intn(799)) + "-" + pad4(g.intn(10000))
+		if !g.usedPhones[p] {
+			g.usedPhones[p] = true
+			return p
+		}
+	}
+}
+
+// bookTitle returns "The Adjective Noun" style titles, unique-ish.
+func (g *gen) bookTitle() string {
+	switch g.intn(3) {
+	case 0:
+		return "The " + g.pick(bookAdjectives) + " " + g.pick(bookNouns)
+	case 1:
+		return g.pick(bookAdjectives) + " " + g.pick(bookNouns)
+	default:
+		return "A " + g.pick(bookNouns) + " of " + g.pick(bookNouns) + "s"
+	}
+}
+
+// price returns "$NN.99".
+func (g *gen) price() string {
+	return "$" + itoa(5+g.intn(45)) + "." + pad2(g.intn(100))
+}
+
+// parcelID returns a county parcel number like "0412-88-1234".
+func (g *gen) parcelID() string {
+	for {
+		id := pad4(g.intn(10000)) + "-" + pad2(g.intn(100)) + "-" + pad4(g.intn(10000))
+		if !g.usedIDs[id] {
+			g.usedIDs[id] = true
+			return id
+		}
+	}
+}
+
+// inmateID returns a DOC number like "A123456".
+func (g *gen) inmateID() string {
+	for {
+		id := string(rune('A'+g.intn(6))) + pad6(g.intn(1000000))
+		if !g.usedIDs[id] {
+			g.usedIDs[id] = true
+			return id
+		}
+	}
+}
+
+// dollars returns a formatted dollar amount like "$124,500".
+func (g *gen) dollars(lo, hi int) string {
+	v := lo + g.intn(hi-lo)
+	s := itoa(v)
+	// Insert thousands separators.
+	out := ""
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out += ","
+		}
+		out += string(c)
+	}
+	return "$" + out
+}
+
+// date returns "MM/DD/YYYY".
+func (g *gen) date(yearLo, yearHi int) string {
+	return pad2(1+g.intn(12)) + "/" + pad2(1+g.intn(28)) + "/" + itoa(yearLo+g.intn(yearHi-yearLo))
+}
+
+// itoa and friends avoid pulling strconv into every call site.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func pad2(v int) string { return padN(v, 2) }
+func pad4(v int) string { return padN(v, 4) }
+func pad6(v int) string { return padN(v, 6) }
+
+func padN(v, n int) string {
+	s := itoa(v % pow10(n))
+	for len(s) < n {
+		s = "0" + s
+	}
+	return s
+}
+
+func pow10(n int) int {
+	out := 1
+	for i := 0; i < n; i++ {
+		out *= 10
+	}
+	return out
+}

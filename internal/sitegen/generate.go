@@ -1,0 +1,339 @@
+package sitegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is one attribute of a record as it appears in the two views.
+type Field struct {
+	// Label is the detail-page caption ("Owner:", "Phone:").
+	Label string
+	// ListValue is the string shown on the list page ("" = absent).
+	ListValue string
+	// DetailValue is the string shown on the detail page ("" = absent).
+	DetailValue string
+}
+
+// Record is one generated database record plus its injected pathologies.
+type Record struct {
+	Fields []Field
+	// HistoryTitles are earlier records' titles shown on this record's
+	// detail page (Amazon's browsing-history pollution).
+	HistoryTitles []string
+	// ConfoundNote is an unrelated-context sentence planted on this
+	// record's detail page (Michigan's "Parole" confounder).
+	ConfoundNote string
+}
+
+// ListValues returns the record's non-empty list-page field values in
+// display order (the scoring ground truth).
+func (r *Record) ListValues() []string {
+	var out []string
+	for _, f := range r.Fields {
+		if f.ListValue != "" {
+			out = append(out, f.ListValue)
+		}
+	}
+	return out
+}
+
+// TruthRecord is the scoring ground truth for one record on a list page.
+type TruthRecord struct {
+	// Values are the record's list-page field values in order.
+	Values []string
+	// Start and End are the byte offsets of the record's row in the
+	// list page's HTML (half-open).
+	Start, End int
+}
+
+// ListPage is one generated list page with its linked detail pages and
+// ground truth.
+type ListPage struct {
+	// HTML is the list page source.
+	HTML string
+	// Details holds one detail page per record, in link order.
+	Details []string
+	// Ads holds advertisement pages also linked from the list page —
+	// the extraneous links §6.1 says a real crawl must filter out.
+	// They share no template with the detail pages.
+	Ads []string
+	// Truth holds one entry per record, in display order.
+	Truth []TruthRecord
+}
+
+// adsPerList is the number of advertisement pages linked from each
+// list page.
+const adsPerList = 3
+
+// Site is a fully generated synthetic site.
+type Site struct {
+	Profile Profile
+	Seed    int64
+	Lists   []ListPage
+}
+
+// SiteMap renders the site as a URL→HTML map rooted at "/" — an
+// in-memory web site a crawler can walk. URLs follow the same naming
+// scheme as the hrefs in the rendered pages (and the files cmd/sitegen
+// writes): /listN.html, /listN_detailM.html, /listN_adA.html, plus an
+// /index.html linking to the list pages.
+func (s *Site) SiteMap() map[string]string {
+	m := map[string]string{}
+	var idx strings.Builder
+	fmt.Fprintf(&idx, "<html><head><title>%s</title></head><body><h1>%s</h1><ul>\n", s.Profile.Name, s.Profile.Name)
+	for li, lp := range s.Lists {
+		listName := fmt.Sprintf("list%d.html", li+1)
+		m["/"+listName] = lp.HTML
+		fmt.Fprintf(&idx, `<li><a href="%s">Results Page %d</a></li>`+"\n", listName, li+1)
+		for di, d := range lp.Details {
+			m["/"+detailHref(li, di)] = d
+		}
+		for ai, a := range lp.Ads {
+			m["/"+adHref(li, ai)] = a
+		}
+	}
+	idx.WriteString("</ul></body></html>\n")
+	m["/index.html"] = idx.String()
+	return m
+}
+
+// Generate builds the synthetic site for a profile. The same (profile,
+// seed) pair always yields byte-identical pages.
+func Generate(p Profile, seed int64) *Site {
+	g := newGen(seed*1000003 + int64(len(p.Slug))*7919 + int64(p.Slug[0]))
+	site := &Site{Profile: p, Seed: seed}
+	for pageIdx := 0; pageIdx < len(p.RecordsPerList); pageIdx++ {
+		n := p.RecordsPerList[pageIdx]
+		records := generateRecords(p, g, pageIdx, n)
+		lp := renderListPage(p, g, pageIdx, records)
+		for ri := range records {
+			lp.Details = append(lp.Details, renderDetailPage(p, g, &records[ri]))
+		}
+		for a := 0; a < adsPerList; a++ {
+			lp.Ads = append(lp.Ads, renderAdPage(g))
+		}
+		site.Lists = append(site.Lists, lp)
+	}
+	return site
+}
+
+// GenerateBySlug is a convenience wrapper.
+func GenerateBySlug(slug string, seed int64) (*Site, error) {
+	p, err := ProfileBySlug(slug)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(p, seed), nil
+}
+
+// generateRecords builds the records of one list page, applying the
+// profile's domain field schema and its pathologies.
+func generateRecords(p Profile, g *gen, pageIdx, n int) []Record {
+	records := make([]Record, n)
+	sharedTown := g.cityState()
+	for i := range records {
+		switch p.Domain {
+		case WhitePages:
+			records[i] = whitePagesRecord(p, g, sharedTown)
+			if p.DuplicateRate > 0 && i > 0 && g.prob(p.DuplicateRate) {
+				// The Superpages "John Smith" case: same person, two
+				// addresses — name and phone identical.
+				records[i].Fields[0] = records[i-1].Fields[0]
+				records[i].Fields[3] = records[i-1].Fields[3]
+			}
+		case Books:
+			records[i] = bookRecord(p, g)
+		case PropertyTax:
+			records[i] = taxRecord(g)
+		case Corrections:
+			records[i] = correctionsRecord(p, g)
+		}
+	}
+
+	// Pathologies that relate records to each other.
+	if p.BrowsingHistory {
+		// The Amazon browsing-history box reflects the *download*
+		// order, not the list order: each detail page shows titles of
+		// 2–3 arbitrary other records, earlier or later. Title extracts
+		// then claim detail pages on both sides of their true record,
+		// which is what "completely derailed the CSP algorithm" (§6.3).
+		for i := 0; i < n; i++ {
+			seen := map[int]bool{i: true}
+			for len(records[i].HistoryTitles) < 2+g.intn(2) {
+				k := g.intn(n)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				records[i].HistoryTitles = append(records[i].HistoryTitles, records[k].Fields[0].DetailValue)
+			}
+		}
+	}
+	if p.PollutionRate > 0 && n >= 2 {
+		// Rate-controlled cross-record pollution: a record's detail
+		// page shows another record's leading field, so that extract's
+		// D set points at the wrong record too.
+		for i := range records {
+			if !g.prob(p.PollutionRate) {
+				continue
+			}
+			k := g.intn(n)
+			if k == i {
+				k = (k + 1) % n
+			}
+			records[i].HistoryTitles = append(records[i].HistoryTitles, records[k].Fields[0].DetailValue)
+		}
+	}
+	if p.StatusMismatch && pageIdx == 1 && n >= 4 {
+		// Record m is a parolee: "Parole" on the list page, "Parolee"
+		// on its detail page — and the bare word "Parole" appears in an
+		// unrelated context on a different record's detail page.
+		m := 1 + g.intn(n/2)
+		records[m].Fields[2].ListValue = "Parole"
+		records[m].Fields[2].DetailValue = "Parolee"
+		other := (m + 2 + g.intn(n-3)) % n
+		if other == m {
+			other = (other + 1) % n
+		}
+		records[other].ConfoundNote = "Eligible for Parole review hearing"
+	}
+	if p.DateConfound && n >= 4 {
+		// Minnesota-style value inconsistency: one record's birth date
+		// is formatted differently on its own detail page (so exact
+		// matching fails), while the list-page form of the date appears
+		// as an admission date on an unrelated record's detail page.
+		// The extract's only supporting page is then the wrong record —
+		// an unsatisfiable configuration for the strict CSP.
+		i := g.intn(n)
+		j := (i + 2 + g.intn(n-3)) % n
+		if j == i {
+			j = (j + 1) % n
+		}
+		dob := records[i].Fields[4]
+		records[i].Fields[4].DetailValue = isoDate(dob.DetailValue)
+		records[j].Fields = append(records[j].Fields, Field{Label: "Admission:", DetailValue: dob.ListValue})
+	}
+	if p.MissingTownDetail && pageIdx == 1 && n >= 2 {
+		// One record's detail page omits the (shared) town even though
+		// the list page shows it (Canada411).
+		k := g.intn(n)
+		records[k].Fields[2].DetailValue = ""
+	}
+	return records
+}
+
+// whitePagesRecord: Name, Address, City/State, Phone.
+func whitePagesRecord(p Profile, g *gen, sharedTown string) Record {
+	town := g.cityState()
+	if p.SharedTown {
+		town = sharedTown
+	}
+	addr := g.address()
+	listAddr := addr
+	if g.prob(p.MissingFieldRate) {
+		// The Superpages disjunction: the list shows a gray
+		// "street address not available" note instead of an address;
+		// the detail page simply omits the field.
+		addr = ""
+		listAddr = ""
+	}
+	name := g.personName()
+	phone := g.phone()
+	return Record{Fields: []Field{
+		{Label: "Name:", ListValue: name, DetailValue: name},
+		{Label: "Address:", ListValue: listAddr, DetailValue: addr},
+		{Label: "City:", ListValue: town, DetailValue: town},
+		{Label: "Phone:", ListValue: phone, DetailValue: phone},
+	}}
+}
+
+// bookRecord: Title, Author(s), Price, Format.
+func bookRecord(p Profile, g *gen) Record {
+	title := g.bookTitle()
+	author := g.personName()
+	listAuthor, detailAuthor := author, author
+	if p.EtAl && g.prob(0.3) {
+		// Multi-author work: abbreviated on the list page, spelled out
+		// on the detail page (Amazon's "et al" case).
+		full := author + ", " + g.personName() + ", " + g.personName()
+		listAuthor = author + ", et al"
+		detailAuthor = full
+	}
+	price := g.price()
+	listPrice := price
+	if p.DiscountPrices {
+		// The list page advertises a discount, so the two views never
+		// agree on the price string.
+		listPrice = g.price()
+	}
+	format := g.pick(bookFormats)
+	listFormat := format
+	if g.prob(p.MissingFieldRate) {
+		listFormat = ""
+	}
+	return Record{Fields: []Field{
+		{Label: "Title:", ListValue: title, DetailValue: title},
+		{Label: "Author:", ListValue: listAuthor, DetailValue: detailAuthor},
+		{Label: "Price:", ListValue: listPrice, DetailValue: price},
+		{Label: "Format:", ListValue: listFormat, DetailValue: format},
+	}}
+}
+
+// taxRecord: Parcel, Owner, Property address, Assessed value, Annual tax.
+func taxRecord(g *gen) Record {
+	parcel := g.parcelID()
+	owner := g.personName()
+	addr := g.address()
+	assessed := g.dollars(40000, 900000)
+	tax := g.dollars(800, 20000)
+	return Record{Fields: []Field{
+		{Label: "Parcel:", ListValue: parcel, DetailValue: parcel},
+		{Label: "Owner:", ListValue: owner, DetailValue: owner},
+		{Label: "Property:", ListValue: addr, DetailValue: addr},
+		{Label: "Assessed:", ListValue: assessed, DetailValue: assessed},
+		{Label: "Tax:", ListValue: tax, DetailValue: tax},
+	}}
+}
+
+// correctionsRecord: DOC number, Name, Status, Facility, Birth date.
+func correctionsRecord(p Profile, g *gen) Record {
+	id := g.inmateID()
+	name := g.personName()
+	listName := name
+	if p.CaseMismatchName {
+		// Minnesota's case mismatch: the list page is ALL-CAPS, the
+		// detail page is capitalized — exact matching fails.
+		listName = strings.ToUpper(name)
+	}
+	status := g.pick(inmateStatuses)
+	if p.StatusMismatch && status == "Parole" {
+		// Keep "Parole" exclusive to the planted mismatch record so
+		// the confounder analysis stays exact.
+		status = "Probation"
+	}
+	facility := g.pick(g.facilityPool)
+	listFacility := facility
+	if g.prob(p.MissingFieldRate) {
+		listFacility = ""
+	}
+	dob := g.date(1950, 1986)
+	return Record{Fields: []Field{
+		{Label: "Number:", ListValue: id, DetailValue: id},
+		{Label: "Name:", ListValue: listName, DetailValue: name},
+		{Label: "Status:", ListValue: status, DetailValue: status},
+		{Label: "Facility:", ListValue: listFacility, DetailValue: facility},
+		{Label: "DOB:", ListValue: dob, DetailValue: dob},
+	}}
+}
+
+// isoDate converts "MM/DD/YYYY" to "YYYY-MM-DD" (the alternate detail
+// formatting used by the DateConfound pathology). Malformed input is
+// returned unchanged.
+func isoDate(mdy string) string {
+	parts := strings.Split(mdy, "/")
+	if len(parts) != 3 {
+		return mdy
+	}
+	return parts[2] + "-" + parts[0] + "-" + parts[1]
+}

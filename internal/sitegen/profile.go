@@ -1,0 +1,212 @@
+package sitegen
+
+import "fmt"
+
+// Domain is one of the paper's four information domains.
+type Domain int
+
+const (
+	// Books: online book sellers (Amazon, BNBooks).
+	Books Domain = iota
+	// PropertyTax: county property-tax lookups (Allegheny, Butler, Lee).
+	PropertyTax
+	// WhitePages: people-search sites (Superpages, Yahoo People,
+	// Canada411, SprintCanada).
+	WhitePages
+	// Corrections: state inmate lookups (Ohio, Minnesota, Michigan).
+	Corrections
+)
+
+func (d Domain) String() string {
+	switch d {
+	case Books:
+		return "books"
+	case PropertyTax:
+		return "property-tax"
+	case WhitePages:
+		return "white-pages"
+	case Corrections:
+		return "corrections"
+	default:
+		return "unknown"
+	}
+}
+
+// Layout is the list-page presentation style (§6.1 describes the range:
+// grid-like tables, free-form blocks, numbered entries).
+type Layout int
+
+const (
+	// Grid: a bordered <table> with one <tr> per record.
+	Grid Layout = iota
+	// FreeForm: per-record blocks separated by <hr>, fields on <br>
+	// lines.
+	FreeForm
+	// Numbered: an <ol>-style list with literal "1." entry numbers
+	// (the layout that breaks page-template finding).
+	Numbered
+)
+
+func (l Layout) String() string {
+	switch l {
+	case Grid:
+		return "grid"
+	case FreeForm:
+		return "free-form"
+	default:
+		return "numbered"
+	}
+}
+
+// Profile describes one synthetic site: its namesake's domain, layout,
+// record counts and pathologies.
+type Profile struct {
+	// Name is the paper's site name; Slug is a filesystem-safe id.
+	Name, Slug string
+	Domain     Domain
+	Layout     Layout
+	// RecordsPerList gives the record count of each of the two sampled
+	// list pages, taken from Table 4's row sums.
+	RecordsPerList [2]int
+	// Notes echoes the paper's Table 4 note letters expected for the
+	// site (a: template problem, b: entire page used, c: no CSP
+	// solution, d: constraints relaxed).
+	Notes string
+
+	// Pathologies (§6.3):
+
+	// BrowsingHistory puts the titles of earlier records on later
+	// detail pages (Amazon's browsing-history box).
+	BrowsingHistory bool
+	// EtAl abbreviates multi-author lists on the list page ("A. B., et
+	// al") while detail pages show all authors.
+	EtAl bool
+	// DiscountPrices shows a discounted price on the list page while
+	// the detail page shows the full price (Amazon), so price extracts
+	// carry no detail-page evidence.
+	DiscountPrices bool
+	// CaseMismatchName renders names ALL-CAPS on list pages but
+	// capitalized on detail pages (Minnesota).
+	CaseMismatchName bool
+	// StatusMismatch renders one inmate's status as "Parole" on the
+	// list page and "Parolee" on the detail page, with the bare word
+	// "Parole" also planted on an unrelated detail page (Michigan).
+	StatusMismatch bool
+	// DateConfound formats one record's birth date differently on its
+	// own detail page while planting the list-page form on an
+	// unrelated record's detail page (Minnesota's value mismatch).
+	DateConfound bool
+	// MissingTownDetail drops the (shared) town from exactly one
+	// record's detail page on the second list page (Canada411).
+	MissingTownDetail bool
+	// ContinuousNumbering makes the second list page's entry numbers
+	// continue from the first ("11.", "12.", ...) instead of
+	// restarting at "1.". §6.3 observes that the next page of results
+	// then has different entry numbers, so the numbers never become
+	// template tokens and the numbered-entry pathology dissolves.
+	ContinuousNumbering bool
+	// VolatileHeader randomizes header/footer content per page so no
+	// useful page template exists (Yahoo People, Superpages).
+	VolatileHeader bool
+	// ListJunk adds sponsored content to the list page that also
+	// appears on some detail pages (harmful under whole-page
+	// fallback).
+	ListJunk bool
+	// SharedTown uses one town for every record on a page (Canada411's
+	// uniform locality).
+	SharedTown bool
+
+	// MissingFieldRate is the probability that an optional field is
+	// absent from a record.
+	MissingFieldRate float64
+	// DuplicateRate is the probability that a record reuses the
+	// previous record's name and phone (the Superpages "John Smith"
+	// example).
+	DuplicateRate float64
+	// PollutionRate is the probability that a record's detail page
+	// carries another random record's leading field value (a
+	// rate-controlled generalization of Amazon's browsing-history
+	// pollution, used by the stress sweep).
+	PollutionRate float64
+}
+
+// Profiles returns the twelve site profiles of the paper's evaluation,
+// in the order of Table 4.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "Amazon Books", Slug: "amazon", Domain: Books, Layout: Numbered,
+			RecordsPerList: [2]int{10, 10}, Notes: "a,b",
+			BrowsingHistory: true, EtAl: true, ListJunk: true, DiscountPrices: true,
+			MissingFieldRate: 0.1,
+		},
+		{
+			Name: "BN Books", Slug: "bnbooks", Domain: Books, Layout: Numbered,
+			RecordsPerList: [2]int{10, 10}, Notes: "a,b,c,d",
+			EtAl: true, ListJunk: true, DiscountPrices: true,
+			MissingFieldRate: 0.15,
+		},
+		{
+			Name: "Allegheny County", Slug: "allegheny", Domain: PropertyTax, Layout: Grid,
+			RecordsPerList: [2]int{20, 20},
+		},
+		{
+			Name: "Butler County", Slug: "butler", Domain: PropertyTax, Layout: Grid,
+			RecordsPerList: [2]int{15, 12},
+		},
+		{
+			Name: "Lee County", Slug: "lee", Domain: PropertyTax, Layout: Grid,
+			RecordsPerList: [2]int{16, 5},
+		},
+		{
+			Name: "Michigan Corrections", Slug: "michigan", Domain: Corrections, Layout: Grid,
+			RecordsPerList: [2]int{7, 16}, Notes: "c,d",
+			StatusMismatch:   true,
+			MissingFieldRate: 0.05,
+		},
+		{
+			Name: "Minnesota Corrections", Slug: "minnesota", Domain: Corrections, Layout: Numbered,
+			RecordsPerList: [2]int{11, 19}, Notes: "a,b,c,d",
+			CaseMismatchName: true, DateConfound: true,
+			MissingFieldRate: 0.05,
+		},
+		{
+			Name: "Ohio Corrections", Slug: "ohio", Domain: Corrections, Layout: Grid,
+			RecordsPerList:   [2]int{10, 10},
+			MissingFieldRate: 0.05,
+		},
+		{
+			Name: "Canada 411", Slug: "canada411", Domain: WhitePages, Layout: FreeForm,
+			RecordsPerList: [2]int{25, 5}, Notes: "c,d",
+			MissingTownDetail: true, SharedTown: true,
+			MissingFieldRate: 0.08, DuplicateRate: 0.08,
+		},
+		{
+			Name: "Sprint Canada", Slug: "sprintcanada", Domain: WhitePages, Layout: Grid,
+			RecordsPerList:   [2]int{20, 20},
+			MissingFieldRate: 0.3, DuplicateRate: 0.25,
+		},
+		{
+			Name: "Yahoo People", Slug: "yahoo", Domain: WhitePages, Layout: FreeForm,
+			RecordsPerList: [2]int{10, 10}, Notes: "a,b,c,d",
+			VolatileHeader: true, ListJunk: true,
+			MissingFieldRate: 0.1, DuplicateRate: 0.1,
+		},
+		{
+			Name: "Superpages", Slug: "superpages", Domain: WhitePages, Layout: FreeForm,
+			RecordsPerList: [2]int{3, 15}, Notes: "a,b",
+			VolatileHeader: true, ListJunk: true,
+			MissingFieldRate: 0.15, DuplicateRate: 0.15,
+		},
+	}
+}
+
+// ProfileBySlug finds a profile by its slug.
+func ProfileBySlug(slug string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Slug == slug {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("sitegen: unknown site %q", slug)
+}

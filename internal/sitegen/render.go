@@ -1,0 +1,273 @@
+package sitegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// navLinks renders the Next/Previous anchors connecting the result
+// pages (every real results site has them; §6.3 proposes following
+// "Next" to collect sample pages automatically).
+func navLinks(b *strings.Builder, pageIdx, numPages int) {
+	b.WriteString("<p>")
+	if pageIdx > 0 {
+		fmt.Fprintf(b, `<a href="list%d.html">Previous</a> `, pageIdx)
+	}
+	if pageIdx+1 < numPages {
+		fmt.Fprintf(b, `<a href="list%d.html">Next</a>`, pageIdx+2)
+	}
+	b.WriteString("</p>\n")
+}
+
+// renderListPage produces a list page's HTML plus per-record ground
+// truth spans.
+func renderListPage(p Profile, g *gen, pageIdx int, records []Record) ListPage {
+	var b strings.Builder
+	lp := ListPage{}
+
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", p.Name)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", p.Name)
+	if p.VolatileHeader {
+		// No stable text survives across pages: the per-page promo
+		// content is unique, so template induction finds no usable
+		// skeleton (the paper's "page template problem").
+		fmt.Fprintf(&b, "<p>%s</p>\n", g.promoLine())
+		fmt.Fprintf(&b, "<p>%s %d %s %s</p>\n", g.promoWord(), len(records), g.promoWord(), g.promoWord())
+	} else {
+		b.WriteString("<p>Search Results Below - Refine Query | Advanced Options | Saved Lists</p>\n")
+		fmt.Fprintf(&b, "<p>Displaying %d Matching Listings</p>\n", len(records))
+	}
+
+	if p.ListJunk && len(records) >= 2 {
+		// Sponsored content above the table that echoes record data:
+		// harmless when the table slot is found, poisonous under the
+		// whole-page fallback (the books/Yahoo pathology).
+		// Sponsored wording churns per page (campaign ids, rotating
+		// copy), so it never becomes template text.
+		switch p.Domain {
+		case Books:
+			fmt.Fprintf(&b, "<p>Customers also bought <i>%s</i> %s %d</p>\n", records[1].Fields[0].DetailValue, g.promoWord(), g.intn(100000))
+		default:
+			fmt.Fprintf(&b, "<p>Sponsored %d - find neighbors of <i>%s</i> %s</p>\n", g.intn(100000), records[1].Fields[0].DetailValue, g.promoWord())
+		}
+	}
+
+	switch p.Layout {
+	case Grid:
+		renderGrid(&b, &lp, p, pageIdx, records)
+	case FreeForm:
+		renderFreeForm(&b, &lp, pageIdx, records)
+	case Numbered:
+		renderNumbered(&b, &lp, p, pageIdx, records)
+	}
+
+	if p.ListJunk && len(records) >= 1 {
+		switch p.Domain {
+		case Books:
+			fmt.Fprintf(&b, "<p>Readers who enjoyed <i>%s</i> wrote %d reviews %s</p>\n", records[0].Fields[0].DetailValue, g.intn(100000), g.promoWord())
+		default:
+			fmt.Fprintf(&b, "<p>Maps %d near <i>%s</i> %s provided</p>\n", g.intn(100000), records[0].Fields[2].DetailValue, g.promoWord())
+		}
+	}
+
+	// Advertisement links sit next to the record links — the
+	// extraneous links a crawler must classify away (§6.1).
+	for a := 0; a < adsPerList; a++ {
+		fmt.Fprintf(&b, `<p><a href="%s">Sponsored Link</a></p>`+"\n", adHref(pageIdx, a))
+	}
+
+	navLinks(&b, pageIdx, len(p.RecordsPerList))
+	if p.VolatileHeader {
+		fmt.Fprintf(&b, "<p>%s</p>\n", g.promoLine())
+		fmt.Fprintf(&b, "<p>%s</p>\n", p.Name)
+	} else {
+		fmt.Fprintf(&b, "<p>Copyright 2004 %s Inc - Terms Privacy Contact Help About</p>\n", p.Name)
+	}
+	b.WriteString("</body></html>\n")
+
+	lp.HTML = b.String()
+	for i := range records {
+		lp.Truth[i].Values = records[i].ListValues()
+	}
+	return lp
+}
+
+// beginRecord/endRecord capture ground-truth byte spans while rendering.
+func beginRecord(b *strings.Builder, lp *ListPage) {
+	lp.Truth = append(lp.Truth, TruthRecord{Start: b.Len()})
+}
+
+func endRecord(b *strings.Builder, lp *ListPage) {
+	lp.Truth[len(lp.Truth)-1].End = b.Len()
+}
+
+// detailHref names the detail page linked from record ri of list page
+// pageIdx. The scheme matches the file names cmd/sitegen writes, so a
+// rendered corpus is directly crawlable from disk.
+func detailHref(pageIdx, ri int) string {
+	return fmt.Sprintf("list%d_detail%d.html", pageIdx+1, ri+1)
+}
+
+// adHref names an advertisement page linked from list page pageIdx.
+func adHref(pageIdx, ai int) string {
+	return fmt.Sprintf("list%d_ad%d.html", pageIdx+1, ai+1)
+}
+
+// renderGrid renders a bordered table with a header row of column
+// labels, one <tr> per record (the property-tax and Sprint style).
+func renderGrid(b *strings.Builder, lp *ListPage, p Profile, pageIdx int, records []Record) {
+	b.WriteString(`<table border="1">` + "\n<tr>")
+	if len(records) > 0 {
+		for _, f := range records[0].Fields {
+			fmt.Fprintf(b, "<th>%s</th>", strings.TrimSuffix(f.Label, ":"))
+		}
+	}
+	b.WriteString("</tr>\n")
+	for i := range records {
+		beginRecord(b, lp)
+		b.WriteString("<tr>")
+		for fi, f := range records[i].Fields {
+			v := f.ListValue
+			if v == "" {
+				v = "&nbsp;"
+			}
+			if fi == 0 {
+				fmt.Fprintf(b, `<td><a href="%s">%s</a></td>`, detailHref(pageIdx, i), v)
+			} else {
+				fmt.Fprintf(b, "<td>%s</td>", v)
+			}
+		}
+		b.WriteString("</tr>\n")
+		endRecord(b, lp)
+	}
+	b.WriteString("</table>\n")
+}
+
+// renderFreeForm renders per-record blocks separated by <hr> (the
+// white-pages style), with the Superpages missing-address disjunction:
+// a gray note with different markup replaces an absent address.
+func renderFreeForm(b *strings.Builder, lp *ListPage, pageIdx int, records []Record) {
+	for i := range records {
+		beginRecord(b, lp)
+		b.WriteString(`<div class="rec">`)
+		fields := records[i].Fields
+		fmt.Fprintf(b, "<b>%s</b><br>", fields[0].ListValue)
+		if fields[1].ListValue != "" {
+			fmt.Fprintf(b, "%s<br>", fields[1].ListValue)
+		} else {
+			b.WriteString(`<font color="gray">street address not available</font><br>`)
+		}
+		fmt.Fprintf(b, "%s<br>", fields[2].ListValue)
+		fmt.Fprintf(b, `%s <a href="%s">More Info</a>`, fields[3].ListValue, detailHref(pageIdx, i))
+		b.WriteString("</div>\n")
+		endRecord(b, lp)
+		b.WriteString("<hr>\n")
+	}
+}
+
+// renderNumbered renders an enumerated list with literal "1." prefixes —
+// the layout whose numbers become spurious template tokens (Amazon,
+// BNBooks, Minnesota).
+func renderNumbered(b *strings.Builder, lp *ListPage, p Profile, pageIdx int, records []Record) {
+	base := 0
+	if p.ContinuousNumbering {
+		for pi := 0; pi < pageIdx; pi++ {
+			base += p.RecordsPerList[pi]
+		}
+	}
+	for i := range records {
+		// The entry number is list-page presentation, not record data:
+		// the ground-truth span starts after it (a human judge scores
+		// the record's fields, not its ordinal).
+		fmt.Fprintf(b, "<p><b>%d.</b> ", base+i+1)
+		beginRecord(b, lp)
+		fields := records[i].Fields
+		switch p.Domain {
+		case Books:
+			fmt.Fprintf(b, `<a href="%s">%s</a> by <i>%s</i><br>`, detailHref(pageIdx, i), fields[0].ListValue, fields[1].ListValue)
+			fmt.Fprintf(b, "%s", fields[2].ListValue)
+			if fields[3].ListValue != "" {
+				fmt.Fprintf(b, " <i>%s</i>", fields[3].ListValue)
+			}
+		default: // corrections style
+			fmt.Fprintf(b, `<a href="%s">%s</a> <b>%s</b><br>`, detailHref(pageIdx, i), fields[0].ListValue, fields[1].ListValue)
+			rest := make([]string, 0, 3)
+			for _, f := range fields[2:] {
+				if f.ListValue != "" {
+					rest = append(rest, f.ListValue)
+				}
+			}
+			b.WriteString(strings.Join(rest, " | "))
+		}
+		b.WriteString("</p>\n")
+		endRecord(b, lp)
+	}
+}
+
+// renderDetailPage renders one record's detail page. All detail pages of
+// a site share a fixed template, so page boilerplate appears on every
+// detail page and is filtered out of the analysis (§3.2).
+func renderDetailPage(p Profile, g *gen, r *Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s Record Detail</title></head><body>\n", p.Name)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n<h2>Full Record Information</h2>\n<table>\n", p.Name)
+	for _, f := range r.Fields {
+		if f.DetailValue == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td></tr>\n", f.Label, f.DetailValue)
+	}
+	b.WriteString("</table>\n")
+	if len(r.HistoryTitles) > 0 {
+		b.WriteString("<h3>Recently Viewed Items</h3>\n<ul>\n")
+		for _, t := range r.HistoryTitles {
+			fmt.Fprintf(&b, "<li>%s</li>\n", t)
+		}
+		b.WriteString("</ul>\n")
+	}
+	if r.ConfoundNote != "" {
+		fmt.Fprintf(&b, "<p>%s</p>\n", r.ConfoundNote)
+	}
+	b.WriteString("<p>Maps Directions Printer Friendly Version Email This Listing</p>\n")
+	fmt.Fprintf(&b, "<p>Copyright 2004 %s Inc - Terms Privacy Contact Help About</p>\n", p.Name)
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// renderAdPage renders an advertisement page. Each ad has its own
+// one-off structure and vocabulary, so ads neither resemble the site's
+// detail pages nor each other — the property §6.1's classification
+// approach relies on.
+func renderAdPage(g *gen) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s %d</title></head><body>\n", g.promoWord(), g.intn(100000))
+	n := 2 + g.intn(4)
+	for i := 0; i < n; i++ {
+		switch g.intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "<h%d>%s</h%d>\n", 1+g.intn(3), g.promoLine(), 1+g.intn(3))
+		case 1:
+			fmt.Fprintf(&b, "<div><i>%s %s</i> %d</div>\n", g.promoWord(), g.promoWord(), g.intn(100000))
+		default:
+			fmt.Fprintf(&b, "<p>%s</p>\n", g.promoLine())
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// promoLine emits a page-unique sponsored sentence (volatile headers).
+func (g *gen) promoLine() string {
+	words := make([]string, 0, 8)
+	for k := 0; k < 4; k++ {
+		words = append(words, g.promoWord(), itoa(10000+g.intn(90000)))
+	}
+	return strings.Join(words, " ")
+}
+
+var promoWords = []string{
+	"Save", "Deals", "Offer", "Bonus", "Win", "Free", "Limited", "Special",
+	"Discount", "Promo", "Today", "Exclusive", "Hot", "Featured", "Extra",
+}
+
+func (g *gen) promoWord() string { return g.pick(promoWords) }

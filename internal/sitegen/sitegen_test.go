@@ -1,0 +1,422 @@
+package sitegen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 12 {
+		t.Fatalf("got %d profiles, want 12", len(ps))
+	}
+	slugs := map[string]bool{}
+	perDomain := map[Domain]int{}
+	for _, p := range ps {
+		if p.Name == "" || p.Slug == "" {
+			t.Errorf("profile missing name/slug: %+v", p)
+		}
+		if slugs[p.Slug] {
+			t.Errorf("duplicate slug %q", p.Slug)
+		}
+		slugs[p.Slug] = true
+		perDomain[p.Domain]++
+		for _, n := range p.RecordsPerList {
+			if n <= 0 {
+				t.Errorf("%s: non-positive record count", p.Slug)
+			}
+		}
+	}
+	// The paper's four domains: 2 book sellers, 3 property tax, 4 white
+	// pages, 3 corrections.
+	want := map[Domain]int{Books: 2, PropertyTax: 3, WhitePages: 4, Corrections: 3}
+	for d, n := range want {
+		if perDomain[d] != n {
+			t.Errorf("domain %v has %d sites, want %d", d, perDomain[d], n)
+		}
+	}
+}
+
+func TestProfileBySlug(t *testing.T) {
+	p, err := ProfileBySlug("superpages")
+	if err != nil || p.Name != "Superpages" {
+		t.Errorf("ProfileBySlug(superpages) = %v, %v", p.Name, err)
+	}
+	if _, err := ProfileBySlug("nope"); err == nil {
+		t.Error("unknown slug must error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, p := range Profiles() {
+		a := Generate(p, 7)
+		b := Generate(p, 7)
+		for li := range a.Lists {
+			if a.Lists[li].HTML != b.Lists[li].HTML {
+				t.Fatalf("%s: list %d differs between runs of the same seed", p.Slug, li)
+			}
+			for di := range a.Lists[li].Details {
+				if a.Lists[li].Details[di] != b.Lists[li].Details[di] {
+					t.Fatalf("%s: detail %d/%d differs between runs", p.Slug, li, di)
+				}
+			}
+		}
+		c := Generate(p, 8)
+		if a.Lists[0].HTML == c.Lists[0].HTML {
+			t.Errorf("%s: different seeds produced identical pages", p.Slug)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	for _, p := range Profiles() {
+		site := Generate(p, 42)
+		if len(site.Lists) != 2 {
+			t.Fatalf("%s: %d list pages, want 2", p.Slug, len(site.Lists))
+		}
+		for li, lp := range site.Lists {
+			wantN := p.RecordsPerList[li]
+			if len(lp.Truth) != wantN {
+				t.Errorf("%s list %d: %d truth records, want %d", p.Slug, li, len(lp.Truth), wantN)
+			}
+			if len(lp.Details) != wantN {
+				t.Errorf("%s list %d: %d detail pages, want %d", p.Slug, li, len(lp.Details), wantN)
+			}
+		}
+	}
+}
+
+func TestTruthSpansValid(t *testing.T) {
+	for _, p := range Profiles() {
+		site := Generate(p, 42)
+		for li, lp := range site.Lists {
+			prevEnd := 0
+			for ti, tr := range lp.Truth {
+				if tr.Start < prevEnd || tr.End <= tr.Start || tr.End > len(lp.HTML) {
+					t.Fatalf("%s list %d record %d: bad span [%d,%d) after %d",
+						p.Slug, li, ti, tr.Start, tr.End, prevEnd)
+				}
+				prevEnd = tr.End
+				span := lp.HTML[tr.Start:tr.End]
+				for _, v := range tr.Values {
+					if !strings.Contains(span, v) {
+						t.Errorf("%s list %d record %d: value %q not inside its span", p.Slug, li, ti, v)
+					}
+				}
+				if len(tr.Values) == 0 {
+					t.Errorf("%s list %d record %d: empty truth values", p.Slug, li, ti)
+				}
+			}
+		}
+	}
+}
+
+// Every record's list values (except known mismatch pathologies) must
+// also appear on the corresponding detail page — that redundancy is the
+// premise of the whole paper.
+func TestListDetailRedundancy(t *testing.T) {
+	site := Generate(mustProfile(t, "allegheny"), 42)
+	for li, lp := range site.Lists {
+		for ri, tr := range lp.Truth {
+			detail := lp.Details[ri]
+			for _, v := range tr.Values {
+				if !strings.Contains(detail, v) {
+					t.Errorf("list %d record %d: value %q missing from its detail page", li, ri, v)
+				}
+			}
+		}
+	}
+}
+
+func mustProfile(t *testing.T, slug string) Profile {
+	t.Helper()
+	p, err := ProfileBySlug(slug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAmazonBrowsingHistory(t *testing.T) {
+	site := Generate(mustProfile(t, "amazon"), 42)
+	lp := site.Lists[0]
+	cross := 0
+	for ri, d := range lp.Details {
+		if !strings.Contains(d, "Recently Viewed Items") {
+			t.Fatalf("detail %d missing browsing-history box", ri)
+		}
+		for rj, tr := range lp.Truth {
+			if rj == ri {
+				continue
+			}
+			if strings.Contains(d, tr.Values[0]) {
+				cross++
+			}
+		}
+	}
+	if cross < len(lp.Details) {
+		t.Errorf("browsing history creates only %d cross-record title matches", cross)
+	}
+}
+
+func TestMichiganStatusMismatch(t *testing.T) {
+	site := Generate(mustProfile(t, "michigan"), 42)
+	lp := site.Lists[1] // pathology applies to the second page
+	if !strings.Contains(lp.HTML, ">Parole<") && !strings.Contains(lp.HTML, "Parole</td>") {
+		t.Fatal("list page 2 has no Parole status")
+	}
+	parolee, confound := false, false
+	for _, d := range lp.Details {
+		if strings.Contains(d, "Parolee") {
+			parolee = true
+		}
+		if strings.Contains(d, "Eligible for Parole review") {
+			confound = true
+		}
+	}
+	if !parolee {
+		t.Error("no detail page shows Parolee")
+	}
+	if !confound {
+		t.Error("no detail page carries the Parole confounder")
+	}
+	// Page 1 must NOT contain Parole (otherwise the all-list-pages
+	// filter would neutralize the pathology).
+	if strings.Contains(site.Lists[0].HTML, "Parole") {
+		t.Error("Parole leaked onto list page 1")
+	}
+}
+
+func TestMinnesotaCaseMismatch(t *testing.T) {
+	site := Generate(mustProfile(t, "minnesota"), 42)
+	lp := site.Lists[0]
+	foundUpper := false
+	for ri, tr := range lp.Truth {
+		name := tr.Values[1] // Number, NAME, ...
+		if name == strings.ToUpper(name) && strings.ContainsAny(name, "ABCDEFGHIJKLMNOPQRSTUVWXYZ") {
+			foundUpper = true
+			if strings.Contains(lp.Details[ri], name) {
+				t.Errorf("record %d: ALL-CAPS name %q appears verbatim on detail page (mismatch lost)", ri, name)
+			}
+		}
+	}
+	if !foundUpper {
+		t.Error("no ALL-CAPS names on the Minnesota list page")
+	}
+}
+
+func TestMinnesotaDateConfound(t *testing.T) {
+	site := Generate(mustProfile(t, "minnesota"), 42)
+	for li, lp := range site.Lists {
+		found := false
+		for _, d := range lp.Details {
+			if strings.Contains(d, "Admission:") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("list %d: no planted admission date", li)
+		}
+	}
+}
+
+func TestCanada411MissingTown(t *testing.T) {
+	site := Generate(mustProfile(t, "canada411"), 42)
+	lp := site.Lists[1]
+	town := lp.Truth[0].Values[2] // shared town appears as the city field
+	missing := 0
+	for _, d := range lp.Details {
+		if !strings.Contains(d, town) {
+			missing++
+		}
+	}
+	if missing != 1 {
+		t.Errorf("town missing from %d detail pages, want exactly 1", missing)
+	}
+	// Page 1 keeps the town everywhere (it gets filtered as
+	// appearing on all detail pages).
+	lp0 := site.Lists[0]
+	town0 := lp0.Truth[0].Values[2]
+	for ri, d := range lp0.Details {
+		if !strings.Contains(d, town0) {
+			t.Errorf("page 1 detail %d unexpectedly missing town", ri)
+		}
+	}
+}
+
+func TestSuperpagesDisjunction(t *testing.T) {
+	site := Generate(mustProfile(t, "superpages"), 42)
+	found := false
+	for _, lp := range site.Lists {
+		if strings.Contains(lp.HTML, "street address not available") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no missing-address disjunction rendered (raise MissingFieldRate or reseed)")
+	}
+}
+
+func TestAmazonDiscountPrices(t *testing.T) {
+	site := Generate(mustProfile(t, "amazon"), 42)
+	lp := site.Lists[0]
+	mismatches := 0
+	for ri, tr := range lp.Truth {
+		for _, v := range tr.Values {
+			if strings.HasPrefix(v, "$") && !strings.Contains(lp.Details[ri], v) {
+				mismatches++
+			}
+		}
+	}
+	if mismatches < len(lp.Truth)/2 {
+		t.Errorf("only %d list prices differ from detail prices", mismatches)
+	}
+}
+
+func TestIsoDate(t *testing.T) {
+	if got := isoDate("03/15/1964"); got != "1964-03-15" {
+		t.Errorf("isoDate = %q", got)
+	}
+	if got := isoDate("garbage"); got != "garbage" {
+		t.Errorf("malformed input altered: %q", got)
+	}
+}
+
+func TestDomainLayoutStrings(t *testing.T) {
+	if Books.String() != "books" || PropertyTax.String() != "property-tax" ||
+		WhitePages.String() != "white-pages" || Corrections.String() != "corrections" ||
+		Domain(99).String() != "unknown" {
+		t.Error("domain strings")
+	}
+	if Grid.String() != "grid" || FreeForm.String() != "free-form" || Numbered.String() != "numbered" {
+		t.Error("layout strings")
+	}
+}
+
+func TestGenerateBySlug(t *testing.T) {
+	s, err := GenerateBySlug("ohio", 1)
+	if err != nil || s.Profile.Slug != "ohio" {
+		t.Errorf("GenerateBySlug: %v %v", s, err)
+	}
+	if _, err := GenerateBySlug("nope", 1); err == nil {
+		t.Error("unknown slug must error")
+	}
+}
+
+func TestDataHelpers(t *testing.T) {
+	g := newGen(3)
+	phones := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		p := g.phone()
+		if phones[p] {
+			t.Fatalf("duplicate phone %q", p)
+		}
+		phones[p] = true
+	}
+	ids := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		id := g.parcelID()
+		if ids[id] {
+			t.Fatalf("duplicate parcel %q", id)
+		}
+		ids[id] = true
+	}
+	if d := g.dollars(1000, 2000); !strings.HasPrefix(d, "$1,") {
+		t.Errorf("dollars formatting: %q", d)
+	}
+	if dt := g.date(1960, 1961); !strings.HasSuffix(dt, "/1960") {
+		t.Errorf("date formatting: %q", dt)
+	}
+	if len(g.subset(cities, 4)) != 4 {
+		t.Error("subset size")
+	}
+}
+
+func TestItoaPad(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", 1234: "1234", -5: "-5"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q", v, got)
+		}
+	}
+	if pad2(7) != "07" || pad4(42) != "0042" || pad6(123) != "000123" {
+		t.Error("padding")
+	}
+	if pad2(123) != "23" {
+		t.Errorf("pad2 overflow: %q", pad2(123))
+	}
+}
+
+func TestListValues(t *testing.T) {
+	r := Record{Fields: []Field{
+		{ListValue: "a"}, {ListValue: ""}, {ListValue: "c"},
+	}}
+	got := r.ListValues()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("ListValues = %v", got)
+	}
+}
+
+func TestSiteMap(t *testing.T) {
+	site := Generate(mustProfile(t, "lee"), 42)
+	m := site.SiteMap()
+	if _, ok := m["/index.html"]; !ok {
+		t.Error("no index page")
+	}
+	if _, ok := m["/list1.html"]; !ok {
+		t.Error("no list1")
+	}
+	wantPages := 1 // index
+	for li, lp := range site.Lists {
+		wantPages += 1 + len(lp.Details) + len(lp.Ads)
+		if m[fmt.Sprintf("/list%d.html", li+1)] != lp.HTML {
+			t.Errorf("list %d body mismatch", li+1)
+		}
+	}
+	if len(m) != wantPages {
+		t.Errorf("site map has %d pages, want %d", len(m), wantPages)
+	}
+	// Every href on the list pages resolves within the map.
+	for li := range site.Lists {
+		html := m[fmt.Sprintf("/list%d.html", li+1)]
+		for _, name := range []string{"_detail1.html", "_ad1.html"} {
+			want := fmt.Sprintf("list%d%s", li+1, name)
+			if !strings.Contains(html, want) {
+				t.Errorf("list %d missing link to %s", li+1, want)
+			}
+			if _, ok := m["/"+want]; !ok {
+				t.Errorf("site map missing %s", want)
+			}
+		}
+	}
+}
+
+func TestGenerateVerticalDemo(t *testing.T) {
+	site := GenerateVerticalDemo(3, 4)
+	if len(site.Lists) != 2 {
+		t.Fatalf("%d lists", len(site.Lists))
+	}
+	for li, lp := range site.Lists {
+		if len(lp.Truth) != 4 || len(lp.Details) != 4 {
+			t.Errorf("list %d: %d truth, %d details", li, len(lp.Truth), len(lp.Details))
+		}
+		for ti, tr := range lp.Truth {
+			if len(tr.Values) != 4 {
+				t.Errorf("list %d record %d: %d values", li, ti, len(tr.Values))
+			}
+			for _, v := range tr.Values {
+				if !strings.Contains(lp.HTML, v) {
+					t.Errorf("list %d record %d: value %q not on page", li, ti, v)
+				}
+				if !strings.Contains(lp.Details[ti], v) {
+					t.Errorf("list %d record %d: value %q not on its detail page", li, ti, v)
+				}
+			}
+		}
+	}
+	// Deterministic.
+	if GenerateVerticalDemo(3, 4).Lists[0].HTML != site.Lists[0].HTML {
+		t.Error("vertical demo not deterministic")
+	}
+}

@@ -1,0 +1,84 @@
+package sitegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenerateVerticalDemo builds a site whose list pages lay the table out
+// vertically: each <tr> holds one attribute across all records, so the
+// records run down the columns. §3 notes this layout exists but is out
+// of scope for the paper's methods; the internal/vertical extension
+// detects it and transposes the extract stream. The demo site is not
+// part of the twelve-site Table 4 corpus.
+//
+// Because a vertical record's list-page appearance is discontiguous,
+// TruthRecord spans cannot describe it; Truth carries only the Values
+// (Start/End are zero) and callers score by record content.
+func GenerateVerticalDemo(seed int64, numRecords int) *Site {
+	g := newGen(seed*7919 + 13)
+	p := Profile{
+		Name: "Vertical Demo Registry", Slug: "verticaldemo",
+		Domain: WhitePages, Layout: Grid,
+		RecordsPerList: [2]int{numRecords, numRecords},
+	}
+	site := &Site{Profile: p, Seed: seed}
+	for pageIdx := 0; pageIdx < 2; pageIdx++ {
+		records := make([]Record, numRecords)
+		for i := range records {
+			records[i] = verticalRecord(g)
+		}
+		lp := renderVerticalList(p, records)
+		for ri := range records {
+			lp.Details = append(lp.Details, renderDetailPage(p, g, &records[ri]))
+		}
+		site.Lists = append(site.Lists, lp)
+	}
+	return site
+}
+
+// verticalRecord uses high-cardinality fields only, so every cell's
+// detail evidence points at its own record (a comparison layout of
+// distinct entities, as real side-by-side views are).
+func verticalRecord(g *gen) Record {
+	name := g.personName()
+	addr := g.address()
+	id := g.parcelID()
+	phone := g.phone()
+	return Record{Fields: []Field{
+		{Label: "Name:", ListValue: name, DetailValue: name},
+		{Label: "Address:", ListValue: addr, DetailValue: addr},
+		{Label: "Account:", ListValue: id, DetailValue: id},
+		{Label: "Phone:", ListValue: phone, DetailValue: phone},
+	}}
+}
+
+// renderVerticalList renders one attribute per table row, one record
+// per column.
+func renderVerticalList(p Profile, records []Record) ListPage {
+	var b strings.Builder
+	lp := ListPage{}
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n<h1>%s</h1>\n", p.Name, p.Name)
+	b.WriteString("<p>Side By Side Comparison Of Matching Entries Below</p>\n")
+	b.WriteString(`<table border="1">` + "\n")
+	if len(records) > 0 {
+		for fi := range records[0].Fields {
+			fmt.Fprintf(&b, "<tr><th>%s</th>", strings.TrimSuffix(records[0].Fields[fi].Label, ":"))
+			for ri := range records {
+				v := records[ri].Fields[fi].ListValue
+				if v == "" {
+					v = "&nbsp;"
+				}
+				fmt.Fprintf(&b, "<td>%s</td>", v)
+			}
+			b.WriteString("</tr>\n")
+		}
+	}
+	b.WriteString("</table>\n")
+	b.WriteString("<p>Copyright 2004 Vertical Demo Registry Inc - Terms Privacy Contact</p>\n</body></html>\n")
+	lp.HTML = b.String()
+	for ri := range records {
+		lp.Truth = append(lp.Truth, TruthRecord{Values: records[ri].ListValues()})
+	}
+	return lp
+}

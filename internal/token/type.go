@@ -1,0 +1,187 @@
+// Package token implements the syntactic token-type system of the paper
+// (§3.1, following Lerman & Minton 2000) and the page tokenizer that
+// turns an HTML document into a flat stream of typed tokens.
+//
+// Each token carries a set of non-mutually-exclusive syntactic types.
+// The paper's eight types are: HTML, punctuation, alphanumeric, and —
+// refinements of alphanumeric — numeric, alphabetic, capitalized,
+// lowercased and allcaps. A token such as "Main" is simultaneously
+// ALNUM, ALPHA and CAPITALIZED; the type set forms a small lattice and
+// is represented here as a bitmask.
+package token
+
+import "strings"
+
+// Type is a bitmask of syntactic token types.
+type Type uint16
+
+// The eight syntactic types of §3.1. They are not mutually exclusive:
+// an alphabetic token always also carries ALNUM and ALPHA bits.
+const (
+	HTML        Type = 1 << iota // an HTML tag (opaque)
+	Punct                        // punctuation characters only
+	Alnum                        // contains letters and/or digits
+	Numeric                      // digits (with optional .,- characters)
+	Alpha                        // letters only (plus '.' or '-' or '\'')
+	Capitalized                  // Alpha starting uppercase, rest lowercase
+	Lowercase                    // Alpha, all lowercase
+	AllCaps                      // Alpha, all uppercase (len > 1 or single cap letter)
+)
+
+// NumTypes is the number of distinct syntactic types (the paper's 8).
+const NumTypes = 8
+
+// typeNames in bit order.
+var typeNames = [NumTypes]string{
+	"HTML", "PUNCT", "ALNUM", "NUMERIC", "ALPHA", "CAPITALIZED", "LOWERCASE", "ALLCAPS",
+}
+
+// String renders the type set as a '|'-joined list, e.g. "ALNUM|ALPHA|CAPITALIZED".
+func (t Type) String() string {
+	if t == 0 {
+		return "NONE"
+	}
+	var parts []string
+	for i := 0; i < NumTypes; i++ {
+		if t&(1<<i) != 0 {
+			parts = append(parts, typeNames[i])
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Has reports whether t contains every bit of q.
+func (t Type) Has(q Type) bool { return t&q == q }
+
+// Bits returns the indices (0..7) of the set type bits, for use as
+// feature indices in the probabilistic model's T_i vector.
+func (t Type) Bits() []int {
+	var out []int
+	for i := 0; i < NumTypes; i++ {
+		if t&(1<<i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Vector returns the token type as the 8-element boolean vector
+// (T_i1..T_i8) used by the probabilistic model of §5.1.
+func (t Type) Vector() [NumTypes]bool {
+	var v [NumTypes]bool
+	for i := 0; i < NumTypes; i++ {
+		v[i] = t&(1<<i) != 0
+	}
+	return v
+}
+
+// TypeOf computes the syntactic type set for a single word token (not an
+// HTML tag). HTML tags get their type from the tokenizer directly.
+func TypeOf(s string) Type {
+	if s == "" {
+		return 0
+	}
+	var (
+		hasLetter, hasDigit, hasOther bool
+		hasUpper, hasLower            bool
+	)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			hasLetter, hasLower = true, true
+		case c >= 'A' && c <= 'Z':
+			hasLetter, hasUpper = true, true
+		case c >= '0' && c <= '9':
+			hasDigit = true
+		default:
+			hasOther = true
+		}
+	}
+	if !hasLetter && !hasDigit {
+		return Punct
+	}
+	t := Alnum
+	if hasDigit && !hasLetter && !hasOtherBeyondNumericPunct(s, hasOther) {
+		t |= Numeric
+	}
+	if hasLetter && !hasDigit && !hasOtherBeyondWordPunct(s, hasOther) {
+		t |= Alpha
+		switch {
+		case hasUpper && !hasLower:
+			t |= AllCaps
+		case !hasUpper && hasLower:
+			t |= Lowercase
+		case isCapitalized(s):
+			t |= Capitalized
+		}
+	}
+	return t
+}
+
+// hasOtherBeyondNumericPunct reports whether s contains non-digit
+// characters other than the punctuation conventionally embedded in
+// numbers, phone numbers and dates ('.', ',', '-', '(', ')', '/', ':').
+func hasOtherBeyondNumericPunct(s string, hasOther bool) bool {
+	if !hasOther {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		switch c {
+		case '.', ',', '-', '(', ')', '/', ':':
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// hasOtherBeyondWordPunct reports whether s contains non-alphanumeric
+// characters other than the intra-word punctuation commonly embedded in
+// names and words (period, hyphen, apostrophe), e.g. "O'Brien",
+// "anti-virus", "Jr.".
+func hasOtherBeyondWordPunct(s string, hasOther bool) bool {
+	if !hasOther {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '.' || c == '-' || c == '\'' {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// isCapitalized reports whether the first letter of s is uppercase and
+// every subsequent letter is lowercase.
+func isCapitalized(s string) bool {
+	first := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		isUp := c >= 'A' && c <= 'Z'
+		isLo := c >= 'a' && c <= 'z'
+		if !isUp && !isLo {
+			continue
+		}
+		if first {
+			if !isUp {
+				return false
+			}
+			first = false
+			continue
+		}
+		if isUp {
+			return false
+		}
+	}
+	return !first
+}

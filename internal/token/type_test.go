@@ -1,0 +1,214 @@
+package token
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeOfBasic(t *testing.T) {
+	cases := []struct {
+		s    string
+		want Type
+	}{
+		{"Smith", Alnum | Alpha | Capitalized},
+		{"smith", Alnum | Alpha | Lowercase},
+		{"SMITH", Alnum | Alpha | AllCaps},
+		{"OH", Alnum | Alpha | AllCaps},
+		{"221", Alnum | Numeric},
+		{"335-5555", Alnum | Numeric},
+		{"(740)", Alnum | Numeric},
+		{"221R", Alnum},
+		{"|", Punct},
+		{"...", Punct},
+		{"$12.99", Alnum},
+		{"O'Brien", Alnum | Alpha}, // mixed case after apostrophe: no case class
+		{"anti-virus", Alnum | Alpha | Lowercase},
+		{"Jr.", Alnum | Alpha | Capitalized},
+		{"McDonald", Alnum | Alpha}, // mixed case: alpha but no case class
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := TypeOf(c.s); got != c.want {
+			t.Errorf("TypeOf(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+// Lattice invariants from §3.1: the refinements imply their parents and
+// the case classes are mutually exclusive.
+func TestTypeLatticeInvariants(t *testing.T) {
+	f := func(s string) bool {
+		ty := TypeOf(s)
+		if ty.Has(Numeric) && !ty.Has(Alnum) {
+			return false
+		}
+		if ty.Has(Alpha) && !ty.Has(Alnum) {
+			return false
+		}
+		for _, c := range []Type{Capitalized, Lowercase, AllCaps} {
+			if ty.Has(c) && !ty.Has(Alpha) {
+				return false
+			}
+		}
+		// Case classes mutually exclusive.
+		n := 0
+		for _, c := range []Type{Capitalized, Lowercase, AllCaps} {
+			if ty.Has(c) {
+				n++
+			}
+		}
+		if n > 1 {
+			return false
+		}
+		// Numeric and Alpha mutually exclusive.
+		if ty.Has(Numeric) && ty.Has(Alpha) {
+			return false
+		}
+		// Punct excludes Alnum and vice versa.
+		if ty.Has(Punct) && ty.Has(Alnum) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := TypeOf("Smith").String(); got != "ALNUM|ALPHA|CAPITALIZED" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Type(0).String(); got != "NONE" {
+		t.Errorf("zero type String() = %q", got)
+	}
+}
+
+func TestTypeVectorAndBits(t *testing.T) {
+	ty := TypeOf("221")
+	v := ty.Vector()
+	bits := ty.Bits()
+	n := 0
+	for i, b := range v {
+		if b {
+			n++
+			found := false
+			for _, bi := range bits {
+				if bi == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("bit %d set in vector but missing from Bits()", i)
+			}
+		}
+	}
+	if n != len(bits) {
+		t.Errorf("vector has %d set bits, Bits() has %d", n, len(bits))
+	}
+}
+
+func TestTokenizePage(t *testing.T) {
+	src := `<html><body><table><tr><td>John Smith</td><td>(740) 335-5555</td></tr></table></body></html>`
+	toks := Tokenize(src)
+	var words, tags []string
+	for _, tk := range toks {
+		if tk.IsHTML() {
+			tags = append(tags, tk.Text)
+		} else {
+			words = append(words, tk.Text)
+		}
+	}
+	wantWords := []string{"John", "Smith", "(740)", "335-5555"}
+	if strings.Join(words, " ") != strings.Join(wantWords, " ") {
+		t.Errorf("words = %v, want %v", words, wantWords)
+	}
+	if tags[0] != "<html>" || tags[len(tags)-1] != "</html>" {
+		t.Errorf("tags = %v", tags)
+	}
+}
+
+func TestTokenizeDropsAttributes(t *testing.T) {
+	a := Tokenize(`<td class="odd" bgcolor="#fff">x</td>`)
+	b := Tokenize(`<td class="even">x</td>`)
+	if len(a) != len(b) {
+		t.Fatalf("token counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Errorf("token %d: %q vs %q — attribute leak into canonical form", i, a[i].Text, b[i].Text)
+		}
+	}
+}
+
+func TestTokenizeSkipsScriptStyleComments(t *testing.T) {
+	src := `<script>var hidden = "SECRET";</script><style>.x{color:red}</style><!-- GONE -->visible`
+	toks := Tokenize(src)
+	for _, tk := range toks {
+		if !tk.IsHTML() && (strings.Contains(tk.Text, "SECRET") || strings.Contains(tk.Text, "GONE") || strings.Contains(tk.Text, "color")) {
+			t.Errorf("invisible content leaked: %q", tk.Text)
+		}
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Text == "visible" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("visible text missing")
+	}
+}
+
+func TestTokenizeEntityDecoding(t *testing.T) {
+	toks := Tokenize(`a&nbsp;b&amp;c`)
+	var words []string
+	for _, tk := range toks {
+		words = append(words, tk.Text)
+	}
+	// &nbsp; becomes a space and splits; &amp; joins b and c as "b&c".
+	want := []string{"a", "b&c"}
+	if strings.Join(words, "|") != strings.Join(want, "|") {
+		t.Errorf("words = %v, want %v", words, want)
+	}
+}
+
+func TestTokenizeSelfClosingCanonical(t *testing.T) {
+	toks := Tokenize(`x<br/>y<br>z`)
+	if toks[1].Text != "<br/>" {
+		t.Errorf("self-closing canonical = %q", toks[1].Text)
+	}
+	if toks[3].Text != "<br>" {
+		t.Errorf("start tag canonical = %q", toks[3].Text)
+	}
+}
+
+func TestJoinAndTexts(t *testing.T) {
+	toks := Tokenize(`<b>Hi there</b>`)
+	if got := Join(toks); got != "<b> Hi there </b>" {
+		t.Errorf("Join = %q", got)
+	}
+	ts := Texts(toks)
+	if len(ts) != 4 || ts[1] != "Hi" {
+		t.Errorf("Texts = %v", ts)
+	}
+}
+
+// Word tokens never contain whitespace, and all tokens are non-empty.
+func TestTokenizeNoWhitespaceTokens(t *testing.T) {
+	f := func(s string) bool {
+		for _, tk := range Tokenize(s) {
+			if tk.Text == "" {
+				return false
+			}
+			if !tk.IsHTML() && strings.ContainsAny(tk.Text, " \t\n\r\f\v") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package vertical handles vertically laid out tables. §3 restricts the
+// paper's methods to horizontal tables ("the records are on separate
+// rows") and notes that vertical layout — records in different columns,
+// one attribute per row — exists but is rare. This package detects the
+// vertical case from the same detail-page observations the segmenters
+// use and computes the permutation that rewrites the extract stream
+// into record-major (horizontal) order, after which the §4/§5 machinery
+// applies unchanged.
+//
+// Detection exploits the defining signature of each layout: reading a
+// horizontal table, adjacent extracts usually belong to the same record
+// (their detail sets intersect); reading a vertical table, adjacent
+// extracts belong to different records (their detail sets are almost
+// always disjoint).
+package vertical
+
+import "sort"
+
+// breakFraction returns the fraction of adjacent analyzed-extract pairs
+// whose candidate sets are disjoint (both non-empty).
+func breakFraction(candidates [][]int) float64 {
+	pairs, breaks := 0, 0
+	for i := 1; i < len(candidates); i++ {
+		a, b := candidates[i-1], candidates[i]
+		if len(a) == 0 || len(b) == 0 {
+			continue
+		}
+		pairs++
+		if !intersects(a, b) {
+			breaks++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(breaks) / float64(pairs)
+}
+
+func intersects(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// DetectThreshold is the adjacent-disjointness fraction above which a
+// table is judged vertical. A horizontal table with K records and n
+// extracts has about K/n disjoint adjacencies; a vertical one has
+// nearly (n-rows)/n.
+const DetectThreshold = 0.6
+
+// IsVertical reports whether the observations look like a vertical
+// table.
+func IsVertical(candidates [][]int) bool {
+	return breakFraction(candidates) > DetectThreshold
+}
+
+// Transpose computes the permutation that rewrites a vertical extract
+// stream into record-major order, assuming the common clean form: the
+// stream is row-major with every row holding exactly one extract per
+// record (rows of length K, n divisible by K). perm[k] gives the
+// original index of the k-th extract in transposed order. ok is false
+// when the stream does not fit that form or the reordering contradicts
+// the detail-page evidence.
+func Transpose(candidates [][]int, numRecords int) (perm []int, ok bool) {
+	n := len(candidates)
+	if numRecords <= 1 || n == 0 || n%numRecords != 0 {
+		return nil, false
+	}
+	rows := n / numRecords
+	perm = make([]int, 0, n)
+	for j := 0; j < numRecords; j++ {
+		for row := 0; row < rows; row++ {
+			perm = append(perm, row*numRecords+j)
+		}
+	}
+	// Verify against the evidence: in transposed order, the extracts
+	// of column j must all admit record j.
+	bad := 0
+	total := 0
+	for k, orig := range perm {
+		j := k / rows
+		if len(candidates[orig]) == 0 {
+			continue
+		}
+		total++
+		if !contains(candidates[orig], j) {
+			bad++
+		}
+	}
+	if total == 0 || float64(bad)/float64(total) > 0.2 {
+		return nil, false
+	}
+	return perm, true
+}
+
+func contains(sorted []int, v int) bool {
+	k := sort.SearchInts(sorted, v)
+	return k < len(sorted) && sorted[k] == v
+}
+
+// Apply permutes a candidate matrix (or any per-extract slice index
+// mapping) into transposed order.
+func Apply[T any](perm []int, items []T) []T {
+	out := make([]T, len(perm))
+	for k, orig := range perm {
+		out[k] = items[orig]
+	}
+	return out
+}
+
+// Invert returns the inverse permutation: inv[orig] = transposed index.
+func Invert(perm []int) []int {
+	inv := make([]int, len(perm))
+	for k, orig := range perm {
+		inv[orig] = k
+	}
+	return inv
+}

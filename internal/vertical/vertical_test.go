@@ -1,0 +1,115 @@
+package vertical
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsVerticalSignatures(t *testing.T) {
+	// Horizontal: record-contiguous candidates.
+	horizontal := [][]int{{0}, {0}, {0}, {1}, {1}, {1}, {2}, {2}, {2}}
+	if IsVertical(horizontal) {
+		t.Error("horizontal stream judged vertical")
+	}
+	// Vertical: row-major over attributes (records 0,1,2 per row).
+	verticalC := [][]int{{0}, {1}, {2}, {0}, {1}, {2}, {0}, {1}, {2}}
+	if !IsVertical(verticalC) {
+		t.Error("vertical stream judged horizontal")
+	}
+	if IsVertical(nil) {
+		t.Error("empty stream judged vertical")
+	}
+}
+
+func TestTransposeCleanStream(t *testing.T) {
+	cands := [][]int{{0}, {1}, {2}, {0}, {1}, {2}}
+	perm, ok := Transpose(cands, 3)
+	if !ok {
+		t.Fatal("transpose rejected a clean vertical stream")
+	}
+	want := []int{0, 3, 1, 4, 2, 5}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+	// After applying, candidates are record-contiguous.
+	re := Apply(perm, cands)
+	wantRe := [][]int{{0}, {0}, {1}, {1}, {2}, {2}}
+	for i := range wantRe {
+		if re[i][0] != wantRe[i][0] {
+			t.Fatalf("reordered = %v", re)
+		}
+	}
+}
+
+func TestTransposeRejectsBadShapes(t *testing.T) {
+	if _, ok := Transpose([][]int{{0}, {1}, {0}}, 2); ok {
+		// 3 extracts, 2 records: not divisible.
+		t.Error("accepted non-divisible stream")
+	}
+	if _, ok := Transpose(nil, 3); ok {
+		t.Error("accepted empty stream")
+	}
+	if _, ok := Transpose([][]int{{0}, {1}}, 1); ok {
+		t.Error("accepted single-record table")
+	}
+	// Evidence contradicts the stride hypothesis badly.
+	contradict := [][]int{{1}, {0}, {1}, {0}}
+	if _, ok := Transpose(contradict, 2); ok {
+		t.Error("accepted stream contradicting the stride hypothesis")
+	}
+}
+
+func TestTransposeToleratesAmbiguity(t *testing.T) {
+	// Some extracts carry multi-record evidence (duplicate values);
+	// the stride hypothesis still holds.
+	cands := [][]int{{0, 1}, {1}, {0}, {0, 1}}
+	perm, ok := Transpose(cands, 2)
+	if !ok {
+		t.Fatalf("rejected ambiguous but consistent stream")
+	}
+	if len(perm) != 4 {
+		t.Fatalf("perm = %v", perm)
+	}
+}
+
+func TestInvertProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed%7) + 1
+		k := 1
+		for k < n {
+			if n%k == 0 && k > 1 {
+				break
+			}
+			k++
+		}
+		// Build any perm via Transpose on a synthetic clean stream.
+		cands := make([][]int, n*3)
+		for i := range cands {
+			cands[i] = []int{i % n}
+		}
+		perm, ok := Transpose(cands, n)
+		if !ok {
+			return n <= 1
+		}
+		inv := Invert(perm)
+		for orig, tr := range inv {
+			if perm[tr] != orig {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyGeneric(t *testing.T) {
+	perm := []int{2, 0, 1}
+	got := Apply(perm, []string{"a", "b", "c"})
+	if got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Errorf("Apply = %v", got)
+	}
+}

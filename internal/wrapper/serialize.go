@@ -1,0 +1,52 @@
+package wrapper
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// wireFormat is the persisted wrapper representation. A version field
+// guards against loading wrappers written by incompatible builds — a
+// wrapper is a long-lived asset that outlives the process that learned
+// it.
+type wireFormat struct {
+	Version   int      `json:"version"`
+	Signature []string `json:"signature"`
+	Healthy   Profile  `json:"healthy,omitempty"`
+}
+
+// wireVersion is the current serialization version.
+const wireVersion = 1
+
+// ErrBadWrapperFile is wrapped into Load errors for malformed or
+// incompatible wrapper files.
+var ErrBadWrapperFile = errors.New("wrapper: bad wrapper file")
+
+// Save writes the wrapper as JSON.
+func (w *Wrapper) Save(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wireFormat{
+		Version:   wireVersion,
+		Signature: w.Signature,
+		Healthy:   w.Healthy,
+	})
+}
+
+// Load reads a wrapper previously written by Save.
+func Load(in io.Reader) (*Wrapper, error) {
+	var wf wireFormat
+	dec := json.NewDecoder(in)
+	if err := dec.Decode(&wf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadWrapperFile, err)
+	}
+	if wf.Version != wireVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadWrapperFile, wf.Version, wireVersion)
+	}
+	if len(wf.Signature) == 0 {
+		return nil, fmt.Errorf("%w: empty signature", ErrBadWrapperFile)
+	}
+	return &Wrapper{Signature: wf.Signature, Healthy: wf.Healthy}, nil
+}

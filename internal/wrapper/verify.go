@@ -1,0 +1,95 @@
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper's group frames wrappers as assets that decay: "Maintaining
+// wrappers so that they continue to extract information correctly as
+// Web sites change, requires significant effort" (§1, citing their
+// wrapper-maintenance work). This file implements the verification half
+// of that loop: a learned wrapper remembers what healthy extractions
+// looked like at learning time and can check later extractions against
+// that profile, signalling when the site has drifted and the
+// unsupervised segmentation should be re-run to relearn the wrapper.
+
+// Profile captures the shape of a healthy extraction.
+type Profile struct {
+	// Records is the record count seen at learning time.
+	Records int
+	// MedianExtracts is the median number of extracts per record.
+	MedianExtracts int
+	// MinExtracts/MaxExtracts bound the per-record extract counts.
+	MinExtracts, MaxExtracts int
+}
+
+// VerifyReport is the outcome of a drift check.
+type VerifyReport struct {
+	OK      bool
+	Reasons []string
+	// Profile of the checked extraction.
+	Observed Profile
+}
+
+func (r *VerifyReport) String() string {
+	if r.OK {
+		return "wrapper healthy"
+	}
+	return fmt.Sprintf("wrapper drift: %v", r.Reasons)
+}
+
+// profileOf summarizes per-record extract counts.
+func profileOf(counts []int) Profile {
+	p := Profile{Records: len(counts)}
+	if len(counts) == 0 {
+		return p
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	p.MedianExtracts = sorted[len(sorted)/2]
+	p.MinExtracts = sorted[0]
+	p.MaxExtracts = sorted[len(sorted)-1]
+	return p
+}
+
+// Calibrate records the healthy-extraction profile from the learning
+// page's segmentation (call after Learn, with the same segmentation).
+func (w *Wrapper) Calibrate(recordExtractCounts []int) {
+	w.Healthy = profileOf(recordExtractCounts)
+}
+
+// Verify checks a later extraction against the calibrated profile. It
+// flags drift when the wrapper found no records, when the typical
+// record shape changed beyond tolerance, or when record sizes exploded
+// (the signature now matches non-record content). An uncalibrated
+// wrapper only checks for emptiness.
+func (w *Wrapper) Verify(recordExtractCounts []int) *VerifyReport {
+	rep := &VerifyReport{OK: true, Observed: profileOf(recordExtractCounts)}
+	fail := func(format string, args ...any) {
+		rep.OK = false
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(format, args...))
+	}
+	if rep.Observed.Records == 0 {
+		fail("no records extracted")
+		return rep
+	}
+	if w.Healthy.Records == 0 {
+		return rep // uncalibrated
+	}
+	h := w.Healthy
+	if rep.Observed.MedianExtracts > 2*h.MedianExtracts || rep.Observed.MedianExtracts*2 < h.MedianExtracts {
+		fail("median record size changed %d -> %d", h.MedianExtracts, rep.Observed.MedianExtracts)
+	}
+	if rep.Observed.MaxExtracts > 4*maxInt(h.MaxExtracts, 1) {
+		fail("a record grew to %d extracts (healthy max %d): signature likely matching non-records", rep.Observed.MaxExtracts, h.MaxExtracts)
+	}
+	return rep
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

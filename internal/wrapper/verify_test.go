@@ -1,0 +1,133 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+
+	"tableseg/internal/sitegen"
+	"tableseg/internal/token"
+)
+
+func TestVerifyHealthyTransfer(t *testing.T) {
+	site, err := sitegen.GenerateBySlug("butler", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg0, page0 := segmentPage(t, site, 0)
+	w, err := Learn(page0, seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int
+	for _, rec := range seg0.Records {
+		counts = append(counts, len(rec.Extracts))
+	}
+	w.Calibrate(counts)
+
+	page1 := token.Tokenize(site.Lists[1].HTML)
+	got := w.Extract(page1)
+	var counts1 []int
+	for _, rec := range got.Records {
+		counts1 = append(counts1, len(rec.Extracts))
+	}
+	rep := w.Verify(counts1)
+	if !rep.OK {
+		t.Errorf("healthy transfer flagged: %s", rep)
+	}
+}
+
+func TestVerifyFlagsSiteRedesign(t *testing.T) {
+	site, err := sitegen.GenerateBySlug("butler", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg0, page0 := segmentPage(t, site, 0)
+	w, err := Learn(page0, seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int
+	for _, rec := range seg0.Records {
+		counts = append(counts, len(rec.Extracts))
+	}
+	w.Calibrate(counts)
+
+	// The site redesigns: rows become <div> blocks, the old <tr>-based
+	// signature matches nothing.
+	redesigned := strings.ReplaceAll(site.Lists[1].HTML, "<tr>", "<div>")
+	redesigned = strings.ReplaceAll(redesigned, "</tr>", "</div>")
+	got := w.Extract(token.Tokenize(redesigned))
+	var counts1 []int
+	for _, rec := range got.Records {
+		counts1 = append(counts1, len(rec.Extracts))
+	}
+	rep := w.Verify(counts1)
+	if rep.OK {
+		t.Errorf("redesign not flagged (extracted %d records)", len(got.Records))
+	}
+	if rep.String() == "wrapper healthy" {
+		t.Error("report string inconsistent")
+	}
+}
+
+func TestVerifyUncalibrated(t *testing.T) {
+	w := &Wrapper{Signature: []string{"<td>"}}
+	if rep := w.Verify([]int{3, 3, 3}); !rep.OK {
+		t.Errorf("uncalibrated non-empty extraction flagged: %s", rep)
+	}
+	if rep := w.Verify(nil); rep.OK {
+		t.Error("empty extraction not flagged")
+	}
+}
+
+func TestVerifyFlagsExplodedRecords(t *testing.T) {
+	w := &Wrapper{Signature: []string{"<td>"}}
+	w.Calibrate([]int{4, 4, 4, 5})
+	rep := w.Verify([]int{4, 40, 4})
+	if rep.OK {
+		t.Error("exploded record not flagged")
+	}
+}
+
+func TestProfileOf(t *testing.T) {
+	p := profileOf([]int{5, 3, 4})
+	if p.Records != 3 || p.MedianExtracts != 4 || p.MinExtracts != 3 || p.MaxExtracts != 5 {
+		t.Errorf("profile = %+v", p)
+	}
+	if z := profileOf(nil); z.Records != 0 {
+		t.Errorf("empty profile = %+v", z)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w := &Wrapper{Signature: []string{"<tr>", "<td>", "<a>"}}
+	w.Calibrate([]int{5, 5, 4})
+	var buf strings.Builder
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got.Signature, "") != strings.Join(w.Signature, "") {
+		t.Errorf("signature round trip: %v", got.Signature)
+	}
+	if got.Healthy != w.Healthy {
+		t.Errorf("profile round trip: %+v vs %+v", got.Healthy, w.Healthy)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"version": 99, "signature": ["<a>"]}`,
+		`{"version": 1, "signature": []}`,
+	}
+	for _, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("Load(%q) succeeded", in)
+		}
+	}
+}

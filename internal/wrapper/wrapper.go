@@ -1,0 +1,196 @@
+// Package wrapper turns one automatically segmented list page into a
+// reusable extraction wrapper for the site. The paper situates itself in
+// the web-wrapper literature (§1): once the unsupervised segmentation
+// has labeled a sample page, the layout context of its record
+// boundaries is exactly the training signal a conventional wrapper
+// needs. Learning here recovers the record-start separator signature
+// (the run of tags immediately preceding each record's first extract)
+// and applies it to new pages from the same site — pages for which no
+// detail pages need to be fetched at all.
+package wrapper
+
+import (
+	"errors"
+	"fmt"
+
+	"tableseg/internal/core"
+	"tableseg/internal/extract"
+	"tableseg/internal/token"
+)
+
+// ErrNoSignature is returned when the segmented records share no common
+// record-start separator context.
+var ErrNoSignature = errors.New("wrapper: records share no record-start tag signature")
+
+// maxSignature caps the learned signature length.
+const maxSignature = 6
+
+// Wrapper is a learned record-start signature.
+type Wrapper struct {
+	// Signature is the separator-token sequence that precedes every
+	// record's first extract, innermost token last.
+	Signature []string
+	// Healthy is the extraction profile captured by Calibrate; used by
+	// Verify for drift detection. Zero value = uncalibrated.
+	Healthy Profile
+}
+
+func (w *Wrapper) String() string {
+	return fmt.Sprintf("Wrapper%v", w.Signature)
+}
+
+// minSupport is the fraction of records that must share the learned
+// signature. Unsupervised segmentations occasionally absorb sponsored
+// junk into a record's head, so requiring unanimity would let one
+// outlier record block learning.
+const minSupport = 0.7
+
+// Learn derives a wrapper from a page and its segmentation. The
+// signature is the longest separator-run suffix (up to maxSignature
+// tokens) shared by at least minSupport of the records' record-start
+// contexts.
+func Learn(page []token.Token, seg *core.Segmentation) (*Wrapper, error) {
+	if len(seg.Records) < 2 {
+		return nil, errors.New("wrapper: need at least two segmented records to learn")
+	}
+	var runs [][]string
+	for _, rec := range seg.Records {
+		if len(rec.Extracts) == 0 {
+			continue
+		}
+		runs = append(runs, precedingSeparators(page, rec.Extracts[0].TokenStart))
+	}
+	sig := majoritySuffix(runs, minSupport)
+	if len(sig) == 0 {
+		return nil, ErrNoSignature
+	}
+	return &Wrapper{Signature: sig}, nil
+}
+
+// majoritySuffix returns the suffix with the highest record support (at
+// least the given fraction), preferring longer suffixes at equal
+// support and breaking remaining ties lexicographically. Support comes
+// first because a longer suffix that excludes a page's first record
+// (whose preceding context includes the table header) silently loses
+// that record on every future page.
+func majoritySuffix(runs [][]string, support float64) []string {
+	need := int(float64(len(runs))*support + 0.999999)
+	if need < 2 {
+		need = 2
+	}
+	best, bestN, bestLen := "", 0, 0
+	for length := 1; length <= maxSignature; length++ {
+		counts := map[string]int{}
+		for _, r := range runs {
+			if len(r) < length {
+				continue
+			}
+			counts[joinTokens(r[len(r)-length:])]++
+		}
+		for sig, n := range counts {
+			if n < need {
+				continue
+			}
+			if n > bestN || (n == bestN && length > bestLen) ||
+				(n == bestN && length == bestLen && sig < best) {
+				best, bestN, bestLen = sig, n, length
+			}
+		}
+	}
+	if bestN == 0 {
+		return nil
+	}
+	return splitTokens(best)
+}
+
+// joinTokens/splitTokens encode a token sequence as a map key. Token
+// texts never contain '\x00'.
+func joinTokens(toks []string) string {
+	out := ""
+	for i, t := range toks {
+		if i > 0 {
+			out += "\x00"
+		}
+		out += t
+	}
+	return out
+}
+
+func splitTokens(key string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, key[start:])
+}
+
+// precedingSeparators collects the separator tokens immediately before
+// token index start, in document order, capped at maxSignature.
+func precedingSeparators(page []token.Token, start int) []string {
+	var rev []string
+	for i := start - 1; i >= 0 && len(rev) < maxSignature; i-- {
+		if !extract.IsSeparator(page[i]) {
+			break
+		}
+		rev = append(rev, page[i].Text)
+	}
+	// Reverse into document order.
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+// Extract applies the wrapper to a new page from the same site: every
+// match of the signature that is directly followed by visible text
+// starts a record; each record runs until the next match. The result is
+// a Segmentation scorable with the shared evaluator (no detail pages
+// involved).
+func (w *Wrapper) Extract(page []token.Token) *core.Segmentation {
+	var starts []int
+	for i := 0; i+len(w.Signature) <= len(page); i++ {
+		if !matchAt(page, i, w.Signature) {
+			continue
+		}
+		next := i + len(w.Signature)
+		if next < len(page) && !extract.IsSeparator(page[next]) {
+			starts = append(starts, next)
+		}
+	}
+	seg := &core.Segmentation{}
+	for si, start := range starts {
+		end := len(page)
+		if si+1 < len(starts) {
+			// The next record begins before its signature.
+			end = starts[si+1] - len(w.Signature)
+		}
+		ex := extract.Split(page, start, end)
+		if len(ex) == 0 {
+			continue
+		}
+		rec := core.Record{Index: si}
+		rec.Extracts = append(rec.Extracts, ex...)
+		for range ex {
+			rec.Columns = append(rec.Columns, -1)
+			rec.Analyzed = append(rec.Analyzed, true)
+		}
+		seg.Records = append(seg.Records, rec)
+		seg.TotalExtracts += len(ex)
+	}
+	seg.Analyzed = seg.TotalExtracts
+	return seg
+}
+
+func matchAt(page []token.Token, i int, sig []string) bool {
+	for k, s := range sig {
+		if page[i+k].Text != s {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package wrapper
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tableseg/internal/core"
+	"tableseg/internal/eval"
+	"tableseg/internal/extract"
+	"tableseg/internal/sitegen"
+	"tableseg/internal/token"
+)
+
+func segmentPage(t *testing.T, site *sitegen.Site, pageIdx int) (*core.Segmentation, []token.Token) {
+	t.Helper()
+	in := core.Input{Target: pageIdx}
+	for _, l := range site.Lists {
+		in.ListPages = append(in.ListPages, core.Page{HTML: l.HTML})
+	}
+	for _, d := range site.Lists[pageIdx].Details {
+		in.DetailPages = append(in.DetailPages, core.Page{HTML: d})
+	}
+	seg, err := core.Segment(in, core.DefaultOptions(core.Probabilistic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg, token.Tokenize(site.Lists[pageIdx].HTML)
+}
+
+func TestLearnAndTransferGrid(t *testing.T) {
+	site, err := sitegen.GenerateBySlug("butler", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg0, page0 := segmentPage(t, site, 0)
+	w, err := Learn(page0, seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Signature) == 0 {
+		t.Fatal("empty signature")
+	}
+
+	// Apply to the second list page — no detail pages involved.
+	page1 := token.Tokenize(site.Lists[1].HTML)
+	got := w.Extract(page1)
+	counts := eval.Score(got, site.Lists[1].Truth)
+	if counts.Cor != len(site.Lists[1].Truth) {
+		t.Errorf("wrapper transfer: %v (want all %d correct)", counts, len(site.Lists[1].Truth))
+	}
+}
+
+func TestLearnAndTransferFreeForm(t *testing.T) {
+	site, err := sitegen.GenerateBySlug("canada411", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg0, page0 := segmentPage(t, site, 0)
+	w, err := Learn(page0, seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page1 := token.Tokenize(site.Lists[1].HTML)
+	counts := eval.Score(w.Extract(page1), site.Lists[1].Truth)
+	if counts.Recall() < 0.9 {
+		t.Errorf("free-form wrapper recall %.2f: %v", counts.Recall(), counts)
+	}
+}
+
+func TestLearnRequiresRecords(t *testing.T) {
+	_, err := Learn(nil, &core.Segmentation{})
+	if err == nil {
+		t.Error("learning from zero records must fail")
+	}
+}
+
+func TestLearnNoSignature(t *testing.T) {
+	// Two records whose first extracts sit at word tokens with no
+	// preceding separator tags: no signature can be learned.
+	page := token.Tokenize(`alpha one beta two`)
+	segs := &core.Segmentation{}
+	for _, start := range []int{0, 2} {
+		rec := core.Record{}
+		rec.Extracts = append(rec.Extracts, extract.Extract{TokenStart: start, Words: []string{page[start].Text}})
+		segs.Records = append(segs.Records, rec)
+	}
+	_, err := Learn(page, segs)
+	if !errors.Is(err, ErrNoSignature) {
+		t.Errorf("err = %v, want ErrNoSignature", err)
+	}
+}
+
+func TestMajoritySuffix(t *testing.T) {
+	got := majoritySuffix([][]string{
+		{"</tr>", "<tr>", "<td>"},
+		{"<tr>", "<td>"},
+		{"<hr>", "<tr>", "<td>"},
+	}, 1.0)
+	if strings.Join(got, " ") != "<tr> <td>" {
+		t.Errorf("unanimous suffix = %v", got)
+	}
+	// One outlier must not block a 70%-support signature.
+	got = majoritySuffix([][]string{
+		{"<div>", "<b>"},
+		{"<div>", "<b>"},
+		{"<div>", "<b>"},
+		{"<i>"},
+	}, 0.7)
+	if strings.Join(got, " ") != "<div> <b>" {
+		t.Errorf("majority suffix = %v", got)
+	}
+	if got := majoritySuffix([][]string{{"<a>"}, {"<b>"}}, 0.7); got != nil {
+		t.Errorf("disjoint suffix = %v", got)
+	}
+	if got := majoritySuffix(nil, 0.7); got != nil {
+		t.Errorf("empty input = %v", got)
+	}
+}
+
+func TestJoinSplitTokens(t *testing.T) {
+	toks := []string{"<tr>", "<td>", "<a>"}
+	if got := splitTokens(joinTokens(toks)); strings.Join(got, " ") != strings.Join(toks, " ") {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestPrecedingSeparators(t *testing.T) {
+	page := token.Tokenize(`word <tr><td>value</td></tr>`)
+	// Find "value".
+	pos := -1
+	for i, tk := range page {
+		if tk.Text == "value" {
+			pos = i
+		}
+	}
+	got := precedingSeparators(page, pos)
+	if strings.Join(got, " ") != "<tr> <td>" {
+		t.Errorf("separators = %v", got)
+	}
+	if got := precedingSeparators(page, 0); len(got) != 0 {
+		t.Errorf("page start separators = %v", got)
+	}
+}

@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments results corpus cover fuzz clean
+.PHONY: all build test vet check bench experiments results corpus cover fuzz clean
 
-all: build test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# Full gate: vet plus the test suite under the race detector (the batch
+# engine is concurrent; this is the configuration CI should run).
+check: vet
+	$(GO) test -race ./...
 
 # The paper's tables, figures, ablations, baselines and extensions.
 experiments:

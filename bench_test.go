@@ -11,11 +11,13 @@ package tableseg
 // exercises the DESIGN.md ablations.
 
 import (
+	"context"
 	"testing"
 
 	"tableseg/internal/classify"
 	"tableseg/internal/core"
 	"tableseg/internal/csp"
+	"tableseg/internal/engine"
 	"tableseg/internal/experiments"
 	"tableseg/internal/extract"
 	"tableseg/internal/pagetemplate"
@@ -110,6 +112,48 @@ func benchTable4(b *testing.B, method core.Method) {
 			}
 		}
 	}
+}
+
+// BenchmarkEngineThroughput compares serial Segment calls against the
+// batch engine over the full 24-page corpus (probabilistic method).
+// The engine's edge comes from the worker pool plus the per-site
+// template/token cache; on 4+ cores it should exceed 1.5x the serial
+// throughput.
+func BenchmarkEngineThroughput(b *testing.B) {
+	var inputs []core.Input
+	for _, p := range sitegen.Profiles() {
+		site := sitegen.Generate(p, experiments.DefaultSeed)
+		for pageIdx := range site.Lists {
+			inputs = append(inputs, experiments.BuildInput(site, pageIdx))
+		}
+	}
+	opts := core.DefaultOptions(core.Probabilistic)
+	pages := int64(len(inputs))
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				if _, err := core.Segment(in, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(pages)/b.Elapsed().Seconds(), "pages/s")
+	})
+	b.Run("engine", func(b *testing.B) {
+		eng, err := engine.New(engine.Config{Options: opts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.SegmentAll(context.Background(), inputs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(pages)/b.Elapsed().Seconds(), "pages/s")
+	})
 }
 
 // BenchmarkPerPageLatency measures one representative list page per

@@ -8,15 +8,20 @@
 // enable template finding); detail pages are the pages linked from the
 // target list page, in link order. Output is one block per segmented
 // record; -columns additionally prints the reconstructed relational
-// table (probabilistic method only).
+// table (probabilistic method only). -timeout bounds the run (the
+// solvers abort at their next restart/iteration boundary) and -stats
+// reports per-stage timing and solver effort on stderr.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tableseg"
 )
@@ -40,6 +45,8 @@ func main() {
 	columns := flag.Bool("columns", false, "print the reconstructed relational table")
 	jsonOut := flag.Bool("json", false, "emit the segmentation as JSON")
 	csvOut := flag.Bool("csv", false, "emit the reconstructed table as CSV")
+	stats := flag.Bool("stats", false, "print per-stage timing and solver effort to stderr")
+	timeout := flag.Duration("timeout", 0, "abort the segmentation after this duration (0 = no limit)")
 	flag.Parse()
 
 	if len(lists) == 0 || len(details) == 0 {
@@ -69,9 +76,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	seg, err := tableseg.Segment(in, tableseg.DefaultOptions(m))
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "tableseg: negative -timeout %v\n", *timeout)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	eng, err := tableseg.NewEngine(tableseg.EngineConfig{Options: tableseg.DefaultOptions(m)})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tableseg:", err)
+		os.Exit(2)
+	}
+	res := eng.Segment(ctx, in)
+	if *stats {
+		printStats(res.Stats)
+	}
+	seg, err := res.Seg, res.Err
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "tableseg: timed out after %v\n", *timeout)
+		} else {
+			fmt.Fprintln(os.Stderr, "tableseg:", err)
+		}
 		os.Exit(1)
 	}
 
@@ -160,6 +190,16 @@ func emitJSON(seg *tableseg.Segmentation, m tableseg.Method) {
 		fmt.Fprintln(os.Stderr, "tableseg:", err)
 		os.Exit(1)
 	}
+}
+
+// printStats reports the engine's per-stage instrumentation on stderr.
+func printStats(st tableseg.TaskStats) {
+	fmt.Fprintf(os.Stderr, "stats: wall=%v tokenize=%v template=%v extract=%v solve=%v\n",
+		st.Wall.Round(time.Microsecond), st.TokenizeTime.Round(time.Microsecond),
+		st.TemplateTime.Round(time.Microsecond), st.ExtractTime.Round(time.Microsecond),
+		st.SolveTime.Round(time.Microsecond))
+	fmt.Fprintf(os.Stderr, "stats: wsat restarts=%d flips=%d cutRounds=%d emIters=%d\n",
+		st.WSATRestarts, st.WSATFlips, st.CutRounds, st.EMIters)
 }
 
 func mustRead(path string) tableseg.Page {

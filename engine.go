@@ -1,0 +1,44 @@
+package tableseg
+
+import (
+	"tableseg/internal/core"
+	"tableseg/internal/engine"
+)
+
+// Engine is a reusable, concurrent batch segmenter: tasks fan out over
+// a bounded worker pool, per-site templates and tokenized sample pages
+// are cached by list-page content hash, and each result carries typed
+// errors plus per-stage instrumentation. Results are identical to
+// serial Segment calls regardless of concurrency.
+//
+//	eng, err := tableseg.NewEngine(tableseg.EngineConfig{
+//	    Options: tableseg.DefaultOptions(tableseg.Probabilistic),
+//	})
+//	for _, res := range eng.SegmentAll(ctx, inputs) {
+//	    if res.Err != nil { ... }
+//	    use(res.Seg, res.Stats)
+//	}
+type Engine = engine.Engine
+
+// EngineConfig configures NewEngine; see engine.Config.
+type EngineConfig = engine.Config
+
+// Task is one unit of Engine batch work (input plus optional ID and
+// per-task options override).
+type Task = engine.Task
+
+// Result is the outcome of one Engine task: segmentation or typed
+// error, plus TaskStats.
+type Result = engine.Result
+
+// TaskStats is the per-task instrumentation record: stage wall times,
+// solver effort counters, total wall time, and cache outcome.
+type TaskStats = engine.TaskStats
+
+// Stats is the pipeline's per-stage instrumentation embedded in
+// TaskStats.
+type Stats = core.Stats
+
+// NewEngine creates an Engine after validating the configuration
+// (ErrBadOptions on a bad one).
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }

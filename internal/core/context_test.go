@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// contextInput is a minimal well-formed input for the cancellation
+// tests.
+func contextInput() Input {
+	list := "<html><body><b>Alpha One</b> <b>Beta Two</b> <b>Gamma Three</b></body></html>"
+	return Input{
+		ListPages: []Page{{Name: "l1", HTML: list}},
+		DetailPages: []Page{
+			{Name: "d1", HTML: "<html><body>Alpha One is here</body></html>"},
+			{Name: "d2", HTML: "<html><body>Beta Two is here</body></html>"},
+		},
+	}
+}
+
+// TestSegmentContextCancelled verifies an already-cancelled context
+// aborts at the first stage boundary with context.Canceled.
+func TestSegmentContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []Method{CSP, Probabilistic} {
+		if _, err := SegmentContext(ctx, contextInput(), DefaultOptions(m)); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", m, err)
+		}
+	}
+}
+
+// TestSegmentContextUncancelled verifies the context plumbing changes
+// nothing for a live context: SegmentContext(Background) and Segment
+// agree.
+func TestSegmentContextUncancelled(t *testing.T) {
+	in := contextInput()
+	opts := DefaultOptions(CSP)
+	want, err := Segment(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SegmentContext(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want.Records) || got.CSPStatus != want.CSPStatus {
+		t.Errorf("SegmentContext diverged from Segment: %d records (%v) vs %d (%v)",
+			len(got.Records), got.CSPStatus, len(want.Records), want.CSPStatus)
+	}
+}

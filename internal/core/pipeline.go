@@ -10,8 +10,9 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
+	"time"
 
 	"tableseg/internal/baseline"
 	"tableseg/internal/csp"
@@ -189,20 +190,57 @@ type Segmentation struct {
 // tags and the pipeline falls back to the whole page.
 const minTextSkeleton = 6
 
-// Sentinel errors for input validation, matchable with errors.Is.
-var (
-	// ErrNoListPages: the input carried no list pages.
-	ErrNoListPages = errors.New("core: no list pages")
-	// ErrNoDetailPages: the input carried no detail pages.
-	ErrNoDetailPages = errors.New("core: no detail pages")
-	// ErrBadTarget: the target index is outside the list-page slice.
-	ErrBadTarget = errors.New("core: target list page out of range")
-)
+// SitePrep holds the per-site artifacts of a segmentation task that do
+// not depend on the target page or the detail pages: the tokenized
+// sample list pages and the template induced from them. A SitePrep is
+// immutable once built, so one prep may back many concurrent Segment
+// calls for the same site (the engine's template cache relies on this).
+type SitePrep struct {
+	// ListToks are the tokenized list pages, parallel to the ListPages
+	// the prep was built from.
+	ListToks [][]token.Token
+	// Tpl is the induced page template, nil when fewer than two sample
+	// pages were available.
+	Tpl *pagetemplate.Template
+}
+
+// PrepareSite tokenizes a site's sample list pages and induces their
+// shared template, for reuse across every task that targets the site.
+func PrepareSite(listPages []Page) *SitePrep {
+	prep := &SitePrep{ListToks: make([][]token.Token, len(listPages))}
+	for i, p := range listPages {
+		prep.ListToks[i] = token.Tokenize(p.HTML)
+	}
+	if len(listPages) >= 2 {
+		prep.Tpl = pagetemplate.Induce(prep.ListToks)
+	}
+	return prep
+}
 
 // Segment runs the full pipeline.
 func Segment(in Input, opts Options) (*Segmentation, error) {
+	return SegmentContext(context.Background(), in, opts)
+}
+
+// SegmentContext runs the full pipeline under a context: cancellation
+// and deadlines are honored at stage boundaries and inside the solver
+// hot loops (WSAT restarts, EM iterations), so a cancelled call returns
+// ctx.Err() promptly while uncancelled runs stay deterministic.
+func SegmentContext(ctx context.Context, in Input, opts Options) (*Segmentation, error) {
+	return SegmentPrepared(ctx, in, opts, nil, nil)
+}
+
+// SegmentPrepared is SegmentContext with two batch-processing hooks:
+// prep, when non-nil, supplies the tokenized list pages and induced
+// template (it must have been built from in.ListPages) so repeated
+// tasks against one site skip re-tokenization and re-induction; stats,
+// when non-nil, receives per-stage wall times and solver counters.
+func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep, stats *Stats) (*Segmentation, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if len(in.ListPages) == 0 {
-		return nil, ErrNoListPages
+		return nil, fmt.Errorf("%w: need at least one", ErrTooFewListPages)
 	}
 	if in.Target < 0 || in.Target >= len(in.ListPages) {
 		return nil, fmt.Errorf("%w: %d of %d", ErrBadTarget, in.Target, len(in.ListPages))
@@ -213,19 +251,36 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 	if opts.MinSlotQuality == 0 {
 		opts.MinSlotQuality = 0.5
 	}
+	if stats == nil {
+		stats = &Stats{} // discarded collector; keeps the hot path branch-free
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	// 1. Tokenize everything.
-	listToks := make([][]token.Token, len(in.ListPages))
-	for i, p := range in.ListPages {
-		listToks[i] = token.Tokenize(p.HTML)
+	// 1. Tokenize everything (reusing the site prep when supplied).
+	start := time.Now()
+	var listToks [][]token.Token
+	if prep != nil {
+		listToks = prep.ListToks
+	} else {
+		listToks = make([][]token.Token, len(in.ListPages))
+		for i, p := range in.ListPages {
+			listToks[i] = token.Tokenize(p.HTML)
+		}
 	}
 	detailToks := make([][]token.Token, len(in.DetailPages))
 	for i, p := range in.DetailPages {
 		detailToks[i] = token.Tokenize(p.HTML)
 	}
 	target := listToks[in.Target]
+	stats.TokenizeTime += time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// 2. Template induction and table-slot location.
+	start = time.Now()
 	seg := &Segmentation{Method: opts.Method}
 	slot := pagetemplate.Slot{Start: 0, End: len(target)}
 	if opts.ForceWholePage {
@@ -242,7 +297,12 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 			seg.UsedWholePage = true
 		}
 	} else {
-		tpl := pagetemplate.Induce(listToks)
+		var tpl *pagetemplate.Template
+		if prep != nil && prep.Tpl != nil {
+			tpl = prep.Tpl
+		} else {
+			tpl = pagetemplate.Induce(listToks)
+		}
 		slots := tpl.SlotsOn(in.Target, len(target))
 		tableSlot, quality := pagetemplate.TableSlot(slots, target)
 		seg.TemplateQuality = quality
@@ -272,8 +332,13 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 	if seg.UsedWholePage {
 		slot = pagetemplate.Slot{Start: 0, End: len(target)}
 	}
+	stats.TemplateTime += time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// 3. Extracts and observations.
+	start = time.Now()
 	var otherLists [][]token.Token
 	for i, lt := range listToks {
 		if i != in.Target {
@@ -298,8 +363,13 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 	}
 	seg.TotalExtracts = len(extracts)
 	seg.Analyzed = len(analyzed)
+	if len(extracts) == 0 {
+		return seg, fmt.Errorf("%w: %q", ErrNoTableSlot, in.ListPages[in.Target].Name)
+	}
 	if len(analyzed) == 0 {
-		return seg, nil // nothing to segment: all records unsegmented
+		// Nothing to segment: no extract appears on any detail page.
+		// The segmentation still carries its diagnostics.
+		return seg, fmt.Errorf("%w: %q (%d extracts)", ErrNoDetailEvidence, in.ListPages[in.Target].Name, len(extracts))
 	}
 
 	// Vertical-table extension: transpose the analyzed stream into
@@ -315,8 +385,13 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 			}
 		}
 	}
+	stats.ExtractTime += time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// 4. Run the selected method over the analyzed extracts.
+	start = time.Now()
 	records := make([]int, len(analyzed)) // record per analyzed extract
 	columns := make([]int, len(analyzed))
 	confidence := make([]float64, len(analyzed))
@@ -324,16 +399,22 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 		columns[i] = -1
 		confidence[i] = -1
 	}
-	runCSP := func(params csp.SolveParams) *csp.SegmentResult {
+	runCSP := func(params csp.SolveParams) (*csp.SegmentResult, error) {
 		sin := csp.SegmentInput{
 			NumRecords:     len(in.DetailPages),
 			Candidates:     candidateSets(obs, analyzed),
 			PositionGroups: extract.PositionGroups(obs, analyzed, len(in.DetailPages)),
 		}
-		res := csp.SolveSegmentation(sin, params)
+		res, err := csp.SolveSegmentationContext(ctx, sin, params)
+		if err != nil {
+			return nil, err
+		}
 		seg.CSPStatus = res.Status
 		seg.Relaxed = res.Relaxed
-		return res
+		stats.WSATRestarts += res.Restarts
+		stats.WSATFlips += res.Flips
+		stats.CutRounds += res.CutRounds
+		return res, nil
 	}
 	runPHMM := func() error {
 		inst := phmm.Instance{
@@ -344,11 +425,15 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 		for ai, oi := range analyzed {
 			inst.TypeVecs[ai] = obs[oi].Extract.TypeVector()
 		}
-		res, err := phmm.Segment(inst, opts.PHMMParams)
+		res, err := phmm.SegmentContext(ctx, inst, opts.PHMMParams)
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return fmt.Errorf("core: probabilistic segmentation: %w", err)
 		}
 		seg.PHMM = res
+		stats.EMIters += res.Iters
 		copy(records, res.Records)
 		copy(columns, res.Columns)
 		copy(confidence, res.Confidence)
@@ -366,7 +451,21 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 	}
 	switch opts.Method {
 	case CSP:
-		copy(records, runCSP(opts.CSPParams).Records)
+		res, err := runCSP(opts.CSPParams)
+		if err != nil {
+			return nil, err
+		}
+		// A Failed status after the full relaxation ladder means no
+		// feasible assignment exists at all; report it as a typed error
+		// (the seg still carries the diagnostics). Under NoRelax or
+		// with repair disabled (negative MaxCutRounds) a failure is the
+		// outcome those ablation configurations ask to observe, not an
+		// error.
+		if res.Status == csp.Failed && !opts.CSPParams.NoRelax && opts.CSPParams.MaxCutRounds >= 0 {
+			stats.SolveTime += time.Since(start)
+			return seg, fmt.Errorf("%w: %q", ErrCSPUnsatisfiable, in.ListPages[in.Target].Name)
+		}
+		copy(records, res.Records)
 		cspColumns()
 	case Probabilistic:
 		if err := runPHMM(); err != nil {
@@ -377,15 +476,20 @@ func Segment(in Input, opts Options) (*Segmentation, error) {
 		// inconsistency hands the page to the probabilistic model.
 		params := opts.CSPParams
 		params.NoRelax = true
-		if res := runCSP(params); res.Status == csp.Solved {
+		res, err := runCSP(params)
+		if err != nil {
+			return nil, err
+		}
+		if res.Status == csp.Solved {
 			copy(records, res.Records)
 			cspColumns()
 		} else if err := runPHMM(); err != nil {
 			return nil, err
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown method %d", opts.Method)
+		return nil, fmt.Errorf("%w: unknown method %d", ErrBadOptions, opts.Method)
 	}
+	stats.SolveTime += time.Since(start)
 
 	// 5. Mine semantic column labels from the detail-page captions.
 	if opts.MineLabels {

@@ -134,15 +134,18 @@ func TestSegmentSingleListPage(t *testing.T) {
 		}
 	}
 
-	// A single page with no repeated row structure still works via the
-	// whole-page fallback.
+	// A single page with no repeated row structure falls back to the
+	// whole page; with a single detail page no extract is informative
+	// (everything appears on all detail pages), which the redesigned
+	// API reports as the typed ErrNoDetailEvidence while still
+	// returning the diagnostics.
 	oneOff := Page{HTML: `<html><body><p>Ann Lee</p><span>12 Oak St</span><i>(555) 283-9922</i></body></html>`}
 	in2 := Input{ListPages: []Page{oneOff}, Target: 0, DetailPages: details[:1]}
 	seg2, err := Segment(in2, DefaultOptions(Probabilistic))
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrNoDetailEvidence) {
+		t.Fatalf("err = %v, want ErrNoDetailEvidence", err)
 	}
-	if !seg2.UsedWholePage {
+	if seg2 == nil || !seg2.UsedWholePage {
 		t.Error("structureless page must use the whole page")
 	}
 }

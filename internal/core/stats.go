@@ -1,0 +1,28 @@
+package core
+
+import "time"
+
+// Stats records per-stage instrumentation of one Segment call — the
+// pipeline's observability surface. All fields are measured on the
+// task's own goroutine; a nil *Stats disables collection entirely.
+type Stats struct {
+	// TokenizeTime covers lexing the detail pages and (when no prepared
+	// site was supplied) the list pages.
+	TokenizeTime time.Duration
+	// TemplateTime covers template induction, slot location and the
+	// enumeration heuristic.
+	TemplateTime time.Duration
+	// ExtractTime covers extract splitting, the observation matrix and
+	// the informative-subset filter (including the coverage retry).
+	ExtractTime time.Duration
+	// SolveTime covers the CSP solve and/or the EM learning plus MAP
+	// decode of the probabilistic model.
+	SolveTime time.Duration
+	// WSATRestarts and WSATFlips count the local-search work done by
+	// the CSP solve (0 for the probabilistic method).
+	WSATRestarts, WSATFlips int
+	// CutRounds counts lazy consecutiveness-repair iterations.
+	CutRounds int
+	// EMIters counts EM iterations (0 for the CSP method).
+	EMIters int
+}

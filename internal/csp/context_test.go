@@ -1,0 +1,74 @@
+package csp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// unsatProblem is x >= 1 together with x <= 0: no assignment satisfies
+// both hard constraints, so WSAT burns through every restart.
+func unsatProblem() *Problem {
+	p := NewProblem()
+	x := p.AddVar("x")
+	p.AddHard([]Term{{Coef: 1, Var: x}}, GE, 1, "uniq")
+	p.AddHard([]Term{{Coef: 1, Var: x}}, LE, 0, "uniq")
+	return p
+}
+
+// TestSolveWSATContextCancelMidSolve proves a hopeless solve aborts
+// promptly on cancellation instead of finishing its restart budget.
+func TestSolveWSATContextCancelMidSolve(t *testing.T) {
+	p := unsatProblem()
+	params := WSATParams{Restarts: 1 << 30, MaxFlips: 1000, Seed: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	sol, err := SolveWSATContext(ctx, p, params)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sol != nil {
+		t.Fatalf("expected nil solution on cancellation, got %+v", sol)
+	}
+	// Generous bound: a restart on this 1-variable problem takes
+	// microseconds, so anything near the 2^30-restart budget would run
+	// for hours. Seconds of slack absorb race-detector overhead.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestSolveWSATContextUncancelled verifies the context path returns the
+// same solution as the legacy entry point for a fixed seed.
+func TestSolveWSATContextUncancelled(t *testing.T) {
+	p := unsatProblem()
+	params := WSATParams{Restarts: 3, MaxFlips: 50, Seed: 7}
+	want := SolveWSAT(p, params)
+	got, err := SolveWSATContext(context.Background(), p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Feasible != want.Feasible || got.Restarts != want.Restarts {
+		t.Errorf("context solve diverged: %+v vs %+v", got, want)
+	}
+	if want.Restarts != 3 {
+		t.Errorf("Restarts = %d, want 3 (unsat problem exhausts the budget)", want.Restarts)
+	}
+}
+
+// TestSolveSegmentationContextCancelled verifies the full segmentation
+// solve surfaces ctx.Err().
+func TestSolveSegmentationContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveSegmentationContext(ctx, SegmentInput{}, SolveParams{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (res %+v), want context.Canceled", err, res)
+	}
+}

@@ -1,6 +1,7 @@
 package csp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -280,6 +281,9 @@ type SegmentResult struct {
 	CutRounds int
 	// Vars and Constraints are final problem sizes (diagnostics).
 	Vars, Constraints int
+	// Flips and Restarts total the local-search work across every WSAT
+	// call of the solve (all rungs and cut rounds).
+	Flips, Restarts int
 }
 
 // SolveParams configures SolveSegmentation.
@@ -316,23 +320,46 @@ func (sp SolveParams) withDefaults() SolveParams {
 // consecutiveness repair), and on failure descend the relaxation ladder
 // and accept a partial assignment.
 func SolveSegmentation(in SegmentInput, params SolveParams) *SegmentResult {
+	res, _ := SolveSegmentationContext(context.Background(), in, params)
+	return res
+}
+
+// SolveSegmentationContext is SolveSegmentation under a context:
+// cancellation is honored at WSAT restart and cut-round boundaries, so
+// the solve aborts promptly with ctx.Err() while uncancelled runs stay
+// deterministic.
+func SolveSegmentationContext(ctx context.Context, in SegmentInput, params SolveParams) (*SegmentResult, error) {
 	params = params.withDefaults()
-	if res, ok := trySolve(in, Strict, params); ok {
-		res.Status = Solved
-		return res
+	res, ok, err := trySolve(ctx, in, Strict, params)
+	if err != nil {
+		return nil, err
 	}
+	if ok {
+		res.Status = Solved
+		return res, nil
+	}
+	flips, restarts := res.Flips, res.Restarts
 	if !params.NoRelax {
-		if res, ok := trySolve(in, Relaxed, params); ok {
+		res, ok, err = trySolve(ctx, in, Relaxed, params)
+		if err != nil {
+			return nil, err
+		}
+		res.Flips += flips
+		res.Restarts += restarts
+		if ok {
 			res.Status = SolvedRelaxed
 			res.Relaxed = true
-			return res
+			return res, nil
 		}
+		flips, restarts = res.Flips, res.Restarts
 	}
 	return &SegmentResult{
-		Records: unassignedAll(len(in.Candidates)),
-		Status:  Failed,
-		Relaxed: true,
-	}
+		Records:  unassignedAll(len(in.Candidates)),
+		Status:   Failed,
+		Relaxed:  true,
+		Flips:    flips,
+		Restarts: restarts,
+	}, nil
 }
 
 func unassignedAll(n int) []int {
@@ -344,23 +371,31 @@ func unassignedAll(n int) []int {
 }
 
 // trySolve attempts one rung of the ladder, returning a result and
-// whether a feasible, fully consecutive assignment was found.
-func trySolve(in SegmentInput, level RelaxLevel, params SolveParams) (*SegmentResult, bool) {
+// whether a feasible, fully consecutive assignment was found. On
+// failure the result still carries the Flips/Restarts spent, so the
+// ladder can aggregate solver work across rungs.
+func trySolve(ctx context.Context, in SegmentInput, level RelaxLevel, params SolveParams) (*SegmentResult, bool, error) {
 	enc := Encode(in, level)
+	spent := &SegmentResult{}
 	rounds := 0
 	for {
-		sol := SolveWSAT(enc.Problem, params.WSAT)
+		sol, err := SolveWSATContext(ctx, enc.Problem, params.WSAT)
+		if err != nil {
+			return nil, false, err
+		}
+		spent.Flips += sol.Flips
+		spent.Restarts += sol.Restarts
 		if !sol.Feasible && params.ExactCheck && enc.Problem.NumVars() <= params.ExactVarLimit {
 			// Local search failed; let the exact solver decide.
 			exact, sat, err := SolveExact(enc.Problem, ExactParams{})
 			if err == nil && sat {
 				sol = &Solution{Assign: exact, Feasible: true}
 			} else if err == nil && !sat {
-				return nil, false // certified UNSAT at this rung
+				return spent, false, nil // certified UNSAT at this rung
 			}
 		}
 		if !sol.Feasible {
-			return nil, false
+			return spent, false, nil
 		}
 		records := enc.Decode(sol.Assign)
 		cuts := enc.ConsecutivenessCuts(records)
@@ -370,14 +405,19 @@ func trySolve(in SegmentInput, level RelaxLevel, params SolveParams) (*SegmentRe
 				CutRounds:   rounds,
 				Vars:        enc.Problem.NumVars(),
 				Constraints: len(enc.Problem.Constraints),
-			}, true
+				Flips:       spent.Flips,
+				Restarts:    spent.Restarts,
+			}, true, nil
 		}
 		if rounds >= params.MaxCutRounds {
-			return nil, false
+			return spent, false, nil
 		}
 		for _, c := range cuts {
 			enc.Problem.Add(c)
 		}
 		rounds++
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 	}
 }

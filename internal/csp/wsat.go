@@ -1,6 +1,7 @@
 package csp
 
 import (
+	"context"
 	"math/rand"
 )
 
@@ -69,6 +70,9 @@ type Solution struct {
 	Flips int
 	// Restart records which restart produced the best assignment.
 	Restart int
+	// Restarts counts the restarts actually executed (the loop exits
+	// early once a perfect assignment is found).
+	Restarts int
 }
 
 // Score is the combined objective the search minimizes.
@@ -84,6 +88,16 @@ func (s *Solution) score(hardWeight int) int {
 // caller decides what to do with an infeasible best (relax constraints,
 // per §6.3).
 func SolveWSAT(p *Problem, params WSATParams) *Solution {
+	sol, _ := SolveWSATContext(context.Background(), p, params)
+	return sol
+}
+
+// SolveWSATContext is SolveWSAT under a context. Cancellation is
+// checked only at restart boundaries: an uncancelled run performs
+// exactly the same flip sequence as SolveWSAT (results stay
+// deterministic for a fixed seed), while a cancelled one returns
+// ctx.Err() within one restart's worth of flips.
+func SolveWSATContext(ctx context.Context, p *Problem, params WSATParams) (*Solution, error) {
 	params = params.withDefaults(p.NumVars())
 	rng := rand.New(rand.NewSource(params.Seed))
 	st := newSearchState(p, params)
@@ -91,6 +105,10 @@ func SolveWSAT(p *Problem, params WSATParams) *Solution {
 	best := &Solution{Assign: make([]bool, p.NumVars()), HardViolation: 1 << 30, SoftPenalty: 1 << 30}
 	totalFlips := 0
 	for restart := 0; restart < params.Restarts; restart++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		best.Restarts = restart + 1
 		st.randomize(rng)
 		st.recordBest(best, restart)
 		if best.Feasible && best.SoftPenalty == 0 {
@@ -130,7 +148,7 @@ func SolveWSAT(p *Problem, params WSATParams) *Solution {
 		}
 	}
 	best.Flips = totalFlips
-	return best
+	return best, nil
 }
 
 // searchState holds the incremental data structures of the local search:

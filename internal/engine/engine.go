@@ -1,0 +1,269 @@
+// Package engine implements a reusable, concurrent batch-segmentation
+// engine over the core pipeline: tasks stream through a bounded worker
+// pool, per-site artifacts (tokenized sample list pages and the induced
+// page template) are cached by list-page content hash so repeated tasks
+// from one site skip re-induction, and every task returns structured
+// per-stage instrumentation alongside its segmentation or typed error.
+//
+// The engine exists for the paper's natural unit of work — a corpus of
+// list pages across many sites (§6 runs 24 pages over 12 sites) — where
+// serial one-shot Segment calls leave both cores and shared per-site
+// work on the table. Results are deterministic: a task computes exactly
+// what a serial core.Segment call would, regardless of worker count or
+// scheduling, because the cached artifacts are immutable and every
+// solver seed is task-local.
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tableseg/internal/core"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Options is the pipeline configuration applied to every task that
+	// does not carry its own override. The zero value selects the CSP
+	// method with defaults; most callers want core.DefaultOptions.
+	Options core.Options
+	// Concurrency bounds the worker pool. Zero selects
+	// runtime.GOMAXPROCS(0); negative values are rejected by Validate.
+	Concurrency int
+	// DisableCache turns off the per-site template/token cache
+	// (each task then pays full tokenization and induction; useful for
+	// benchmarking the cache's contribution).
+	DisableCache bool
+}
+
+// Validate rejects nonsensical engine configurations with typed errors
+// (core.ErrBadOptions), including the wrapped pipeline options.
+func (c Config) Validate() error {
+	if c.Concurrency < 0 {
+		return fmt.Errorf("%w: negative Concurrency %d", core.ErrBadOptions, c.Concurrency)
+	}
+	return c.Options.Validate()
+}
+
+// Task is one unit of batch work: a segmentation input plus optional
+// per-task metadata.
+type Task struct {
+	// ID identifies the task in its Result (optional; results also
+	// carry the submission index).
+	ID string
+	// Input is the segmentation task.
+	Input core.Input
+	// Options, when non-nil, overrides the engine's configured options
+	// for this task only. The per-site cache is shared across options —
+	// tokenization and template induction are method-independent.
+	Options *core.Options
+}
+
+// TaskStats is the engine's observability record for one task: the
+// pipeline's per-stage wall times and solver counters plus the task's
+// total wall time and cache outcomes.
+type TaskStats struct {
+	core.Stats
+	// Wall is the task's end-to-end wall time inside the worker.
+	Wall time.Duration
+	// TemplateCacheHit is true when the task reused a previously
+	// prepared site (tokenized list pages + induced template) instead
+	// of computing its own.
+	TemplateCacheHit bool
+}
+
+// Result is the outcome of one task.
+type Result struct {
+	// Index is the task's submission order (0-based), so streamed
+	// results can be correlated even when they complete out of order.
+	Index int
+	// ID echoes Task.ID.
+	ID string
+	// Seg is the segmentation; it may be non-nil even when Err is set
+	// (diagnostic failures such as core.ErrNoDetailEvidence attach the
+	// partial segmentation).
+	Seg *core.Segmentation
+	// Err is nil on success, a typed pipeline error, or ctx.Err() when
+	// the batch was cancelled before or during the task.
+	Err error
+	// Stats carries the task's instrumentation.
+	Stats TaskStats
+}
+
+// Engine is a reusable concurrent batch segmenter. It is safe for
+// concurrent use; the per-site cache is shared across batches for the
+// engine's lifetime.
+type Engine struct {
+	opts    core.Options
+	workers int
+	caching bool
+
+	mu    sync.Mutex
+	sites map[string]*siteEntry
+}
+
+// siteEntry guards one site's prep so concurrent first tasks for the
+// same site compute it exactly once.
+type siteEntry struct {
+	once sync.Once
+	prep *core.SitePrep
+}
+
+// New creates an Engine after validating the configuration.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Concurrency
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		opts:    cfg.Options,
+		workers: workers,
+		caching: !cfg.DisableCache,
+		sites:   make(map[string]*siteEntry),
+	}, nil
+}
+
+// Concurrency returns the engine's worker count.
+func (e *Engine) Concurrency() int { return e.workers }
+
+// CachedSites returns the number of distinct sites currently prepared
+// in the cache.
+func (e *Engine) CachedSites() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sites)
+}
+
+// siteKey hashes the list pages' contents (not their names): two tasks
+// share a prep exactly when their sample list pages are byte-identical
+// in order.
+func siteKey(lists []core.Page) string {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(lists)))
+	h.Write(n[:])
+	for _, p := range lists {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p.HTML)))
+		h.Write(n[:])
+		h.Write([]byte(p.HTML))
+	}
+	return string(h.Sum(nil))
+}
+
+// prepFor returns the site prep for a task's list pages, from cache
+// when possible, and reports whether the prep was reused.
+func (e *Engine) prepFor(lists []core.Page) (*core.SitePrep, bool) {
+	if !e.caching {
+		return core.PrepareSite(lists), false
+	}
+	key := siteKey(lists)
+	e.mu.Lock()
+	ent, hit := e.sites[key]
+	if !hit {
+		ent = &siteEntry{}
+		e.sites[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.prep = core.PrepareSite(lists) })
+	return ent.prep, hit
+}
+
+// runTask executes one task end to end on the calling worker.
+func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
+	res := Result{Index: idx, ID: t.ID}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	opts := e.opts
+	if t.Options != nil {
+		opts = *t.Options
+	}
+	var prep *core.SitePrep
+	if len(t.Input.ListPages) > 0 {
+		prep, res.Stats.TemplateCacheHit = e.prepFor(t.Input.ListPages)
+	}
+	res.Seg, res.Err = core.SegmentPrepared(ctx, t.Input, opts, prep, &res.Stats.Stats)
+	res.Stats.Wall = time.Since(start)
+	return res
+}
+
+// Run consumes tasks until the channel closes, fanning them out over
+// the worker pool, and emits one Result per task on the returned
+// channel (closed once every task has been reported). Results arrive in
+// completion order; use Result.Index or ID to correlate. On context
+// cancellation in-flight solves abort at their next restart/iteration
+// boundary and every remaining task is reported with Err = ctx.Err(),
+// so the result stream always accounts for every submitted task. The
+// caller must drain the returned channel.
+func (e *Engine) Run(ctx context.Context, tasks <-chan Task) <-chan Result {
+	type indexed struct {
+		t   Task
+		idx int
+	}
+	feed := make(chan indexed, e.workers)
+	out := make(chan Result, e.workers)
+	go func() {
+		defer close(feed)
+		idx := 0
+		for t := range tasks {
+			feed <- indexed{t, idx}
+			idx++
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range feed {
+				out <- e.runTask(ctx, it.t, it.idx)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// RunTasks fans a fixed batch out over the pool and returns the results
+// in submission order (results[i] corresponds to tasks[i]).
+func (e *Engine) RunTasks(ctx context.Context, tasks []Task) []Result {
+	in := make(chan Task, len(tasks))
+	for _, t := range tasks {
+		in <- t
+	}
+	close(in)
+	results := make([]Result, len(tasks))
+	for r := range e.Run(ctx, in) {
+		results[r.Index] = r
+	}
+	return results
+}
+
+// SegmentAll segments a batch of inputs under the engine's configured
+// options, returning results in input order.
+func (e *Engine) SegmentAll(ctx context.Context, inputs []core.Input) []Result {
+	tasks := make([]Task, len(inputs))
+	for i := range inputs {
+		tasks[i] = Task{Input: inputs[i]}
+	}
+	return e.RunTasks(ctx, tasks)
+}
+
+// Segment runs a single input through the engine (worker pool and
+// cache included) and returns its result.
+func (e *Engine) Segment(ctx context.Context, in core.Input) Result {
+	return e.RunTasks(ctx, []Task{{Input: in}})[0]
+}

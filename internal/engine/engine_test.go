@@ -1,0 +1,281 @@
+// Tests live in an external package because internal/experiments (used
+// here for corpus building) itself imports the engine.
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tableseg/internal/core"
+	"tableseg/internal/engine"
+	"tableseg/internal/experiments"
+	"tableseg/internal/sitegen"
+)
+
+// corpusInputs builds one Input per list page of the full synthetic
+// corpus (12 sites, 24 pages).
+func corpusInputs(t testing.TB) []core.Input {
+	t.Helper()
+	var inputs []core.Input
+	for _, p := range sitegen.Profiles() {
+		site := sitegen.Generate(p, experiments.DefaultSeed)
+		for pageIdx := range site.Lists {
+			inputs = append(inputs, experiments.BuildInput(site, pageIdx))
+		}
+	}
+	return inputs
+}
+
+// siteInput builds one Input for a single named site.
+func siteInput(t testing.TB, slug string, pageIdx int) core.Input {
+	t.Helper()
+	p, err := sitegen.ProfileBySlug(slug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return experiments.BuildInput(sitegen.Generate(p, experiments.DefaultSeed), pageIdx)
+}
+
+// TestEngineMatchesSerial is the determinism contract: a concurrent
+// batch over the whole corpus produces segmentations deeply equal to
+// serial core.Segment calls, for both methods.
+func TestEngineMatchesSerial(t *testing.T) {
+	inputs := corpusInputs(t)
+	for _, m := range []core.Method{core.Probabilistic, core.CSP} {
+		opts := core.DefaultOptions(m)
+		serial := make([]*core.Segmentation, len(inputs))
+		for i, in := range inputs {
+			seg, err := core.Segment(in, opts)
+			if err != nil {
+				t.Fatalf("%v serial input %d: %v", m, i, err)
+			}
+			serial[i] = seg
+		}
+		eng, err := engine.New(engine.Config{Options: opts, Concurrency: 2 * runtime.GOMAXPROCS(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range eng.SegmentAll(context.Background(), inputs) {
+			if r.Err != nil {
+				t.Fatalf("%v engine input %d: %v", m, i, r.Err)
+			}
+			if !reflect.DeepEqual(r.Seg, serial[i]) {
+				t.Errorf("%v input %d: engine segmentation differs from serial", m, i)
+			}
+		}
+	}
+}
+
+// TestEngineTemplateCache verifies per-site prep reuse: tasks sharing
+// the same sample list pages hit the cache, distinct sites do not.
+func TestEngineTemplateCache(t *testing.T) {
+	inA0 := siteInput(t, "allegheny", 0)
+	inA1 := siteInput(t, "allegheny", 1) // same site: same sample list pages
+	inB0 := siteInput(t, "butler", 0)
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := eng.RunTasks(context.Background(), []engine.Task{
+		{ID: "a0", Input: inA0},
+		{ID: "a1", Input: inA1},
+		{ID: "a0-again", Input: inA0},
+		{ID: "b0", Input: inB0},
+	})
+	wantHits := []bool{false, true, true, false}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %s: %v", r.ID, r.Err)
+		}
+		if r.Stats.TemplateCacheHit != wantHits[i] {
+			t.Errorf("task %s: TemplateCacheHit = %v, want %v", r.ID, r.Stats.TemplateCacheHit, wantHits[i])
+		}
+	}
+	if got := eng.CachedSites(); got != 2 {
+		t.Errorf("CachedSites() = %d, want 2", got)
+	}
+}
+
+// TestEngineDisableCache verifies that DisableCache forces a fresh prep
+// for every task.
+func TestEngineDisableCache(t *testing.T) {
+	in := siteInput(t, "allegheny", 0)
+	eng, err := engine.New(engine.Config{
+		Options:      core.DefaultOptions(core.CSP),
+		Concurrency:  1,
+		DisableCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := eng.RunTasks(context.Background(), []engine.Task{{Input: in}, {Input: in}})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", i, r.Err)
+		}
+		if r.Stats.TemplateCacheHit {
+			t.Errorf("task %d: cache hit with DisableCache", i)
+		}
+	}
+	if got := eng.CachedSites(); got != 0 {
+		t.Errorf("CachedSites() = %d, want 0", got)
+	}
+}
+
+// TestEnginePerTaskOptions verifies that a task-level options override
+// takes effect (the Table 4 harness relies on this to score one page
+// under both methods against a shared site prep).
+func TestEnginePerTaskOptions(t *testing.T) {
+	in := siteInput(t, "allegheny", 0)
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.Probabilistic), Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cspOpts := core.DefaultOptions(core.CSP)
+	results := eng.RunTasks(context.Background(), []engine.Task{
+		{ID: "prob", Input: in},
+		{ID: "csp", Input: in, Options: &cspOpts},
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %s: %v", r.ID, r.Err)
+		}
+	}
+	if results[0].Stats.EMIters == 0 {
+		t.Error("probabilistic task ran no EM iterations")
+	}
+	if results[1].Stats.WSATRestarts == 0 {
+		t.Error("CSP override task ran no WSAT restarts")
+	}
+}
+
+// TestEngineStats verifies the instrumentation record is populated.
+func TestEngineStats(t *testing.T) {
+	in := siteInput(t, "allegheny", 0)
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.Probabilistic), Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Segment(context.Background(), in)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	st := r.Stats
+	if st.Wall <= 0 {
+		t.Error("Wall not recorded")
+	}
+	if st.TokenizeTime <= 0 || st.TemplateTime < 0 || st.ExtractTime <= 0 || st.SolveTime <= 0 {
+		t.Errorf("stage times not recorded: %+v", st.Stats)
+	}
+	if sum := st.TokenizeTime + st.TemplateTime + st.ExtractTime + st.SolveTime; sum > st.Wall {
+		t.Errorf("stage times %v exceed wall %v", sum, st.Wall)
+	}
+	if st.EMIters == 0 {
+		t.Error("EMIters not recorded")
+	}
+}
+
+// TestEngineStream exercises the channel API: results arrive in
+// completion order but cover every submitted task exactly once, with
+// indices and IDs intact.
+func TestEngineStream(t *testing.T) {
+	in := siteInput(t, "allegheny", 0)
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	tasks := make(chan engine.Task)
+	go func() {
+		defer close(tasks)
+		for i := 0; i < n; i++ {
+			tasks <- engine.Task{ID: fmt.Sprintf("t%d", i), Input: in}
+		}
+	}()
+	seen := make(map[int]string)
+	for r := range eng.Run(context.Background(), tasks) {
+		if r.Err != nil {
+			t.Fatalf("task %s: %v", r.ID, r.Err)
+		}
+		if prev, dup := seen[r.Index]; dup {
+			t.Fatalf("index %d reported twice (%s, %s)", r.Index, prev, r.ID)
+		}
+		seen[r.Index] = r.ID
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d results, want %d", len(seen), n)
+	}
+	for i := 0; i < n; i++ {
+		if want := fmt.Sprintf("t%d", i); seen[i] != want {
+			t.Errorf("index %d carried ID %q, want %q", i, seen[i], want)
+		}
+	}
+}
+
+// TestEngineCancellation verifies batch accounting under cancellation:
+// every submitted task is reported, unstarted tasks carry ctx.Err(),
+// and any task that did complete is a valid segmentation.
+func TestEngineCancellation(t *testing.T) {
+	inputs := corpusInputs(t)
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.Probabilistic), Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := make(chan engine.Task)
+	go func() {
+		defer close(tasks)
+		for _, in := range inputs {
+			tasks <- engine.Task{Input: in}
+		}
+	}()
+	out := eng.Run(ctx, tasks)
+	first := <-out // let the batch get under way, then pull the plug
+	if first.Err != nil && !errors.Is(first.Err, context.Canceled) {
+		t.Fatalf("first result: %v", first.Err)
+	}
+	cancel()
+	got, canceled := 1, 0
+	for r := range out {
+		got++
+		switch {
+		case r.Err == nil:
+			if r.Seg == nil {
+				t.Errorf("task %d: nil segmentation without error", r.Index)
+			}
+		case errors.Is(r.Err, context.Canceled):
+			canceled++
+		default:
+			t.Errorf("task %d: unexpected error %v", r.Index, r.Err)
+		}
+	}
+	if got != len(inputs) {
+		t.Fatalf("got %d results for %d tasks", got, len(inputs))
+	}
+	if canceled == 0 {
+		t.Error("no task observed the cancellation")
+	}
+}
+
+// TestEngineConfigValidation verifies typed rejection of bad configs.
+func TestEngineConfigValidation(t *testing.T) {
+	if _, err := engine.New(engine.Config{Concurrency: -1}); !errors.Is(err, core.ErrBadOptions) {
+		t.Errorf("negative concurrency: err = %v, want ErrBadOptions", err)
+	}
+	bad := core.DefaultOptions(core.CSP)
+	bad.MinSlotQuality = 2
+	if _, err := engine.New(engine.Config{Options: bad}); !errors.Is(err, core.ErrBadOptions) {
+		t.Errorf("bad options: err = %v, want ErrBadOptions", err)
+	}
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Concurrency() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default Concurrency() = %d, want GOMAXPROCS %d", eng.Concurrency(), runtime.GOMAXPROCS(0))
+	}
+}

@@ -6,13 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"tableseg/internal/core"
 	"tableseg/internal/csp"
+	"tableseg/internal/engine"
 	"tableseg/internal/eval"
 	"tableseg/internal/sitegen"
 )
@@ -65,10 +65,17 @@ type Table4Result struct {
 	CleanPages          int
 }
 
-// RunTable4 reproduces Table 4 for a generator seed. Pages are scored
-// concurrently — each page's computation is pure for a fixed seed, so
-// the aggregated result is deterministic regardless of scheduling.
+// RunTable4 reproduces Table 4 for a generator seed.
 func RunTable4(seed int64) (*Table4Result, error) {
+	return RunTable4Context(context.Background(), seed)
+}
+
+// RunTable4Context reproduces Table 4 under a context. The 48 runs
+// (24 list pages, each scored under both methods) go through the batch
+// engine: the two runs of a page share one cached site preparation, and
+// the pool keeps every core busy. Each run is pure for a fixed seed, so
+// the aggregated result is deterministic regardless of scheduling.
+func RunTable4Context(ctx context.Context, seed int64) (*Table4Result, error) {
 	type job struct {
 		site    *sitegen.Site
 		pageIdx int
@@ -81,34 +88,52 @@ func RunTable4(seed int64) (*Table4Result, error) {
 		}
 	}
 
-	rows := make([]PageRow, len(jobs))
-	errs := make([]error, len(jobs))
-	workers := runtime.NumCPU()
-	if workers > len(jobs) {
-		workers = len(jobs)
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.Probabilistic)})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ji := range next {
-				rows[ji], errs[ji] = runPage(jobs[ji].site, jobs[ji].pageIdx)
-			}
-		}()
+	probOpts := core.DefaultOptions(core.Probabilistic)
+	cspOpts := core.DefaultOptions(core.CSP)
+	tasks := make([]engine.Task, 2*len(jobs))
+	for ji, j := range jobs {
+		in := BuildInput(j.site, j.pageIdx)
+		id := fmt.Sprintf("%s-%d", j.site.Profile.Slug, j.pageIdx)
+		tasks[2*ji] = engine.Task{ID: id + "-prob", Input: in, Options: &probOpts}
+		tasks[2*ji+1] = engine.Task{ID: id + "-csp", Input: in, Options: &cspOpts}
 	}
-	for ji := range jobs {
-		next <- ji
-	}
-	close(next)
-	wg.Wait()
+	results := eng.RunTasks(ctx, tasks)
 
 	res := &Table4Result{}
-	for ji, row := range rows {
-		if errs[ji] != nil {
-			return nil, fmt.Errorf("%s page %d: %w", jobs[ji].site.Profile.Slug, jobs[ji].pageIdx, errs[ji])
+	for ji, j := range jobs {
+		prob, cspRes := results[2*ji], results[2*ji+1]
+		if prob.Err != nil {
+			return nil, fmt.Errorf("%s page %d: %w", j.site.Profile.Slug, j.pageIdx, prob.Err)
 		}
+		if cspRes.Err != nil {
+			return nil, fmt.Errorf("%s page %d: %w", j.site.Profile.Slug, j.pageIdx, cspRes.Err)
+		}
+		probSeg, cspSeg := prob.Seg, cspRes.Seg
+		truth := j.site.Lists[j.pageIdx].Truth
+		row := PageRow{
+			Site:          j.site.Profile.Name,
+			Page:          j.pageIdx + 1,
+			Prob:          eval.Score(probSeg, truth),
+			CSP:           eval.Score(cspSeg, truth),
+			UsedWholePage: probSeg.UsedWholePage,
+			CSPStatus:     cspSeg.CSPStatus,
+		}
+		var notes []string
+		if probSeg.UsedWholePage || cspSeg.UsedWholePage {
+			notes = append(notes, "a", "b")
+		}
+		switch cspSeg.CSPStatus {
+		case csp.SolvedRelaxed:
+			notes = append(notes, "c", "d")
+		case csp.Failed:
+			notes = append(notes, "c")
+		}
+		row.Notes = strings.Join(notes, ",")
+
 		res.Rows = append(res.Rows, row)
 		res.ProbTotal = res.ProbTotal.Add(row.Prob)
 		res.CSPTotal = res.CSPTotal.Add(row.CSP)
@@ -119,41 +144,6 @@ func RunTable4(seed int64) (*Table4Result, error) {
 		}
 	}
 	return res, nil
-}
-
-func runPage(site *sitegen.Site, pageIdx int) (PageRow, error) {
-	in := BuildInput(site, pageIdx)
-	truth := site.Lists[pageIdx].Truth
-
-	probSeg, err := core.Segment(in, core.DefaultOptions(core.Probabilistic))
-	if err != nil {
-		return PageRow{}, err
-	}
-	cspSeg, err := core.Segment(in, core.DefaultOptions(core.CSP))
-	if err != nil {
-		return PageRow{}, err
-	}
-
-	row := PageRow{
-		Site:          site.Profile.Name,
-		Page:          pageIdx + 1,
-		Prob:          eval.Score(probSeg, truth),
-		CSP:           eval.Score(cspSeg, truth),
-		UsedWholePage: probSeg.UsedWholePage,
-		CSPStatus:     cspSeg.CSPStatus,
-	}
-	var notes []string
-	if probSeg.UsedWholePage || cspSeg.UsedWholePage {
-		notes = append(notes, "a", "b")
-	}
-	switch cspSeg.CSPStatus {
-	case csp.SolvedRelaxed:
-		notes = append(notes, "c", "d")
-	case csp.Failed:
-		notes = append(notes, "c")
-	}
-	row.Notes = strings.Join(notes, ",")
-	return row, nil
 }
 
 // RenderTable4 formats the study in the layout of the paper's Table 4.

@@ -1,0 +1,75 @@
+package phmm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tableseg/internal/token"
+)
+
+// contextInstance is a small learnable instance for the cancellation
+// tests.
+func contextInstance() Instance {
+	types := []token.Type{
+		token.TypeOf("John") | token.TypeOf("Smith"),
+		token.TypeOf("221") | token.TypeOf("Washington"),
+	}
+	var inst Instance
+	inst.NumRecords = 5
+	for r := 0; r < 5; r++ {
+		for f := range types {
+			inst.TypeVecs = append(inst.TypeVecs, types[f].Vector())
+			inst.Candidates = append(inst.Candidates, []int{r})
+		}
+	}
+	return inst
+}
+
+// TestFitContextCancelled verifies EM aborts at an iteration boundary
+// with context.Canceled.
+func TestFitContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inst := contextInstance()
+	m := NewModel(inst.NumRecords, 2, DefaultParams())
+	if _, iters, err := m.FitContext(ctx, inst); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	} else if iters != 0 {
+		t.Fatalf("ran %d iterations under a cancelled context", iters)
+	}
+}
+
+// TestSegmentContextCancelled verifies the full probabilistic solve
+// surfaces ctx.Err().
+func TestSegmentContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SegmentContext(ctx, contextInstance(), DefaultParams()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSegmentContextUncancelled verifies the context path reproduces
+// the legacy entry point exactly.
+func TestSegmentContextUncancelled(t *testing.T) {
+	inst := contextInstance()
+	want, err := Segment(inst, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SegmentContext(context.Background(), inst, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iters != want.Iters || got.LogLik != want.LogLik {
+		t.Errorf("context solve diverged: iters %d loglik %v vs iters %d loglik %v",
+			got.Iters, got.LogLik, want.Iters, want.LogLik)
+	}
+	for i := range want.Records {
+		if got.Records[i] != want.Records[i] || got.Columns[i] != want.Columns[i] {
+			t.Fatalf("extract %d: (%d,%d) vs (%d,%d)", i,
+				got.Records[i], got.Columns[i], want.Records[i], want.Columns[i])
+		}
+	}
+}

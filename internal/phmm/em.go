@@ -1,6 +1,7 @@
 package phmm
 
 import (
+	"context"
 	"math"
 
 	"tableseg/internal/token"
@@ -88,8 +89,20 @@ func (m *Model) mstep(st *emStats) {
 // Fit runs EM to convergence (or MaxIter) and returns the final
 // log-likelihood and the iteration count.
 func (m *Model) Fit(inst Instance) (loglik float64, iters int) {
+	loglik, iters, _ = m.FitContext(context.Background(), inst)
+	return loglik, iters
+}
+
+// FitContext is Fit under a context. Cancellation is checked once per
+// EM iteration, so an uncancelled run performs exactly the same
+// iteration sequence as Fit while a cancelled one returns ctx.Err()
+// within one iteration.
+func (m *Model) FitContext(ctx context.Context, inst Instance) (loglik float64, iters int, err error) {
 	prev := math.Inf(-1)
 	for iters = 1; iters <= m.params.MaxIter; iters++ {
+		if err := ctx.Err(); err != nil {
+			return loglik, iters - 1, err
+		}
 		lt := newLattice(m, inst)
 		st, ll := m.estep(lt)
 		m.mstep(st)
@@ -108,7 +121,7 @@ func (m *Model) Fit(inst Instance) (loglik float64, iters int) {
 	if iters > m.params.MaxIter {
 		iters = m.params.MaxIter // loop exhausted the bound without converging
 	}
-	return loglik, iters
+	return loglik, iters, nil
 }
 
 // Result is the output of Segment: the MAP record segmentation and the
@@ -137,6 +150,13 @@ type Result struct {
 // Segment learns a model for the instance with EM and returns the MAP
 // segmentation — the probabilistic pipeline of §5 end to end.
 func Segment(inst Instance, params Params) (*Result, error) {
+	return SegmentContext(context.Background(), inst, params)
+}
+
+// SegmentContext is Segment under a context: cancellation aborts the EM
+// loop at an iteration boundary and is re-checked before the final
+// decode, returning ctx.Err().
+func SegmentContext(ctx context.Context, inst Instance, params Params) (*Result, error) {
 	if err := validate(inst); err != nil {
 		return nil, err
 	}
@@ -149,7 +169,13 @@ func Segment(inst Instance, params Params) (*Result, error) {
 		cols = deriveColumns(inst)
 	}
 	m := NewModel(inst.NumRecords, cols, params)
-	ll, iters := m.Fit(inst)
+	ll, iters, err := m.FitContext(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	lt := newLattice(m, inst)
 	records, columns, mapLP := lt.viterbi()
 	post := lt.forwardBackward()

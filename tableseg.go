@@ -34,9 +34,17 @@
 //	for _, rec := range seg.Records {
 //	    fmt.Println(rec.Index, rec.Texts())
 //	}
+//
+// SegmentContext adds cancellation/deadline support (honored down in
+// the solver loops); failures are typed sentinels (ErrNoDetailEvidence,
+// ErrCSPUnsatisfiable, ...) matchable with errors.Is. For batch work
+// use Engine, a concurrent pool that caches per-site templates and
+// reports per-task stats while producing results identical to serial
+// Segment calls.
 package tableseg
 
 import (
+	"context"
 	"encoding/csv"
 	"io"
 
@@ -85,21 +93,30 @@ type PHMMParams = phmm.Params
 // method.
 func DefaultOptions(m Method) Options { return core.DefaultOptions(m) }
 
+// SegmentContext runs the full pipeline with explicit options under a
+// context. Cancellation is honored at stage boundaries and inside the
+// solvers (WSAT restart and EM iteration boundaries), returning
+// ctx.Err(); an uncancelled run computes exactly what Segment does.
+// Options are validated first (ErrBadOptions).
+func SegmentContext(ctx context.Context, in Input, opts Options) (*Segmentation, error) {
+	return core.SegmentContext(ctx, in, opts)
+}
+
 // Segment runs the full pipeline with explicit options.
 func Segment(in Input, opts Options) (*Segmentation, error) {
-	return core.Segment(in, opts)
+	return SegmentContext(context.Background(), in, opts)
 }
 
 // SegmentCSP segments with the §4 constraint-satisfaction method under
 // default options.
 func SegmentCSP(in Input) (*Segmentation, error) {
-	return core.Segment(in, core.DefaultOptions(core.CSP))
+	return SegmentContext(context.Background(), in, core.DefaultOptions(core.CSP))
 }
 
 // SegmentProbabilistic segments with the §5 probabilistic method under
 // default options.
 func SegmentProbabilistic(in Input) (*Segmentation, error) {
-	return core.Segment(in, core.DefaultOptions(core.Probabilistic))
+	return SegmentContext(context.Background(), in, core.DefaultOptions(core.Probabilistic))
 }
 
 // WriteCSV emits the reconstructed relational table as CSV. When the

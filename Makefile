@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint check bench experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -12,12 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis: determinism, context discipline,
+# error wrapping and float equality (see internal/analysis). Exits
+# non-zero on any finding.
+lint: vet
+	$(GO) run ./cmd/tableseglint
+
 test: vet
 	$(GO) test ./...
 
-# Full gate: vet plus the test suite under the race detector (the batch
-# engine is concurrent; this is the configuration CI should run).
-check: vet
+# Full gate: static analysis plus the test suite under the race
+# detector (the batch engine is concurrent; this is the configuration
+# CI runs).
+check: lint
 	$(GO) test -race ./...
 
 # The paper's tables, figures, ablations, baselines and extensions.
@@ -47,9 +54,11 @@ corpus:
 cover:
 	$(GO) test -cover ./...
 
-# Short exploratory fuzzing of the HTML lexer.
+# Short exploratory fuzzing of the HTML lexer and the extraction
+# front end.
 fuzz:
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=30s ./internal/htmlx
+	$(GO) test -fuzz=FuzzExtracts -fuzztime=30s ./internal/extract
 
 clean:
 	rm -rf corpus

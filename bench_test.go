@@ -55,10 +55,10 @@ func BenchmarkTable1ObservationMatrix(b *testing.B) {
 // BenchmarkTable2Assignment measures the §4 CSP solve that produces the
 // Table 2 record assignment.
 func BenchmarkTable2Assignment(b *testing.B) {
-	ex := experiments.RunExample()
+	ex := benchExample(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := csp.SolveSegmentation(ex.Input, csp.SolveParams{ExactCheck: true})
+		res, _ := csp.SolveSegmentationContext(context.Background(), ex.Input, csp.SolveParams{ExactCheck: true})
 		if res.Status != csp.Solved {
 			b.Fatalf("status %v", res.Status)
 		}
@@ -107,7 +107,7 @@ func benchTable4(b *testing.B, method core.Method) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, pg := range pages {
-			if _, err := core.Segment(pg.in, opts); err != nil {
+			if _, err := core.SegmentContext(context.Background(), pg.in, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -132,7 +132,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, in := range inputs {
-				if _, err := core.Segment(in, opts); err != nil {
+				if _, err := core.SegmentContext(context.Background(), in, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -166,7 +166,7 @@ func BenchmarkPerPageLatency(b *testing.B) {
 		opts := core.DefaultOptions(m)
 		b.Run(m.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Segment(in, opts); err != nil {
+				if _, err := core.SegmentContext(context.Background(), in, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -211,7 +211,7 @@ func BenchmarkFigure2Model(b *testing.B) {
 	params.PeriodModel = false
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := phmm.Segment(inst, params); err != nil {
+		if _, err := phmm.SegmentContext(context.Background(), inst, params); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,7 +224,7 @@ func BenchmarkFigure3PeriodModel(b *testing.B) {
 	params := phmm.DefaultParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := phmm.Segment(inst, params); err != nil {
+		if _, err := phmm.SegmentContext(context.Background(), inst, params); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -244,7 +244,7 @@ func BenchmarkAblationRelaxation(b *testing.B) {
 		opts.CSPParams.NoRelax = noRelax
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Segment(in, opts); err != nil {
+				if _, err := core.SegmentContext(context.Background(), in, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -266,7 +266,7 @@ func BenchmarkAblationEpsilon(b *testing.B) {
 		opts.PHMMParams.Epsilon = eps
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Segment(in, opts); err != nil {
+				if _, err := core.SegmentContext(context.Background(), in, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -308,11 +308,11 @@ func BenchmarkTemplateInduction(b *testing.B) {
 // BenchmarkWSAT measures the raw local-search solver on the worked
 // example's constraint problem.
 func BenchmarkWSAT(b *testing.B) {
-	ex := experiments.RunExample()
+	ex := benchExample(b)
 	enc := csp.Encode(ex.Input, csp.Strict)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol := csp.SolveWSAT(enc.Problem, csp.WSATParams{Seed: int64(i)})
+		sol, _ := csp.SolveWSATContext(context.Background(), enc.Problem, csp.WSATParams{Seed: int64(i)})
 		if !sol.Feasible {
 			b.Fatal("infeasible")
 		}
@@ -335,11 +335,11 @@ func BenchmarkDetailIndexing(b *testing.B) {
 // BenchmarkExactSolver measures the complete DFS solver on the worked
 // example (UNSAT certification path).
 func BenchmarkExactSolver(b *testing.B) {
-	ex := experiments.RunExample()
+	ex := benchExample(b)
 	enc := csp.Encode(ex.Input, csp.Strict)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, sat, err := csp.SolveExact(enc.Problem, csp.ExactParams{}); err != nil || !sat {
+		if _, sat, err := csp.SolveExact(context.Background(), enc.Problem, csp.ExactParams{}); err != nil || !sat {
 			b.Fatalf("sat=%v err=%v", sat, err)
 		}
 	}
@@ -351,10 +351,10 @@ func BenchmarkViterbiDecode(b *testing.B) {
 	inst := phmmInstance()
 	params := phmm.DefaultParams()
 	m := phmm.NewModel(inst.NumRecords, 4, params)
-	m.Fit(inst)
+	m.FitContext(context.Background(), inst)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := phmm.Segment(inst, params)
+		res, err := phmm.SegmentContext(context.Background(), inst, params)
 		if err != nil || len(res.Records) == 0 {
 			b.Fatal(err)
 		}
@@ -385,7 +385,7 @@ func BenchmarkClassification(b *testing.B) {
 func BenchmarkWrapperTransfer(b *testing.B) {
 	site := sitegen.Generate(mustProfile(b, "butler"), experiments.DefaultSeed)
 	in := experiments.BuildInput(site, 0)
-	seg, err := core.Segment(in, core.DefaultOptions(core.Probabilistic))
+	seg, err := core.SegmentContext(context.Background(), in, core.DefaultOptions(core.Probabilistic))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -418,7 +418,7 @@ func BenchmarkLargePage(b *testing.B) {
 		opts := core.DefaultOptions(m)
 		b.Run(m.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				seg, err := core.Segment(in, opts)
+				seg, err := core.SegmentContext(context.Background(), in, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -433,7 +433,7 @@ func BenchmarkLargePage(b *testing.B) {
 // BenchmarkWSATDynamicWeights compares the plain local search against
 // clause-weighting escape on the worked example's constraint problem.
 func BenchmarkWSATDynamicWeights(b *testing.B) {
-	ex := experiments.RunExample()
+	ex := benchExample(b)
 	for _, dyn := range []bool{false, true} {
 		name := "static"
 		if dyn {
@@ -442,11 +442,21 @@ func BenchmarkWSATDynamicWeights(b *testing.B) {
 		enc := csp.Encode(ex.Input, csp.Strict)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sol := csp.SolveWSAT(enc.Problem, csp.WSATParams{Seed: int64(i), DynamicWeights: dyn})
+				sol, _ := csp.SolveWSATContext(context.Background(), enc.Problem, csp.WSATParams{Seed: int64(i), DynamicWeights: dyn})
 				if !sol.Feasible {
 					b.Fatal("infeasible")
 				}
 			}
 		})
 	}
+}
+
+// benchExample runs the worked example for benchmark setup.
+func benchExample(b *testing.B) *experiments.Example {
+	b.Helper()
+	ex, err := experiments.RunExample(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ex
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
+	ctx := context.Background()
 	ran := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -37,7 +39,10 @@ func main() {
 	}
 
 	if *all || *table == 1 || *table == 2 || *table == 3 {
-		ex := experiments.RunExample()
+		ex, err := experiments.RunExample(ctx)
+		if err != nil {
+			fail(err)
+		}
 		switch {
 		case *all:
 			fmt.Println(ex.RenderTable1())
@@ -53,7 +58,7 @@ func main() {
 		ran = true
 	}
 	if *all || *table == 4 {
-		t4, err := experiments.RunTable4(*seed)
+		t4, err := experiments.RunTable4(ctx, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -61,7 +66,7 @@ func main() {
 		ran = true
 	}
 	if *all || *ablations {
-		abls, err := experiments.RunAllAblations(*seed)
+		abls, err := experiments.RunAllAblations(ctx, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -71,7 +76,7 @@ func main() {
 		ran = true
 	}
 	if *all || *baselines {
-		res, err := experiments.RunBaselines(*seed)
+		res, err := experiments.RunBaselines(ctx, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -79,17 +84,17 @@ func main() {
 		ran = true
 	}
 	if *all || *extensions {
-		cls, err := experiments.RunClassification(*seed)
+		cls, err := experiments.RunClassification(ctx, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.RenderClassification(cls))
-		wr, err := experiments.RunWrapperTransfer(*seed)
+		wr, err := experiments.RunWrapperTransfer(ctx, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.RenderWrapperTransfer(wr))
-		vt, err := experiments.RunVertical(*seed)
+		vt, err := experiments.RunVertical(ctx, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -97,12 +102,12 @@ func main() {
 		ran = true
 	}
 	if *all || *scale {
-		rows, err := experiments.RunScale(*seed, nil)
+		rows, err := experiments.RunScale(ctx, *seed, nil)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(experiments.RenderScale(rows))
-		stress, err := experiments.RunStressSweep(*seed, nil)
+		stress, err := experiments.RunStressSweep(ctx, *seed, nil)
 		if err != nil {
 			fail(err)
 		}
@@ -118,7 +123,7 @@ func main() {
 			}
 			seeds = append(seeds, v)
 		}
-		prob, cspRes, err := experiments.RunSeedSweep(seeds)
+		prob, cspRes, err := experiments.RunSeedSweep(ctx, seeds)
 		if err != nil {
 			fail(err)
 		}

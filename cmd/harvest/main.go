@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -71,6 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
 	h := &crawl.Harvester{Fetcher: fetcher, Options: core.DefaultOptions(m)}
 	entryURL := *entry
 	if entryURL != "" && *base != "" {
@@ -81,7 +83,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "harvest: -all requires -entry")
 			os.Exit(2)
 		}
-		table, results, err := h.HarvestAll(entryURL)
+		table, results, err := h.HarvestAll(ctx, entryURL)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "harvest:", err)
 			os.Exit(1)
@@ -107,9 +109,9 @@ func main() {
 	var res *crawl.Result
 	var err error
 	if entryURL != "" {
-		res, err = h.HarvestFrom(entryURL)
+		res, err = h.HarvestFrom(ctx, entryURL)
 	} else {
-		res, err = h.Harvest(urls, *target)
+		res, err = h.Harvest(ctx, urls, *target)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "harvest:", err)

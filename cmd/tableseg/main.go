@@ -19,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -37,30 +38,51 @@ func (m *multiFlag) Set(v string) error {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the flag handling and
+// output shapes are testable in-process. It returns the process exit
+// code: 0 success, 1 segmentation failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tableseg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var lists, details multiFlag
-	flag.Var(&lists, "list", "list page HTML file (repeatable; >=2 enables template finding)")
-	flag.Var(&details, "detail", "detail page HTML file (repeatable; in link order)")
-	target := flag.Int("target", 0, "index of the list page to segment")
-	method := flag.String("method", "prob", "segmentation method: prob, csp or combined")
-	columns := flag.Bool("columns", false, "print the reconstructed relational table")
-	jsonOut := flag.Bool("json", false, "emit the segmentation as JSON")
-	csvOut := flag.Bool("csv", false, "emit the reconstructed table as CSV")
-	stats := flag.Bool("stats", false, "print per-stage timing and solver effort to stderr")
-	timeout := flag.Duration("timeout", 0, "abort the segmentation after this duration (0 = no limit)")
-	flag.Parse()
+	fs.Var(&lists, "list", "list page HTML file (repeatable; >=2 enables template finding)")
+	fs.Var(&details, "detail", "detail page HTML file (repeatable; in link order)")
+	target := fs.Int("target", 0, "index of the list page to segment")
+	method := fs.String("method", "prob", "segmentation method: prob, csp or combined")
+	columns := fs.Bool("columns", false, "print the reconstructed relational table")
+	jsonOut := fs.Bool("json", false, "emit the segmentation as JSON")
+	csvOut := fs.Bool("csv", false, "emit the reconstructed table as CSV")
+	stats := fs.Bool("stats", false, "print per-stage timing and solver effort to stderr")
+	timeout := fs.Duration("timeout", 0, "abort the segmentation after this duration (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if len(lists) == 0 || len(details) == 0 {
-		fmt.Fprintln(os.Stderr, "tableseg: need at least one -list and one -detail file")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tableseg: need at least one -list and one -detail file")
+		fs.Usage()
+		return 2
 	}
 
 	in := tableseg.Input{Target: *target}
 	for _, f := range lists {
-		in.ListPages = append(in.ListPages, mustRead(f))
+		page, err := readPage(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "tableseg:", err)
+			return 1
+		}
+		in.ListPages = append(in.ListPages, page)
 	}
 	for _, f := range details {
-		in.DetailPages = append(in.DetailPages, mustRead(f))
+		page, err := readPage(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "tableseg:", err)
+			return 1
+		}
+		in.DetailPages = append(in.DetailPages, page)
 	}
 
 	var m tableseg.Method
@@ -72,13 +94,13 @@ func main() {
 	case "combined":
 		m = tableseg.Combined
 	default:
-		fmt.Fprintf(os.Stderr, "tableseg: unknown method %q (want prob, csp or combined)\n", *method)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tableseg: unknown method %q (want prob, csp or combined)\n", *method)
+		return 2
 	}
 
 	if *timeout < 0 {
-		fmt.Fprintf(os.Stderr, "tableseg: negative -timeout %v\n", *timeout)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tableseg: negative -timeout %v\n", *timeout)
+		return 2
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -88,62 +110,66 @@ func main() {
 	}
 	eng, err := tableseg.NewEngine(tableseg.EngineConfig{Options: tableseg.DefaultOptions(m)})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tableseg:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tableseg:", err)
+		return 2
 	}
 	res := eng.Segment(ctx, in)
 	if *stats {
-		printStats(res.Stats)
+		printStats(stderr, res.Stats)
 	}
 	seg, err := res.Seg, res.Err
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintf(os.Stderr, "tableseg: timed out after %v\n", *timeout)
+			fmt.Fprintf(stderr, "tableseg: timed out after %v\n", *timeout)
 		} else {
-			fmt.Fprintln(os.Stderr, "tableseg:", err)
+			fmt.Fprintln(stderr, "tableseg:", err)
 		}
-		os.Exit(1)
+		return 1
 	}
 
 	if *jsonOut {
-		emitJSON(seg, m)
-		return
+		if err := emitJSON(stdout, seg, m); err != nil {
+			fmt.Fprintln(stderr, "tableseg:", err)
+			return 1
+		}
+		return 0
 	}
 	if *csvOut {
-		if err := tableseg.WriteCSV(os.Stdout, seg); err != nil {
-			fmt.Fprintln(os.Stderr, "tableseg:", err)
-			os.Exit(1)
+		if err := tableseg.WriteCSV(stdout, seg); err != nil {
+			fmt.Fprintln(stderr, "tableseg:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("method=%s analyzed=%d/%d extracts", m, seg.Analyzed, seg.TotalExtracts)
+	fmt.Fprintf(stdout, "method=%s analyzed=%d/%d extracts", m, seg.Analyzed, seg.TotalExtracts)
 	if seg.UsedWholePage {
-		fmt.Printf(" (page template problem: entire page used)")
+		fmt.Fprintf(stdout, " (page template problem: entire page used)")
 	}
 	if m == tableseg.CSP {
-		fmt.Printf(" csp=%s", seg.CSPStatus)
+		fmt.Fprintf(stdout, " csp=%s", seg.CSPStatus)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, rec := range seg.Records {
-		fmt.Printf("record %d (detail page %d):\n", rec.Index+1, rec.Index+1)
+		fmt.Fprintf(stdout, "record %d (detail page %d):\n", rec.Index+1, rec.Index+1)
 		for i, ex := range rec.Extracts {
 			col := ""
 			if rec.Columns[i] >= 0 {
 				col = fmt.Sprintf("  [L%d]", rec.Columns[i]+1)
 			}
-			fmt.Printf("  %s%s\n", ex.Text(), col)
+			fmt.Fprintf(stdout, "  %s%s\n", ex.Text(), col)
 		}
 	}
 	if *columns {
-		fmt.Println("\nreconstructed table:")
+		fmt.Fprintln(stdout, "\nreconstructed table:")
 		if len(seg.ColumnLabels) > 0 {
-			fmt.Printf("     | %s\n", strings.Join(seg.ColumnLabels, " | "))
+			fmt.Fprintf(stdout, "     | %s\n", strings.Join(seg.ColumnLabels, " | "))
 		}
 		for i, row := range tableseg.ReconstructTable(seg) {
-			fmt.Printf("  %2d | %s\n", i+1, strings.Join(row, " | "))
+			fmt.Fprintf(stdout, "  %2d | %s\n", i+1, strings.Join(row, " | "))
 		}
 	}
+	return 0
 }
 
 // jsonRecord is the JSON shape of one segmented record.
@@ -165,7 +191,7 @@ type jsonOutput struct {
 	Table         [][]string   `json:"table"`
 }
 
-func emitJSON(seg *tableseg.Segmentation, m tableseg.Method) {
+func emitJSON(w io.Writer, seg *tableseg.Segmentation, m tableseg.Method) error {
 	out := jsonOutput{
 		Method:        m.String(),
 		Analyzed:      seg.Analyzed,
@@ -184,29 +210,25 @@ func emitJSON(seg *tableseg.Segmentation, m tableseg.Method) {
 			Columns:  rec.Columns,
 		})
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "tableseg:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(out)
 }
 
-// printStats reports the engine's per-stage instrumentation on stderr.
-func printStats(st tableseg.TaskStats) {
-	fmt.Fprintf(os.Stderr, "stats: wall=%v tokenize=%v template=%v extract=%v solve=%v\n",
+// printStats reports the engine's per-stage instrumentation.
+func printStats(w io.Writer, st tableseg.TaskStats) {
+	fmt.Fprintf(w, "stats: wall=%v tokenize=%v template=%v extract=%v solve=%v\n",
 		st.Wall.Round(time.Microsecond), st.TokenizeTime.Round(time.Microsecond),
 		st.TemplateTime.Round(time.Microsecond), st.ExtractTime.Round(time.Microsecond),
 		st.SolveTime.Round(time.Microsecond))
-	fmt.Fprintf(os.Stderr, "stats: wsat restarts=%d flips=%d cutRounds=%d emIters=%d\n",
+	fmt.Fprintf(w, "stats: wsat restarts=%d flips=%d cutRounds=%d emIters=%d\n",
 		st.WSATRestarts, st.WSATFlips, st.CutRounds, st.EMIters)
 }
 
-func mustRead(path string) tableseg.Page {
+func readPage(path string) (tableseg.Page, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tableseg:", err)
-		os.Exit(1)
+		return tableseg.Page{}, err
 	}
-	return tableseg.Page{Name: path, HTML: string(data)}
+	return tableseg.Page{Name: path, HTML: string(data)}, nil
 }

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The Superpages worked example (§3 of the paper): three records with
+// detail pages, small enough for in-process CLI tests.
+const testList = `<html><head><title>Superpages</title></head><body>
+<h1>Superpages</h1><p>Results - 3 Matching Listings</p>
+<div><b>John Smith</b><br>221 Washington<br>New Holland<br>(740) 335-5555 <a href="d1">More Info</a></div>
+<div><b>John Smith</b><br>221R Washington<br>Washington<br>(740) 335-5555 <a href="d2">More Info</a></div>
+<div><b>George W. Smith</b><br>Findlay, OH<br>(419) 423-1212 <a href="d3">More Info</a></div>
+<p>Copyright Superpages</p></body></html>`
+
+var testDetails = []string{
+	`<html><body><h1>Superpages</h1><h2>Listing Detail</h2><p>John Smith</p><p>221 Washington</p><p>New Holland</p><p>(740) 335-5555</p><p>Map It</p></body></html>`,
+	`<html><body><h1>Superpages</h1><h2>Listing Detail</h2><p>John Smith</p><p>221R Washington</p><p>Washington</p><p>(740) 335-5555</p><p>Map It</p></body></html>`,
+	`<html><body><h1>Superpages</h1><h2>Listing Detail</h2><p>George W. Smith</p><p>Findlay, OH</p><p>(419) 423-1212</p><p>Map It</p></body></html>`,
+}
+
+// writeTestSite writes the example pages to a temp dir and returns the
+// -list/-detail arguments addressing them.
+func writeTestSite(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	list := filepath.Join(dir, "list.html")
+	if err := os.WriteFile(list, []byte(testList), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-list", list}
+	for i, d := range testDetails {
+		p := filepath.Join(dir, "d"+string(rune('1'+i))+".html")
+		if err := os.WriteFile(p, []byte(d), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		args = append(args, "-detail", p)
+	}
+	return args
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestNegativeTimeoutRejected(t *testing.T) {
+	args := append(writeTestSite(t), "-timeout", "-3s")
+	code, _, stderr := runCLI(t, args...)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(stderr, "negative -timeout") {
+		t.Errorf("stderr %q does not mention the negative -timeout", stderr)
+	}
+}
+
+func TestMissingInputsRejected(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "need at least one -list") {
+		t.Errorf("stderr %q does not explain the missing inputs", stderr)
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	args := append(writeTestSite(t), "-method", "quantum")
+	code, _, stderr := runCLI(t, args...)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown method "quantum"`) {
+		t.Errorf("stderr %q does not name the bad method", stderr)
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	code, _, _ := runCLI(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+var statsLine1 = regexp.MustCompile(`(?m)^stats: wall=\S+ tokenize=\S+ template=\S+ extract=\S+ solve=\S+$`)
+var statsLine2 = regexp.MustCompile(`(?m)^stats: wsat restarts=\d+ flips=\d+ cutRounds=\d+ emIters=\d+$`)
+
+func TestStatsOutputShape(t *testing.T) {
+	args := append(writeTestSite(t), "-stats")
+	code, stdout, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !statsLine1.MatchString(stderr) {
+		t.Errorf("stderr missing the per-stage timing line:\n%s", stderr)
+	}
+	if !statsLine2.MatchString(stderr) {
+		t.Errorf("stderr missing the solver-effort line:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "record 1") {
+		t.Errorf("stdout missing segmented records:\n%s", stdout)
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	args := append(writeTestSite(t), "-json")
+	code, stdout, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var out struct {
+		Method  string `json:"method"`
+		Records []struct {
+			Record   int      `json:"record"`
+			Extracts []string `json:"extracts"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if out.Method == "" || len(out.Records) == 0 {
+		t.Errorf("JSON output missing method/records: %+v", out)
+	}
+}

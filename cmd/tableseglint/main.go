@@ -1,0 +1,108 @@
+// Command tableseglint runs the repository's static-analysis suite
+// (internal/analysis) over every package of the module and reports
+// violations of the determinism, context-discipline, error-wrapping
+// and float-equality invariants with file:line positions. It exits
+// non-zero when any diagnostic survives, so `make lint` gates CI.
+//
+// Usage:
+//
+//	tableseglint [-root dir] [packages...]
+//
+// With no package arguments every package under the module root is
+// checked (testdata, corpus and hidden directories are skipped).
+// Package arguments are directories relative to the module root, e.g.
+// `internal/csp`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tableseg/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root directory (must contain go.mod)")
+	flag.Parse()
+
+	diags, err := run(*root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tableseglint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "tableseglint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func run(root string, pkgDirs []string) ([]analysis.Diagnostic, error) {
+	modPath, err := analysis.ModulePathOf(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgDirs) == 0 {
+		pkgDirs, err = packageDirs(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	loader := analysis.NewLoader(root, modPath)
+	cfg := analysis.DefaultConfig()
+	suite := analysis.Suite()
+	var diags []analysis.Diagnostic
+	for _, dir := range pkgDirs {
+		pkg, err := loader.LoadDir(filepath.Join(root, dir))
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, analysis.Run(pkg, cfg, suite)...)
+	}
+	return diags, nil
+}
+
+// packageDirs lists every directory under root holding at least one
+// non-test Go file, as module-root-relative paths.
+func packageDirs(root string) ([]string, error) {
+	skip := map[string]bool{
+		".git": true, "testdata": true, "corpus": true, "results": true,
+	}
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (skip[name] || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			rel, err := filepath.Rel(root, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			seen[filepath.ToSlash(rel)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,232 @@
+// Package analysis implements tableseglint, the repository's own
+// static-analysis suite. The reproduction's headline guarantee —
+// byte-identical Table 1–4 output across worker counts and seeds —
+// rests on a handful of coding invariants (no wall-clock or unseeded
+// randomness in solver paths, no map-iteration order leaking into
+// results, contexts threaded rather than minted, errors wrapped so
+// sentinel classification survives) that ordinary Go tooling does not
+// enforce. The four analyzers in this package check them mechanically
+// over the parsed and type-checked source of every package, using only
+// the standard library (go/parser, go/ast, go/types).
+//
+// The analyzers are:
+//
+//   - determinism: forbids time.Now and top-level math/rand functions
+//     in the solver packages, and flags range-over-map loops that
+//     accumulate into order-sensitive state (appends, floating-point
+//     running sums) without a subsequent sort.
+//   - ctxdiscipline: forbids context.Background/context.TODO inside
+//     internal packages (only the root package's compatibility
+//     wrappers may mint contexts) and requires exported
+//     pipeline/solver entry points to take a context.Context first.
+//   - errwrap: requires %w for error operands of fmt.Errorf, and
+//     requires errors returned across internal/core's boundary to
+//     wrap a declared sentinel.
+//   - floateq: forbids ==/!= on floating-point operands in the
+//     numeric solver packages (phmm, csp).
+//
+// A diagnostic can be suppressed by a "//tableseglint:ignore <name>
+// <reason>" comment on the same line or the line above; the reason is
+// mandatory by convention and the directive is expected to be rare
+// (epsilon-comparison helpers are the only intended use).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line reporting.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Cfg      Config
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Config scopes the analyzers to sets of packages. Packages are
+// matched by import-path suffix (a whole trailing path segment
+// sequence, e.g. "internal/csp" matches "tableseg/internal/csp"), so
+// the same analyzers run unchanged over the real tree and over the
+// fixture packages under testdata.
+type Config struct {
+	// DeterminismPkgs are the packages where time.Now, top-level
+	// math/rand and order-sensitive map iteration are forbidden.
+	DeterminismPkgs []string
+	// FloatEqPkgs are the packages where ==/!= on floats is forbidden.
+	FloatEqPkgs []string
+	// EntryPointPkgs are the packages whose exported Segment*/Solve*/
+	// Fit*/Run* functions must take a context.Context first.
+	EntryPointPkgs []string
+	// CorePkg is the package whose exported functions must return
+	// sentinel-wrapped errors.
+	CorePkg string
+}
+
+// DefaultConfig is the project policy enforced by cmd/tableseglint.
+func DefaultConfig() Config {
+	return Config{
+		DeterminismPkgs: []string{
+			"internal/csp", "internal/phmm", "internal/core",
+			"internal/engine", "internal/experiments",
+		},
+		FloatEqPkgs: []string{"internal/phmm", "internal/csp"},
+		EntryPointPkgs: []string{
+			"internal/core", "internal/csp", "internal/phmm",
+			"internal/engine", "internal/experiments",
+		},
+		CorePkg: "internal/core",
+	}
+}
+
+// pathMatches reports whether pkgPath ends with the suffix pattern on
+// a path-segment boundary.
+func pathMatches(pkgPath, suffix string) bool {
+	if pkgPath == suffix {
+		return true
+	}
+	return strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+func matchesAny(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pathMatches(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isInternal reports whether pkgPath lies under an internal/ element —
+// the scope of the context-minting ban.
+func isInternal(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/internal/") ||
+		strings.HasPrefix(pkgPath, "internal/") ||
+		strings.HasSuffix(pkgPath, "/internal") ||
+		pkgPath == "internal"
+}
+
+// Suite returns the four analyzers.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		CtxDiscipline(),
+		ErrWrap(),
+		FloatEq(),
+	}
+}
+
+// Run executes every analyzer in the suite over pkg and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func Run(pkg *Package, cfg Config, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	out = filterSuppressed(pkg, out)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+const ignoreDirective = "tableseglint:ignore"
+
+// filterSuppressed drops diagnostics covered by an ignore directive on
+// the same line or the line immediately above.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// ignored[file][line] = set of analyzer names suppressed there.
+	ignored := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := ignored[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					ignored[pos.Filename] = byLine
+				}
+				// The directive covers its own line and the next, so it
+				// works both trailing a statement and on its own line.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					byLine[line][fields[0]] = true
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignored[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// pkgNameOf resolves an identifier to the imported package it names,
+// or "" if it is not a package qualifier.
+func (p *Pass) pkgNameOf(id *ast.Ident) string {
+	if obj, ok := p.Pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// entryPointPrefixes are the verb prefixes that mark an exported
+// function or method as a pipeline/solver entry point: work that can
+// be long-running and therefore must be cancelable from the caller.
+var entryPointPrefixes = []string{"Segment", "Solve", "Fit", "Run", "Train"}
+
+// CtxDiscipline returns the analyzer enforcing context hygiene:
+// internal packages may not mint contexts with context.Background or
+// context.TODO (only the root package's compatibility wrappers may —
+// an internal Background() severs the cancellation chain the batch
+// engine depends on), and exported pipeline/solver entry points in the
+// solver packages must accept a context.Context as their first
+// parameter.
+func CtxDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxdiscipline",
+		Doc:  "forbid context minting in internal packages; require ctx-first solver entry points",
+	}
+	a.Run = func(pass *Pass) {
+		internal := isInternal(pass.Pkg.Path)
+		entry := matchesAny(pass.Pkg.Path, pass.Cfg.EntryPointPkgs)
+		if !internal && !entry {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if internal {
+						checkMint(pass, n)
+					}
+				case *ast.FuncDecl:
+					if entry {
+						checkEntryPoint(pass, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkMint(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.pkgNameOf(id) != "context" {
+		return
+	}
+	if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+		pass.Reportf(call.Pos(), "context.%s inside an internal package severs cancellation; accept a ctx parameter instead (only the root package's compatibility wrappers mint contexts)", name)
+	}
+}
+
+func checkEntryPoint(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	if !ast.IsExported(name) {
+		return
+	}
+	isEntry := false
+	for _, p := range entryPointPrefixes {
+		if strings.HasPrefix(name, p) {
+			isEntry = true
+			break
+		}
+	}
+	if !isEntry {
+		return
+	}
+	params := fn.Type.Params
+	if params != nil && len(params.List) > 0 {
+		if t := pass.Pkg.Info.TypeOf(params.List[0].Type); t != nil && isContextType(t) {
+			return
+		}
+	}
+	pass.Reportf(fn.Pos(), "exported entry point %s must take a context.Context as its first parameter", name)
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap returns the analyzer enforcing the typed-error contract:
+// every error operand of fmt.Errorf must be formatted with %w (so
+// errors.Is/As classification survives the wrap), and fmt.Errorf
+// results returned by internal/core's exported functions must wrap
+// something with %w — by convention a sentinel declared in
+// internal/core/errors.go, or an error received from a callee — since
+// the root package's typed-error API promises callers an errors.Is
+// answer for every failure crossing the core boundary.
+func ErrWrap() *Analyzer {
+	a := &Analyzer{
+		Name: "errwrap",
+		Doc:  "require %w for error operands of fmt.Errorf and sentinel-wrapped errors across the core boundary",
+	}
+	a.Run = func(pass *Pass) {
+		core := pathMatches(pass.Pkg.Path, pass.Cfg.CorePkg)
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkErrorfOperands(pass, n)
+				case *ast.FuncDecl:
+					if core {
+						checkCoreBoundary(pass, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// errorfVerbs parses a fmt.Errorf call and returns the format verbs
+// positionally matched to its variadic operands ('*' width/precision
+// arguments consume a slot). ok is false when the call is not a
+// fmt.Errorf with a constant format string.
+func errorfVerbs(pass *Pass, call *ast.CallExpr) (verbs map[int]byte, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID || pass.pkgNameOf(id) != "fmt" || sel.Sel.Name != "Errorf" || len(call.Args) == 0 {
+		return nil, false
+	}
+	tv, found := pass.Pkg.Info.Types[call.Args[0]]
+	if !found || tv.Value == nil {
+		return nil, false
+	}
+	format, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return nil, false
+	}
+	verbs = map[int]byte{}
+	arg := 1 // operand index into call.Args
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision; '*' consumes an operand.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.*", format[i]) >= 0 {
+			if format[i] == '*' {
+				arg++
+			}
+			i++
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		verbs[arg] = format[i]
+		arg++
+	}
+	return verbs, true
+}
+
+func checkErrorfOperands(pass *Pass, call *ast.CallExpr) {
+	verbs, ok := errorfVerbs(pass, call)
+	if !ok {
+		return
+	}
+	for i := 1; i < len(call.Args); i++ {
+		verb, hasVerb := verbs[i]
+		if !hasVerb || verb == 'w' {
+			continue
+		}
+		if t := pass.Pkg.Info.TypeOf(call.Args[i]); t != nil && isErrorType(t) {
+			pass.Reportf(call.Args[i].Pos(), "error operand of fmt.Errorf formatted with %%%c loses errors.Is classification; use %%w", verb)
+		}
+	}
+}
+
+// checkCoreBoundary flags return statements in exported core
+// functions that hand back a fmt.Errorf carrying no %w at all: such
+// an error cannot be matched against any sentinel by callers.
+func checkCoreBoundary(pass *Pass, fn *ast.FuncDecl) {
+	if !ast.IsExported(fn.Name.Name) || fn.Body == nil {
+		return
+	}
+	returnsError := false
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			if t := pass.Pkg.Info.TypeOf(field.Type); t != nil && isErrorType(t) {
+				returnsError = true
+			}
+		}
+	}
+	if !returnsError {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner.Pos() != fn.Body.Pos() {
+			return true // still descend: closures return across the boundary too
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := res.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			verbs, ok := errorfVerbs(pass, call)
+			if !ok {
+				continue
+			}
+			wraps := false
+			for _, v := range verbs {
+				if v == 'w' {
+					wraps = true
+				}
+			}
+			if !wraps {
+				pass.Reportf(call.Pos(), "%s returns a fmt.Errorf with no %%w across the core boundary; wrap a sentinel from internal/core/errors.go", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}

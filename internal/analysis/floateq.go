@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq returns the analyzer forbidding exact equality on
+// floating-point operands in the numeric solver packages. The PHMM's
+// log-space probabilities and the CSP's scores accumulate rounding
+// error, so == / != silently encodes "these two computations took the
+// same instruction path" rather than a mathematical statement; the
+// packages provide epsilon-comparison helpers instead. Comparisons
+// where both operands are compile-time constants are exact and
+// allowed.
+func FloatEq() *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc:  "forbid ==/!= on floating-point operands in numeric solver packages",
+	}
+	a.Run = func(pass *Pass) {
+		if !matchesAny(pass.Pkg.Path, pass.Cfg.FloatEqPkgs) {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := info.Types[bin.X], info.Types[bin.Y]
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant-folded comparison is exact
+				}
+				if (xt.Type != nil && isFloat(xt.Type)) || (yt.Type != nil && isFloat(yt.Type)) {
+					pass.Reportf(bin.Pos(), "%s on floating-point operands is order-of-evaluation sensitive; use an epsilon comparison helper", bin.Op)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

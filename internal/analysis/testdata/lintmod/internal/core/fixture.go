@@ -1,0 +1,37 @@
+// Package core is a lint fixture for the errwrap analyzer: its import
+// path ends in internal/core, so the core-boundary sentinel rule
+// applies on top of the repo-wide %w-operand rule.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("core: fixture sentinel")
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("inner failure: %v", err) // want errwrap "formatted with %v loses errors.Is classification"
+}
+
+// BuildBad hands a bare fmt.Errorf across the core boundary.
+func BuildBad(fail bool) error {
+	if fail {
+		return fmt.Errorf("exploded with no sentinel") // want errwrap "BuildBad returns a fmt.Errorf with no %w"
+	}
+	return nil
+}
+
+// BuildGood wraps the declared sentinel: clean.
+func BuildGood(fail bool) error {
+	if fail {
+		return fmt.Errorf("%w: while building", errSentinel)
+	}
+	return nil
+}
+
+// BuildChained wraps both a sentinel and a callee error (multi-%w):
+// clean.
+func BuildChained(err error) error {
+	return fmt.Errorf("%w: %w", errSentinel, err)
+}

@@ -1,0 +1,65 @@
+// Package csp is a lint fixture: its import path ends in
+// internal/csp, so the determinism, ctxdiscipline and floateq
+// analyzers all apply. Every planted violation carries a trailing
+// `// want <analyzer> "<substring>"` expectation consumed by
+// TestFixtureDiagnostics.
+package csp
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SolveBad is an exported solver entry point missing its context.
+func SolveBad(n int) int { // want ctxdiscipline "SolveBad must take a context.Context"
+	stamp := time.Now()  // want determinism "time.Now is nondeterministic"
+	draw := rand.Intn(n) // want determinism "top-level math/rand.Intn"
+	return stamp.Nanosecond() + draw
+}
+
+// SolveGood threads a context and seeds its own generator: clean.
+func SolveGood(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(7))
+	return rng.Intn(n)
+}
+
+func mint() context.Context {
+	return context.Background() // want ctxdiscipline "context.Background inside an internal package"
+}
+
+func mapOrder(m map[string]float64) ([]string, float64) {
+	var keys []string
+	var sum float64
+	for k, v := range m {
+		keys = append(keys, k) // sorted below: clean
+		sum += v               // want determinism "floating-point accumulation into \"sum\""
+	}
+	sort.Strings(keys)
+	var leak []float64
+	for _, v := range m {
+		leak = append(leak, v) // want determinism "append to \"leak\" inside range over map"
+	}
+	_ = leak
+	return keys, sum
+}
+
+func floatCompare(a, b float64) bool {
+	if a == b { // want floateq "== on floating-point operands"
+		return true
+	}
+	return a != 0 // want floateq "!= on floating-point operands"
+}
+
+func constCompare() bool {
+	return 1.5 == 1.5 // both operands constant: clean
+}
+
+func suppressed() time.Time {
+	//tableseglint:ignore determinism fixture demonstrates the escape hatch
+	return time.Now()
+}

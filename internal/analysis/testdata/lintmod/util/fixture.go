@@ -1,0 +1,10 @@
+// Package util is the negative control: it is neither an internal
+// package nor in any analyzer's package set, so none of the planted
+// patterns below may produce a diagnostic.
+package util
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Close(a, b float64) bool { return a == b }

@@ -1,0 +1,28 @@
+// Package clock is the repository's single audited seam to the wall
+// clock. The solver packages (core, csp, phmm, engine, experiments)
+// are forbidden by tableseglint's determinism analyzer from calling
+// time.Now directly — wall-clock reads in a solver path are how
+// nondeterminism sneaks into otherwise seeded, order-stable code — so
+// the per-stage timings they report flow through this package instead.
+// Timings are diagnostics only: they never influence segmentation
+// output, and tests can freeze them with SetForTest.
+package clock
+
+import "time"
+
+var now = time.Now
+
+// Now returns the current wall-clock time.
+func Now() time.Time { return now() }
+
+// Since returns the elapsed time since t.
+func Since(t time.Time) time.Duration { return now().Sub(t) }
+
+// SetForTest replaces the clock's time source and returns a function
+// restoring the previous one. Not safe for concurrent use with Now;
+// intended for sequential tests.
+func SetForTest(f func() time.Time) (restore func()) {
+	prev := now
+	now = f
+	return func() { now = prev }
+}

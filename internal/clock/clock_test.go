@@ -1,0 +1,21 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSetForTestFreezesAndRestores(t *testing.T) {
+	frozen := time.Date(2004, 6, 17, 0, 0, 0, 0, time.UTC)
+	restore := SetForTest(func() time.Time { return frozen })
+	if got := Now(); !got.Equal(frozen) {
+		t.Fatalf("Now() = %v, want frozen %v", got, frozen)
+	}
+	if got := Since(frozen.Add(-time.Minute)); got != time.Minute {
+		t.Fatalf("Since = %v, want 1m", got)
+	}
+	restore()
+	if Now().Year() < 2020 {
+		t.Fatal("restore did not reinstate the real clock")
+	}
+}

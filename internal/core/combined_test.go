@@ -26,7 +26,7 @@ func siteInput(t *testing.T, slug string, pageIdx int) (Input, *sitegen.Site) {
 
 func TestCombinedUsesCSPOnCleanData(t *testing.T) {
 	in, site := siteInput(t, "butler", 0)
-	seg, err := Segment(in, DefaultOptions(Combined))
+	seg, err := segment(in, DefaultOptions(Combined))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestCombinedUsesCSPOnCleanData(t *testing.T) {
 
 func TestCombinedFallsBackOnDirtyData(t *testing.T) {
 	in, site := siteInput(t, "michigan", 1) // Parole/Parolee page
-	seg, err := Segment(in, DefaultOptions(Combined))
+	seg, err := segment(in, DefaultOptions(Combined))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestStripEnumerationOptionInPipeline(t *testing.T) {
 	in, site := siteInput(t, "bnbooks", 0)
 	opts := DefaultOptions(Probabilistic)
 	opts.StripEnumeration = true
-	seg, err := Segment(in, opts)
+	seg, err := segment(in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestStripEnumerationOptionInPipeline(t *testing.T) {
 
 	// Without the option the same site uses the whole page.
 	opts.StripEnumeration = false
-	seg2, err := Segment(in, opts)
+	seg2, err := segment(in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestStripEnumerationOptionInPipeline(t *testing.T) {
 func TestColumnLabelsMined(t *testing.T) {
 	in, _ := siteInput(t, "allegheny", 0)
 	for _, m := range []Method{CSP, Probabilistic} {
-		seg, err := Segment(in, DefaultOptions(m))
+		seg, err := segment(in, DefaultOptions(m))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func TestColumnLabelsMined(t *testing.T) {
 	// Disabled mining yields no labels.
 	opts := DefaultOptions(CSP)
 	opts.MineLabels = false
-	seg, err := Segment(in, opts)
+	seg, err := segment(in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestMethodStringAll(t *testing.T) {
 
 func TestCoversAllPages(t *testing.T) {
 	in, _ := siteInput(t, "butler", 0)
-	seg, err := Segment(in, DefaultOptions(CSP))
+	seg, err := segment(in, DefaultOptions(CSP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestCoversAllPages(t *testing.T) {
 
 func TestConfidencePropagation(t *testing.T) {
 	in, _ := siteInput(t, "butler", 0)
-	seg, err := Segment(in, DefaultOptions(Probabilistic))
+	seg, err := segment(in, DefaultOptions(Probabilistic))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestConfidencePropagation(t *testing.T) {
 		}
 	}
 	// CSP output carries no posterior confidences.
-	cspSeg, err := Segment(in, DefaultOptions(CSP))
+	cspSeg, err := segment(in, DefaultOptions(CSP))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,7 @@ func TestSegmentContextCancelled(t *testing.T) {
 func TestSegmentContextUncancelled(t *testing.T) {
 	in := contextInput()
 	opts := DefaultOptions(CSP)
-	want, err := Segment(in, opts)
+	want, err := segment(in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

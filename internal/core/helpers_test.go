@@ -1,0 +1,10 @@
+package core
+
+import "context"
+
+// segment is the test shim over the context-first pipeline entry
+// point: production code must thread a caller's context (enforced by
+// tableseglint), but table-driven tests have none to thread.
+func segment(in Input, opts Options) (*Segmentation, error) {
+	return SegmentContext(context.Background(), in, opts)
+}

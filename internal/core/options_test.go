@@ -51,7 +51,7 @@ func TestSegmentValidatesOptions(t *testing.T) {
 		ListPages:   []Page{{Name: "l", HTML: "<html><body>x</body></html>"}},
 		DetailPages: []Page{{Name: "d", HTML: "<html><body>x</body></html>"}},
 	}
-	if _, err := Segment(in, opts); !errors.Is(err, ErrBadOptions) {
+	if _, err := segment(in, opts); !errors.Is(err, ErrBadOptions) {
 		t.Fatalf("Segment with bad options: err = %v, want ErrBadOptions", err)
 	}
 }

@@ -12,9 +12,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"tableseg/internal/baseline"
+	"tableseg/internal/clock"
 	"tableseg/internal/csp"
 	"tableseg/internal/extract"
 	"tableseg/internal/labels"
@@ -217,11 +217,6 @@ func PrepareSite(listPages []Page) *SitePrep {
 	return prep
 }
 
-// Segment runs the full pipeline.
-func Segment(in Input, opts Options) (*Segmentation, error) {
-	return SegmentContext(context.Background(), in, opts)
-}
-
 // SegmentContext runs the full pipeline under a context: cancellation
 // and deadlines are honored at stage boundaries and inside the solver
 // hot loops (WSAT restarts, EM iterations), so a cancelled call returns
@@ -259,7 +254,7 @@ func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep
 	}
 
 	// 1. Tokenize everything (reusing the site prep when supplied).
-	start := time.Now()
+	start := clock.Now()
 	var listToks [][]token.Token
 	if prep != nil {
 		listToks = prep.ListToks
@@ -274,13 +269,13 @@ func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep
 		detailToks[i] = token.Tokenize(p.HTML)
 	}
 	target := listToks[in.Target]
-	stats.TokenizeTime += time.Since(start)
+	stats.TokenizeTime += clock.Since(start)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// 2. Template induction and table-slot location.
-	start = time.Now()
+	start = clock.Now()
 	seg := &Segmentation{Method: opts.Method}
 	slot := pagetemplate.Slot{Start: 0, End: len(target)}
 	if opts.ForceWholePage {
@@ -332,13 +327,13 @@ func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep
 	if seg.UsedWholePage {
 		slot = pagetemplate.Slot{Start: 0, End: len(target)}
 	}
-	stats.TemplateTime += time.Since(start)
+	stats.TemplateTime += clock.Since(start)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// 3. Extracts and observations.
-	start = time.Now()
+	start = clock.Now()
 	var otherLists [][]token.Token
 	for i, lt := range listToks {
 		if i != in.Target {
@@ -385,13 +380,13 @@ func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep
 			}
 		}
 	}
-	stats.ExtractTime += time.Since(start)
+	stats.ExtractTime += clock.Since(start)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// 4. Run the selected method over the analyzed extracts.
-	start = time.Now()
+	start = clock.Now()
 	records := make([]int, len(analyzed)) // record per analyzed extract
 	columns := make([]int, len(analyzed))
 	confidence := make([]float64, len(analyzed))
@@ -439,15 +434,20 @@ func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep
 		copy(confidence, res.Confidence)
 		return nil
 	}
-	cspColumns := func() {
+	cspColumns := func() error {
 		if !opts.CSPColumns {
-			return
+			return nil
 		}
 		types := make([]token.Type, len(analyzed))
 		for ai, oi := range analyzed {
 			types[ai] = obs[oi].Extract.FirstType()
 		}
-		copy(columns, csp.AssignColumns(records, types, opts.CSPParams.WSAT))
+		cols, err := csp.AssignColumns(ctx, records, types, opts.CSPParams.WSAT)
+		if err != nil {
+			return err
+		}
+		copy(columns, cols)
+		return nil
 	}
 	switch opts.Method {
 	case CSP:
@@ -462,11 +462,13 @@ func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep
 		// outcome those ablation configurations ask to observe, not an
 		// error.
 		if res.Status == csp.Failed && !opts.CSPParams.NoRelax && opts.CSPParams.MaxCutRounds >= 0 {
-			stats.SolveTime += time.Since(start)
+			stats.SolveTime += clock.Since(start)
 			return seg, fmt.Errorf("%w: %q", ErrCSPUnsatisfiable, in.ListPages[in.Target].Name)
 		}
 		copy(records, res.Records)
-		cspColumns()
+		if err := cspColumns(); err != nil {
+			return nil, err
+		}
 	case Probabilistic:
 		if err := runPHMM(); err != nil {
 			return nil, err
@@ -482,14 +484,16 @@ func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep
 		}
 		if res.Status == csp.Solved {
 			copy(records, res.Records)
-			cspColumns()
+			if err := cspColumns(); err != nil {
+				return nil, err
+			}
 		} else if err := runPHMM(); err != nil {
 			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown method %d", ErrBadOptions, opts.Method)
 	}
-	stats.SolveTime += time.Since(start)
+	stats.SolveTime += clock.Since(start)
 
 	// 5. Mine semantic column labels from the detail-page captions.
 	if opts.MineLabels {

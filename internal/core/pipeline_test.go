@@ -49,7 +49,7 @@ func TestSegmentBothMethods(t *testing.T) {
 	lists, details := buildSite(rows1, rows2)
 	in := Input{ListPages: lists, Target: 0, DetailPages: details}
 	for _, m := range []Method{CSP, Probabilistic} {
-		seg, err := Segment(in, DefaultOptions(m))
+		seg, err := segment(in, DefaultOptions(m))
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -75,7 +75,7 @@ func TestSegmentBothMethods(t *testing.T) {
 func TestSegmentColumnsFromPHMM(t *testing.T) {
 	lists, details := buildSite(rows1, rows2)
 	in := Input{ListPages: lists, Target: 0, DetailPages: details}
-	seg, err := Segment(in, DefaultOptions(Probabilistic))
+	seg, err := segment(in, DefaultOptions(Probabilistic))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,16 +96,16 @@ func TestSegmentColumnsFromPHMM(t *testing.T) {
 
 func TestSegmentValidation(t *testing.T) {
 	lists, details := buildSite(rows1, rows2)
-	if _, err := Segment(Input{}, DefaultOptions(CSP)); err == nil {
+	if _, err := segment(Input{}, DefaultOptions(CSP)); err == nil {
 		t.Error("empty input must fail")
 	}
-	if _, err := Segment(Input{ListPages: lists, Target: 5, DetailPages: details}, DefaultOptions(CSP)); err == nil {
+	if _, err := segment(Input{ListPages: lists, Target: 5, DetailPages: details}, DefaultOptions(CSP)); err == nil {
 		t.Error("out-of-range target must fail")
 	}
-	if _, err := Segment(Input{ListPages: lists, Target: 0}, DefaultOptions(CSP)); err == nil {
+	if _, err := segment(Input{ListPages: lists, Target: 0}, DefaultOptions(CSP)); err == nil {
 		t.Error("missing detail pages must fail")
 	}
-	if _, err := Segment(Input{ListPages: lists, Target: 0, DetailPages: details}, Options{Method: Method(9)}); err == nil {
+	if _, err := segment(Input{ListPages: lists, Target: 0, DetailPages: details}, Options{Method: Method(9)}); err == nil {
 		t.Error("unknown method must fail")
 	}
 }
@@ -116,7 +116,7 @@ func TestSegmentSingleListPage(t *testing.T) {
 	// analysis, which on a grid page still bounds the table.
 	lists, details := buildSite(rows1, rows2)
 	in := Input{ListPages: lists[:1], Target: 0, DetailPages: details}
-	seg, err := Segment(in, DefaultOptions(Probabilistic))
+	seg, err := segment(in, DefaultOptions(Probabilistic))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestSegmentSingleListPage(t *testing.T) {
 	// returning the diagnostics.
 	oneOff := Page{HTML: `<html><body><p>Ann Lee</p><span>12 Oak St</span><i>(555) 283-9922</i></body></html>`}
 	in2 := Input{ListPages: []Page{oneOff}, Target: 0, DetailPages: details[:1]}
-	seg2, err := Segment(in2, DefaultOptions(Probabilistic))
+	seg2, err := segment(in2, DefaultOptions(Probabilistic))
 	if !errors.Is(err, ErrNoDetailEvidence) {
 		t.Fatalf("err = %v, want ErrNoDetailEvidence", err)
 	}
@@ -155,7 +155,7 @@ func TestSegmentForceWholePage(t *testing.T) {
 	in := Input{ListPages: lists, Target: 0, DetailPages: details}
 	opts := DefaultOptions(CSP)
 	opts.ForceWholePage = true
-	seg, err := Segment(in, opts)
+	seg, err := segment(in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestAttachmentRule(t *testing.T) {
 		{Name: "d1", HTML: "<html><body><h2>Detail View</h2><p>Bob Day</p><p>99 Elm Rd</p><p>(555) 761-0301</p></body></html>"},
 	}
 	in := Input{ListPages: lists, Target: 0, DetailPages: details}
-	seg, err := Segment(in, DefaultOptions(CSP))
+	seg, err := segment(in, DefaultOptions(CSP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestNumberedEntriesWholePageFallback(t *testing.T) {
 		details = append(details, Page{HTML: "<html><body><h2>Book Detail</h2><p>" + tl + "</p></body></html>"})
 	}
 	in := Input{ListPages: lists, Target: 0, DetailPages: details}
-	seg, err := Segment(in, DefaultOptions(CSP))
+	seg, err := segment(in, DefaultOptions(CSP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestNumberedEntriesWholePageFallback(t *testing.T) {
 func TestCSPStatusPropagates(t *testing.T) {
 	lists, details := buildSite(rows1, rows2)
 	in := Input{ListPages: lists, Target: 0, DetailPages: details}
-	seg, err := Segment(in, DefaultOptions(CSP))
+	seg, err := segment(in, DefaultOptions(CSP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,13 +275,13 @@ func TestMethodString(t *testing.T) {
 
 func TestSentinelErrors(t *testing.T) {
 	lists, details := buildSite(rows1, rows2)
-	if _, err := Segment(Input{DetailPages: details}, DefaultOptions(CSP)); !errors.Is(err, ErrNoListPages) {
+	if _, err := segment(Input{DetailPages: details}, DefaultOptions(CSP)); !errors.Is(err, ErrNoListPages) {
 		t.Errorf("err = %v, want ErrNoListPages", err)
 	}
-	if _, err := Segment(Input{ListPages: lists, Target: 9, DetailPages: details}, DefaultOptions(CSP)); !errors.Is(err, ErrBadTarget) {
+	if _, err := segment(Input{ListPages: lists, Target: 9, DetailPages: details}, DefaultOptions(CSP)); !errors.Is(err, ErrBadTarget) {
 		t.Errorf("err = %v, want ErrBadTarget", err)
 	}
-	if _, err := Segment(Input{ListPages: lists}, DefaultOptions(CSP)); !errors.Is(err, ErrNoDetailPages) {
+	if _, err := segment(Input{ListPages: lists}, DefaultOptions(CSP)); !errors.Is(err, ErrNoDetailPages) {
 		t.Errorf("err = %v, want ErrNoDetailPages", err)
 	}
 }
@@ -305,7 +305,7 @@ func TestPrologueDroppedEpilogueAttached(t *testing.T) {
 	}
 	opts := DefaultOptions(CSP)
 	opts.ForceWholePage = true // keep junk in scope deliberately
-	seg, err := Segment(in, opts)
+	seg, err := segment(in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,7 +41,7 @@ func TestVerticalTableDetectedAndSegmented(t *testing.T) {
 	for _, m := range []Method{CSP, Probabilistic} {
 		opts := DefaultOptions(m)
 		opts.DetectVertical = true
-		seg, err := Segment(in, opts)
+		seg, err := segment(in, opts)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -91,7 +91,7 @@ func keys(m map[string]bool) []string {
 func TestVerticalTableWithoutExtension(t *testing.T) {
 	site := sitegen.GenerateVerticalDemo(11, 5)
 	in := verticalInput(t, site, 0)
-	seg, err := Segment(in, DefaultOptions(CSP))
+	seg, err := segment(in, DefaultOptions(CSP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestVerticalDetectionNoFalsePositive(t *testing.T) {
 	in := verticalInput(t, site, 0)
 	opts := DefaultOptions(CSP)
 	opts.DetectVertical = true
-	seg, err := Segment(in, opts)
+	seg, err := segment(in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

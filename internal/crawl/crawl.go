@@ -13,6 +13,7 @@
 package crawl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -180,7 +181,7 @@ var errNoLinks = errors.New("list page has no outgoing links")
 
 // Harvest fetches the sampled list pages, follows every link from the
 // target page, classifies the detail set, and segments the target.
-func (h *Harvester) Harvest(listURLs []string, target int) (*Result, error) {
+func (h *Harvester) Harvest(ctx context.Context, listURLs []string, target int) (*Result, error) {
 	if len(listURLs) == 0 {
 		return nil, errors.New("crawl: no list page URLs")
 	}
@@ -269,7 +270,7 @@ func (h *Harvester) Harvest(listURLs []string, target int) (*Result, error) {
 		}
 	}
 
-	seg, err := core.Segment(in, opts)
+	seg, err := core.SegmentContext(ctx, in, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package crawl
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -82,7 +83,7 @@ func harvestSite(t *testing.T, slug string, target int, method core.Method) (eva
 		Fetcher: MapFetcher(site.SiteMap()),
 		Options: core.DefaultOptions(method),
 	}
-	res, err := h.Harvest([]string{"/list1.html", "/list2.html"}, target)
+	res, err := h.Harvest(context.Background(), []string{"/list1.html", "/list2.html"}, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestHarvestOverHTTP(t *testing.T) {
 		Fetcher: HTTPFetcher{Client: srv.Client()},
 		Options: core.DefaultOptions(core.CSP),
 	}
-	res, err := h.Harvest([]string{srv.URL + "/list1.html", srv.URL + "/list2.html"}, 0)
+	res, err := h.Harvest(context.Background(), []string{srv.URL + "/list1.html", srv.URL + "/list2.html"}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,23 +147,23 @@ func TestHarvestOverHTTP(t *testing.T) {
 
 func TestHarvestErrors(t *testing.T) {
 	h := &Harvester{Fetcher: MapFetcher{}}
-	if _, err := h.Harvest(nil, 0); err == nil {
+	if _, err := h.Harvest(context.Background(), nil, 0); err == nil {
 		t.Error("no URLs must error")
 	}
-	if _, err := h.Harvest([]string{"/x.html"}, 5); err == nil {
+	if _, err := h.Harvest(context.Background(), []string{"/x.html"}, 5); err == nil {
 		t.Error("bad target must error")
 	}
-	if _, err := h.Harvest([]string{"/x.html"}, 0); err == nil {
+	if _, err := h.Harvest(context.Background(), []string{"/x.html"}, 0); err == nil {
 		t.Error("unfetchable list page must error")
 	}
 	// A list page with no links.
 	h2 := &Harvester{Fetcher: MapFetcher{"/l.html": "<p>no links here</p>"}}
-	if _, err := h2.Harvest([]string{"/l.html"}, 0); err == nil {
+	if _, err := h2.Harvest(context.Background(), []string{"/l.html"}, 0); err == nil {
 		t.Error("linkless page must error")
 	}
 	// Links exist but all of them 404.
 	h3 := &Harvester{Fetcher: MapFetcher{"/l.html": `<a href="gone.html">x</a>`}}
-	if _, err := h3.Harvest([]string{"/l.html"}, 0); err == nil {
+	if _, err := h3.Harvest(context.Background(), []string{"/l.html"}, 0); err == nil {
 		t.Error("all-broken links must error")
 	}
 }
@@ -176,7 +177,7 @@ func TestHarvestSkipsBrokenLinks(t *testing.T) {
 	// Break one ad link; the harvest must still succeed.
 	delete(pages, "/list1_ad1.html")
 	h := &Harvester{Fetcher: MapFetcher(pages), Options: core.DefaultOptions(core.Probabilistic)}
-	res, err := h.Harvest([]string{"/list1.html", "/list2.html"}, 0)
+	res, err := h.Harvest(context.Background(), []string{"/list1.html", "/list2.html"}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package crawl
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -95,19 +96,19 @@ func DiscoverListPages(f Fetcher, entryURL string, maxPages int) ([]string, []st
 // HarvestFrom runs the complete §3 vision from a single entry URL: it
 // discovers the sample list pages by following Next links, then
 // harvests the entry page.
-func (h *Harvester) HarvestFrom(entryURL string) (*Result, error) {
+func (h *Harvester) HarvestFrom(ctx context.Context, entryURL string) (*Result, error) {
 	urls, _, err := DiscoverListPages(h.Fetcher, entryURL, 0)
 	if err != nil {
 		return nil, err
 	}
-	return h.Harvest(urls, 0)
+	return h.Harvest(ctx, urls, 0)
 }
 
 // HarvestAll discovers the list pages from an entry URL, harvests every
 // one of them, and merges the per-page segmentations into the site's
 // relation (§6.3's "reconstruct the relational database behind the Web
 // site"). The per-page results are returned alongside the table.
-func (h *Harvester) HarvestAll(entryURL string) (*relation.Table, []*Result, error) {
+func (h *Harvester) HarvestAll(ctx context.Context, entryURL string) (*relation.Table, []*Result, error) {
 	urls, _, err := DiscoverListPages(h.Fetcher, entryURL, 0)
 	if err != nil {
 		return nil, nil, err
@@ -115,7 +116,7 @@ func (h *Harvester) HarvestAll(entryURL string) (*relation.Table, []*Result, err
 	var results []*Result
 	var segs []*core.Segmentation
 	for target := range urls {
-		res, err := h.Harvest(urls, target)
+		res, err := h.Harvest(ctx, urls, target)
 		if err != nil {
 			return nil, nil, fmt.Errorf("crawl: page %s: %w", urls[target], err)
 		}

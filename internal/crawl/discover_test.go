@@ -1,6 +1,7 @@
 package crawl
 
 import (
+	"context"
 	"testing"
 
 	"tableseg/internal/core"
@@ -93,7 +94,7 @@ func TestHarvestFromEntryURL(t *testing.T) {
 			Fetcher: MapFetcher(site.SiteMap()),
 			Options: core.DefaultOptions(core.Probabilistic),
 		}
-		res, err := h.HarvestFrom("/list1.html")
+		res, err := h.HarvestFrom(context.Background(), "/list1.html")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func TestHarvestAllMergesRelation(t *testing.T) {
 		Fetcher: MapFetcher(site.SiteMap()),
 		Options: core.DefaultOptions(core.Probabilistic),
 	}
-	table, results, err := h.HarvestAll("/list1.html")
+	table, results, err := h.HarvestAll(context.Background(), "/list1.html")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package csp
 
 import (
+	"context"
 	"fmt"
 
 	"tableseg/internal/token"
@@ -22,8 +23,9 @@ import (
 // records[i] is the record assignment of analyzed extract i (-1 =
 // unassigned); firstTypes[i] is the syntactic type of the extract's
 // first word. The result assigns a 0-based column to every
-// record-assigned extract and -1 to the rest.
-func AssignColumns(records []int, firstTypes []token.Type, params WSATParams) []int {
+// record-assigned extract and -1 to the rest. Cancellation follows
+// SolveWSATContext's restart-boundary polling and returns ctx.Err().
+func AssignColumns(ctx context.Context, records []int, firstTypes []token.Type, params WSATParams) ([]int, error) {
 	if len(records) != len(firstTypes) {
 		panic(fmt.Sprintf("csp: %d record assignments but %d types", len(records), len(firstTypes)))
 	}
@@ -45,7 +47,7 @@ func AssignColumns(records []int, firstTypes []token.Type, params WSATParams) []
 		byRecord[r] = append(byRecord[r], i)
 	}
 	if len(recOrder) == 0 {
-		return out
+		return out, nil
 	}
 	numCols := 0
 	for _, idxs := range byRecord {
@@ -57,7 +59,7 @@ func AssignColumns(records []int, firstTypes []token.Type, params WSATParams) []
 		for _, idxs := range byRecord {
 			out[idxs[0]] = 0
 		}
-		return out
+		return out, nil
 	}
 
 	p := NewProblem()
@@ -126,7 +128,10 @@ func AssignColumns(records []int, firstTypes []token.Type, params WSATParams) []
 		}
 	}
 
-	sol := SolveWSAT(p, params)
+	sol, err := SolveWSATContext(ctx, p, params)
+	if err != nil {
+		return nil, err
+	}
 	if !sol.Feasible {
 		// The hard constraints are always satisfiable (k-th extract →
 		// column k is a witness); an infeasible local-search outcome
@@ -137,7 +142,7 @@ func AssignColumns(records []int, firstTypes []token.Type, params WSATParams) []
 				out[i] = k
 			}
 		}
-		return out
+		return out, nil
 	}
 	for i, cols := range yVar {
 		for c, v := range cols {
@@ -147,5 +152,5 @@ func AssignColumns(records []int, firstTypes []token.Type, params WSATParams) []
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -14,7 +14,7 @@ func TestAssignColumnsCleanRecords(t *testing.T) {
 	num := token.TypeOf("221")
 	records := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
 	types := []token.Type{name, num, num, name, num, num, name, num, num}
-	cols := AssignColumns(records, types, WSATParams{Seed: 1})
+	cols := assignColumns(t, records, types, WSATParams{Seed: 1})
 	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
 	for i := range want {
 		if cols[i] != want[i] {
@@ -35,7 +35,7 @@ func TestAssignColumnsMissingField(t *testing.T) {
 	phone := token.TypeOf("(740)")
 	records := []int{0, 0, 0, 1, 1, 2, 2, 2}
 	types := []token.Type{name, addr, phone, name, phone, name, addr, phone}
-	cols := AssignColumns(records, types, WSATParams{Seed: 1})
+	cols := assignColumns(t, records, types, WSATParams{Seed: 1})
 	want := []int{0, 1, 2, 0, 2, 0, 1, 2}
 	for i := range want {
 		if cols[i] != want[i] {
@@ -47,7 +47,7 @@ func TestAssignColumnsMissingField(t *testing.T) {
 func TestAssignColumnsUnassignedExtracts(t *testing.T) {
 	records := []int{0, -1, 0}
 	types := []token.Type{token.TypeOf("A"), token.TypeOf("x"), token.TypeOf("1")}
-	cols := AssignColumns(records, types, WSATParams{Seed: 1})
+	cols := assignColumns(t, records, types, WSATParams{Seed: 1})
 	if cols[1] != -1 {
 		t.Errorf("unassigned extract got column %d", cols[1])
 	}
@@ -57,14 +57,14 @@ func TestAssignColumnsUnassignedExtracts(t *testing.T) {
 }
 
 func TestAssignColumnsEmptyAndSingle(t *testing.T) {
-	if got := AssignColumns(nil, nil, WSATParams{}); len(got) != 0 {
+	if got := assignColumns(t, nil, nil, WSATParams{}); len(got) != 0 {
 		t.Error("empty input")
 	}
-	got := AssignColumns([]int{-1, -1}, make([]token.Type, 2), WSATParams{})
+	got := assignColumns(t, []int{-1, -1}, make([]token.Type, 2), WSATParams{})
 	if got[0] != -1 || got[1] != -1 {
 		t.Errorf("all-unassigned: %v", got)
 	}
-	one := AssignColumns([]int{0}, []token.Type{token.TypeOf("A")}, WSATParams{})
+	one := assignColumns(t, []int{0}, []token.Type{token.TypeOf("A")}, WSATParams{})
 	if one[0] != 0 {
 		t.Errorf("single extract column = %d", one[0])
 	}
@@ -74,7 +74,7 @@ func TestAssignColumnsFirstColumnForced(t *testing.T) {
 	// Whatever the types, the first extract of each record gets L1.
 	records := []int{0, 0, 1, 1, 1}
 	types := []token.Type{token.TypeOf("1"), token.TypeOf("A"), token.TypeOf("A"), token.TypeOf("1"), token.TypeOf("x")}
-	cols := AssignColumns(records, types, WSATParams{Seed: 2})
+	cols := assignColumns(t, records, types, WSATParams{Seed: 2})
 	if cols[0] != 0 || cols[2] != 0 {
 		t.Errorf("record starts not at column 0: %v", cols)
 	}
@@ -90,5 +90,5 @@ func TestAssignColumnsPanicsOnMismatch(t *testing.T) {
 			t.Error("expected panic on length mismatch")
 		}
 	}()
-	AssignColumns([]int{0}, nil, WSATParams{})
+	assignColumns(t, []int{0}, nil, WSATParams{})
 }

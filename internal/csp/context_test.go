@@ -49,7 +49,7 @@ func TestSolveWSATContextCancelMidSolve(t *testing.T) {
 func TestSolveWSATContextUncancelled(t *testing.T) {
 	p := unsatProblem()
 	params := WSATParams{Restarts: 3, MaxFlips: 50, Seed: 7}
-	want := SolveWSAT(p, params)
+	want := solveWSAT(p, params)
 	got, err := SolveWSATContext(context.Background(), p, params)
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package csp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -207,7 +208,16 @@ func (e *Encoding) ConsecutivenessCuts(records []int) []Constraint {
 			byRecord[r] = append(byRecord[r], i)
 		}
 	}
-	for j, idxs := range byRecord {
+	// Emit cuts in ascending record order: byRecord is a map, and
+	// constraint order steers the local search's flip sequence, so
+	// iterating it directly would make solves run-dependent.
+	recs := make([]int, 0, len(byRecord))
+	for j := range byRecord {
+		recs = append(recs, j)
+	}
+	sort.Ints(recs)
+	for _, j := range recs {
+		idxs := byRecord[j]
 		if len(idxs) < 2 {
 			continue
 		}
@@ -315,19 +325,12 @@ func (sp SolveParams) withDefaults() SolveParams {
 	return sp
 }
 
-// SolveSegmentation runs the paper's CSP pipeline end to end: encode
-// strictly, solve with WSAT(OIP)-style local search (with lazy
-// consecutiveness repair), and on failure descend the relaxation ladder
-// and accept a partial assignment.
-func SolveSegmentation(in SegmentInput, params SolveParams) *SegmentResult {
-	res, _ := SolveSegmentationContext(context.Background(), in, params)
-	return res
-}
-
-// SolveSegmentationContext is SolveSegmentation under a context:
-// cancellation is honored at WSAT restart and cut-round boundaries, so
-// the solve aborts promptly with ctx.Err() while uncancelled runs stay
-// deterministic.
+// SolveSegmentationContext runs the paper's CSP pipeline end to end:
+// encode strictly, solve with WSAT(OIP)-style local search (with lazy
+// consecutiveness repair), and on failure descend the relaxation
+// ladder and accept a partial assignment. Cancellation is honored at
+// WSAT restart and cut-round boundaries, so the solve aborts promptly
+// with ctx.Err() while uncancelled runs stay deterministic.
 func SolveSegmentationContext(ctx context.Context, in SegmentInput, params SolveParams) (*SegmentResult, error) {
 	params = params.withDefaults()
 	res, ok, err := trySolve(ctx, in, Strict, params)
@@ -387,11 +390,14 @@ func trySolve(ctx context.Context, in SegmentInput, level RelaxLevel, params Sol
 		spent.Restarts += sol.Restarts
 		if !sol.Feasible && params.ExactCheck && enc.Problem.NumVars() <= params.ExactVarLimit {
 			// Local search failed; let the exact solver decide.
-			exact, sat, err := SolveExact(enc.Problem, ExactParams{})
-			if err == nil && sat {
+			exact, sat, exErr := SolveExact(ctx, enc.Problem, ExactParams{})
+			switch {
+			case exErr == nil && sat:
 				sol = &Solution{Assign: exact, Feasible: true}
-			} else if err == nil && !sat {
+			case exErr == nil && !sat:
 				return spent, false, nil // certified UNSAT at this rung
+			case !errors.Is(exErr, ErrSearchLimit):
+				return nil, false, exErr // context cancellation
 			}
 		}
 		if !sol.Feasible {

@@ -1,6 +1,9 @@
 package csp
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // ErrSearchLimit is returned by SolveExact when the node budget is
 // exhausted before the search space is covered; satisfiability is then
@@ -20,12 +23,14 @@ type ExactParams struct {
 // nil) when provably unsatisfiable, or an ErrSearchLimit error when the
 // node budget ran out. Soft constraints are ignored: the exact solver's
 // job is feasibility and UNSAT certification (the paper's "no solution
-// found" cases), not optimization.
-func SolveExact(p *Problem, params ExactParams) ([]bool, bool, error) {
+// found" cases), not optimization. Cancellation is polled every few
+// thousand search nodes and surfaces as ctx.Err(); an uncancelled run
+// explores exactly the same node sequence regardless of deadline.
+func SolveExact(ctx context.Context, p *Problem, params ExactParams) ([]bool, bool, error) {
 	if params.MaxNodes == 0 {
 		params.MaxNodes = 2_000_000
 	}
-	s := &exactSearch{p: p, maxNodes: params.MaxNodes}
+	s := &exactSearch{p: p, maxNodes: params.MaxNodes, ctx: ctx}
 	s.value = make([]int8, p.NumVars()) // -1 unknown is encoded as 2? no: use 2 for unset
 	for i := range s.value {
 		s.value[i] = unset
@@ -44,6 +49,9 @@ func SolveExact(p *Problem, params ExactParams) ([]bool, bool, error) {
 		}
 	}
 	ok := s.dfs()
+	if s.cancelled != nil {
+		return nil, false, s.cancelled
+	}
 	if s.limited {
 		return nil, false, ErrSearchLimit
 	}
@@ -60,13 +68,15 @@ func SolveExact(p *Problem, params ExactParams) ([]bool, bool, error) {
 const unset int8 = 2
 
 type exactSearch struct {
-	p        *Problem
-	hard     []int
-	occ      [][]int
-	value    []int8
-	nodes    int
-	maxNodes int
-	limited  bool
+	p         *Problem
+	hard      []int
+	occ       [][]int
+	value     []int8
+	nodes     int
+	maxNodes  int
+	limited   bool
+	ctx       context.Context
+	cancelled error
 }
 
 // feasibleBounds checks every hard constraint against the interval of
@@ -169,6 +179,13 @@ func (s *exactSearch) dfs() bool {
 	if s.nodes > s.maxNodes {
 		s.limited = true
 		return false
+	}
+	if s.nodes&0xfff == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.cancelled = err
+			s.limited = true // reuse the abort plumbing of the node budget
+			return false
+		}
 	}
 	var trail []int
 	if !s.propagate(&trail) {

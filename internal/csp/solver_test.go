@@ -51,7 +51,7 @@ func TestWSATSolvesPlantedInstances(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 40; trial++ {
 		p, _ := plantInstance(rng, 10+rng.Intn(20), 10+rng.Intn(30))
-		sol := SolveWSAT(p, WSATParams{Seed: int64(trial)})
+		sol := solveWSAT(p, WSATParams{Seed: int64(trial)})
 		if !sol.Feasible {
 			t.Errorf("trial %d: WSAT failed a satisfiable instance (hard violation %d)", trial, sol.HardViolation)
 		} else if !p.Feasible(sol.Assign) {
@@ -63,8 +63,8 @@ func TestWSATSolvesPlantedInstances(t *testing.T) {
 func TestWSATDeterministicForSeed(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	p, _ := plantInstance(rng, 15, 20)
-	a := SolveWSAT(p, WSATParams{Seed: 42})
-	b := SolveWSAT(p, WSATParams{Seed: 42})
+	a := solveWSAT(p, WSATParams{Seed: 42})
+	b := solveWSAT(p, WSATParams{Seed: 42})
 	if len(a.Assign) != len(b.Assign) {
 		t.Fatal("lengths differ")
 	}
@@ -83,7 +83,7 @@ func TestWSATSoftObjective(t *testing.T) {
 	p.AddHard([]Term{{1, a}, {1, b}}, LE, 1, "h")
 	p.AddSoft([]Term{{1, a}}, GE, 1, 1, "sa")
 	p.AddSoft([]Term{{1, b}}, GE, 1, 1, "sb")
-	sol := SolveWSAT(p, WSATParams{Seed: 1})
+	sol := solveWSAT(p, WSATParams{Seed: 1})
 	if !sol.Feasible {
 		t.Fatal("infeasible")
 	}
@@ -100,7 +100,7 @@ func TestWSATInfeasibleReportsViolation(t *testing.T) {
 	a := p.AddVar("a")
 	p.AddHard([]Term{{1, a}}, EQ, 1, "h1")
 	p.AddHard([]Term{{1, a}}, EQ, 0, "h2")
-	sol := SolveWSAT(p, WSATParams{Seed: 1, MaxFlips: 200, Restarts: 2})
+	sol := solveWSAT(p, WSATParams{Seed: 1, MaxFlips: 200, Restarts: 2})
 	if sol.Feasible {
 		t.Error("claims feasible on contradictory constraints")
 	}
@@ -115,7 +115,7 @@ func TestExactSolvesAndCertifiesUNSAT(t *testing.T) {
 	a, b, c := p.AddVar("a"), p.AddVar("b"), p.AddVar("c")
 	p.AddHard([]Term{{1, a}, {1, b}, {1, c}}, EQ, 2, "")
 	p.AddHard([]Term{{1, a}, {1, b}}, LE, 1, "")
-	assign, sat, err := SolveExact(p, ExactParams{})
+	assign, sat, err := solveExact(p, ExactParams{})
 	if err != nil || !sat {
 		t.Fatalf("sat=%v err=%v", sat, err)
 	}
@@ -131,7 +131,7 @@ func TestExactSolvesAndCertifiesUNSAT(t *testing.T) {
 	x, y := q.AddVar("x"), q.AddVar("y")
 	q.AddHard([]Term{{1, x}, {1, y}}, GE, 2, "")
 	q.AddHard([]Term{{1, x}, {1, y}}, LE, 1, "")
-	_, sat, err = SolveExact(q, ExactParams{})
+	_, sat, err = solveExact(q, ExactParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestExactAgreesWithBruteForce(t *testing.T) {
 			p.AddHard(terms, Op(rng.Intn(3)), rhs, "")
 		}
 		_, wantSat := bruteForce(p)
-		got, gotSat, err := SolveExact(p, ExactParams{})
+		got, gotSat, err := solveExact(p, ExactParams{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -211,7 +211,7 @@ func TestWSATFeasibilityIsSound(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p, _ := plantInstance(rng, 5+rng.Intn(10), 5+rng.Intn(15))
-		sol := SolveWSAT(p, WSATParams{Seed: seed, Restarts: 3, MaxFlips: 2000})
+		sol := solveWSAT(p, WSATParams{Seed: seed, Restarts: 3, MaxFlips: 2000})
 		if sol.Feasible {
 			return p.Feasible(sol.Assign)
 		}
@@ -235,7 +235,7 @@ func TestExactNodeLimit(t *testing.T) {
 		terms[i] = Term{1, v}
 	}
 	p.AddHard(terms, EQ, 6, "")
-	_, _, err := SolveExact(p, ExactParams{MaxNodes: 1})
+	_, _, err := solveExact(p, ExactParams{MaxNodes: 1})
 	if err != ErrSearchLimit {
 		t.Errorf("err = %v, want ErrSearchLimit", err)
 	}
@@ -309,7 +309,7 @@ func TestWSATReachesSoftOptimum(t *testing.T) {
 		if !feasible {
 			continue
 		}
-		sol := SolveWSAT(p, WSATParams{Seed: int64(trial), Restarts: 12, MaxFlips: 6000})
+		sol := solveWSAT(p, WSATParams{Seed: int64(trial), Restarts: 12, MaxFlips: 6000})
 		if !sol.Feasible {
 			t.Fatalf("trial %d: feasible instance unsolved", trial)
 		}
@@ -323,7 +323,7 @@ func TestWSATReachesSoftOptimum(t *testing.T) {
 func TestWSATHighNoiseStillSolves(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	p, _ := plantInstance(rng, 8, 10)
-	sol := SolveWSAT(p, WSATParams{Seed: 2, Noise: 0.9, Restarts: 20, MaxFlips: 20000})
+	sol := solveWSAT(p, WSATParams{Seed: 2, Noise: 0.9, Restarts: 20, MaxFlips: 20000})
 	if !sol.Feasible {
 		t.Error("high-noise search failed a small satisfiable instance")
 	}
@@ -334,7 +334,7 @@ func TestWSATHighNoiseStillSolves(t *testing.T) {
 func TestWSATLongTabu(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	p, _ := plantInstance(rng, 10, 12)
-	sol := SolveWSAT(p, WSATParams{Seed: 3, TabuTenure: 50, Restarts: 10, MaxFlips: 10000})
+	sol := solveWSAT(p, WSATParams{Seed: 3, TabuTenure: 50, Restarts: 10, MaxFlips: 10000})
 	if !sol.Feasible {
 		t.Error("long-tabu search failed a small satisfiable instance")
 	}
@@ -346,7 +346,7 @@ func TestWSATDynamicWeightsSound(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 25; trial++ {
 		p, _ := plantInstance(rng, 10+rng.Intn(10), 10+rng.Intn(20))
-		sol := SolveWSAT(p, WSATParams{Seed: int64(trial), DynamicWeights: true})
+		sol := solveWSAT(p, WSATParams{Seed: int64(trial), DynamicWeights: true})
 		if !sol.Feasible {
 			t.Errorf("trial %d: dynamic-weight search failed a satisfiable instance", trial)
 		} else if !p.Feasible(sol.Assign) {
@@ -363,7 +363,7 @@ func TestWSATDynamicWeightsReportTrueScore(t *testing.T) {
 	p.AddHard([]Term{{1, a}, {1, b}}, LE, 1, "h")
 	p.AddSoft([]Term{{1, a}}, GE, 1, 2, "sa")
 	p.AddSoft([]Term{{1, b}}, GE, 1, 2, "sb")
-	sol := SolveWSAT(p, WSATParams{Seed: 9, DynamicWeights: true, StagnationWindow: 4})
+	sol := solveWSAT(p, WSATParams{Seed: 9, DynamicWeights: true, StagnationWindow: 4})
 	if !sol.Feasible || sol.SoftPenalty != 2 {
 		t.Errorf("feasible=%v soft=%d, want feasible with soft 2", sol.Feasible, sol.SoftPenalty)
 	}

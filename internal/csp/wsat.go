@@ -42,7 +42,7 @@ func (p WSATParams) withDefaults(problemSize int) WSATParams {
 	if p.Restarts == 0 {
 		p.Restarts = 8
 	}
-	if p.Noise == 0 {
+	if p.Noise <= 0 {
 		p.Noise = 0.1
 	}
 	if p.TabuTenure == 0 {
@@ -80,23 +80,17 @@ func (s *Solution) score(hardWeight int) int {
 	return s.HardViolation*hardWeight + s.SoftPenalty
 }
 
-// SolveWSAT runs a WSAT(OIP)-style local search: repeatedly pick an
-// unsatisfied constraint and flip one of its variables, choosing the
-// flip that most reduces the combined (hard-weighted) violation score,
-// with probabilistic noise moves and a short tabu list, restarting from
-// fresh random assignments. It returns the best assignment found; the
-// caller decides what to do with an infeasible best (relax constraints,
-// per §6.3).
-func SolveWSAT(p *Problem, params WSATParams) *Solution {
-	sol, _ := SolveWSATContext(context.Background(), p, params)
-	return sol
-}
-
-// SolveWSATContext is SolveWSAT under a context. Cancellation is
-// checked only at restart boundaries: an uncancelled run performs
-// exactly the same flip sequence as SolveWSAT (results stay
-// deterministic for a fixed seed), while a cancelled one returns
-// ctx.Err() within one restart's worth of flips.
+// SolveWSATContext runs a WSAT(OIP)-style local search: repeatedly
+// pick an unsatisfied constraint and flip one of its variables,
+// choosing the flip that most reduces the combined (hard-weighted)
+// violation score, with probabilistic noise moves and a short tabu
+// list, restarting from fresh random assignments. It returns the best
+// assignment found; the caller decides what to do with an infeasible
+// best (relax constraints, per §6.3). Cancellation is checked only at
+// restart boundaries: an uncancelled run performs exactly the same
+// flip sequence regardless of deadline (results stay deterministic
+// for a fixed seed), while a cancelled one returns ctx.Err() within
+// one restart's worth of flips.
 func SolveWSATContext(ctx context.Context, p *Problem, params WSATParams) (*Solution, error) {
 	params = params.withDefaults(p.NumVars())
 	rng := rand.New(rand.NewSource(params.Seed))

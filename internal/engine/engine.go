@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"tableseg/internal/clock"
 	"tableseg/internal/core"
 )
 
@@ -183,7 +184,7 @@ func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
 		res.Err = err
 		return res
 	}
-	start := time.Now()
+	start := clock.Now()
 	opts := e.opts
 	if t.Options != nil {
 		opts = *t.Options
@@ -193,7 +194,7 @@ func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
 		prep, res.Stats.TemplateCacheHit = e.prepFor(t.Input.ListPages)
 	}
 	res.Seg, res.Err = core.SegmentPrepared(ctx, t.Input, opts, prep, &res.Stats.Stats)
-	res.Stats.Wall = time.Since(start)
+	res.Stats.Wall = clock.Since(start)
 	return res
 }
 

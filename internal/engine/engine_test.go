@@ -49,7 +49,7 @@ func TestEngineMatchesSerial(t *testing.T) {
 		opts := core.DefaultOptions(m)
 		serial := make([]*core.Segmentation, len(inputs))
 		for i, in := range inputs {
-			seg, err := core.Segment(in, opts)
+			seg, err := core.SegmentContext(context.Background(), in, opts)
 			if err != nil {
 				t.Fatalf("%v serial input %d: %v", m, i, err)
 			}

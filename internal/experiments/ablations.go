@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,7 +37,7 @@ func (a *AblationResult) Render() string {
 
 // runAll scores one options configuration over every page of the named
 // sites (all sites when slugs is empty).
-func runAll(seed int64, opts core.Options, slugs ...string) (eval.Counts, error) {
+func runAll(ctx context.Context, seed int64, opts core.Options, slugs ...string) (eval.Counts, error) {
 	want := map[string]bool{}
 	for _, s := range slugs {
 		want[s] = true
@@ -49,7 +50,7 @@ func runAll(seed int64, opts core.Options, slugs ...string) (eval.Counts, error)
 		site := sitegen.Generate(profile, seed)
 		for pageIdx := range site.Lists {
 			in := BuildInput(site, pageIdx)
-			seg, err := core.Segment(in, opts)
+			seg, err := core.SegmentContext(ctx, in, opts)
 			if err != nil {
 				return total, fmt.Errorf("%s page %d: %w", profile.Slug, pageIdx, err)
 			}
@@ -66,12 +67,12 @@ var dirtySites = []string{"amazon", "bnbooks", "michigan", "minnesota", "canada4
 // RunEpsilonAblation sweeps the probabilistic model's soft-evidence
 // weight over the dirty sites (DESIGN.md ablation 2: hard zeros
 // reproduce CSP brittleness, smoothing buys the §6.3 robustness).
-func RunEpsilonAblation(seed int64) (*AblationResult, error) {
+func RunEpsilonAblation(ctx context.Context, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Name: "PHMM soft-evidence epsilon (dirty sites)"}
 	for _, eps := range []float64{1e-12, 1e-6, 1e-3, 1e-2, 1e-1} {
 		opts := core.DefaultOptions(core.Probabilistic)
 		opts.PHMMParams.Epsilon = eps
-		counts, err := runAll(seed, opts, dirtySites...)
+		counts, err := runAll(ctx, seed, opts, dirtySites...)
 		if err != nil {
 			return nil, err
 		}
@@ -82,12 +83,12 @@ func RunEpsilonAblation(seed int64) (*AblationResult, error) {
 
 // RunPeriodAblation compares the Figure 3 period model against the
 // Figure 2 flat-hazard variant over all sites (DESIGN.md ablation 3).
-func RunPeriodAblation(seed int64) (*AblationResult, error) {
+func RunPeriodAblation(ctx context.Context, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Name: "record-period model pi (Figure 3 vs Figure 2)"}
 	for _, period := range []bool{true, false} {
 		opts := core.DefaultOptions(core.Probabilistic)
 		opts.PHMMParams.PeriodModel = period
-		counts, err := runAll(seed, opts)
+		counts, err := runAll(ctx, seed, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -104,12 +105,12 @@ func RunPeriodAblation(seed int64) (*AblationResult, error) {
 // whole-page fallback on every site (DESIGN.md ablation 4: the paper
 // used the entire page when template finding failed and observed
 // precision loss).
-func RunTemplateAblation(seed int64) (*AblationResult, error) {
+func RunTemplateAblation(ctx context.Context, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Name: "page template vs whole-page fallback (probabilistic)"}
 	for _, force := range []bool{false, true} {
 		opts := core.DefaultOptions(core.Probabilistic)
 		opts.ForceWholePage = force
-		counts, err := runAll(seed, opts)
+		counts, err := runAll(ctx, seed, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -124,12 +125,12 @@ func RunTemplateAblation(seed int64) (*AblationResult, error) {
 
 // RunRelaxationAblation measures the CSP relaxation ladder's
 // contribution on the dirty sites (DESIGN.md ablation 5).
-func RunRelaxationAblation(seed int64) (*AblationResult, error) {
+func RunRelaxationAblation(ctx context.Context, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Name: "CSP relaxation ladder (dirty sites)"}
 	for _, noRelax := range []bool{false, true} {
 		opts := core.DefaultOptions(core.CSP)
 		opts.CSPParams.NoRelax = noRelax
-		counts, err := runAll(seed, opts, dirtySites...)
+		counts, err := runAll(ctx, seed, opts, dirtySites...)
 		if err != nil {
 			return nil, err
 		}
@@ -144,14 +145,14 @@ func RunRelaxationAblation(seed int64) (*AblationResult, error) {
 
 // RunCutAblation compares lazy consecutiveness repair against the
 // static-only encoding (DESIGN.md ablation 1).
-func RunCutAblation(seed int64) (*AblationResult, error) {
+func RunCutAblation(ctx context.Context, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Name: "consecutiveness: lazy repair cuts vs static blocks only"}
 	for _, disable := range []bool{false, true} {
 		opts := core.DefaultOptions(core.CSP)
 		if disable {
 			opts.CSPParams.MaxCutRounds = -1
 		}
-		counts, err := runAll(seed, opts)
+		counts, err := runAll(ctx, seed, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -167,13 +168,13 @@ func RunCutAblation(seed int64) (*AblationResult, error) {
 // RunEnumerationAblation measures the §6.3 future-work heuristic —
 // stripping enumerated entries from the skeleton — on the numbered
 // sites whose templates the paper could not use.
-func RunEnumerationAblation(seed int64) (*AblationResult, error) {
+func RunEnumerationAblation(ctx context.Context, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Name: "enumerated-entry heuristic (numbered sites, probabilistic)"}
 	numbered := []string{"amazon", "bnbooks", "minnesota"}
 	for _, strip := range []bool{false, true} {
 		opts := core.DefaultOptions(core.Probabilistic)
 		opts.StripEnumeration = strip
-		counts, err := runAll(seed, opts, numbered...)
+		counts, err := runAll(ctx, seed, opts, numbered...)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +193,7 @@ func RunEnumerationAblation(seed int64) (*AblationResult, error) {
 // the §6.3 enumeration-stripping heuristic, and (iii) §6.3's other
 // observation — pages sampled by following "Next" carry *different*
 // entry numbers, so the template never breaks in the first place.
-func RunNumberingAblation(seed int64) (*AblationResult, error) {
+func RunNumberingAblation(ctx context.Context, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Name: "numbered entries: fallback vs stripping vs Next-page numbering"}
 	base, err := sitegen.ProfileBySlug("bnbooks")
 	if err != nil {
@@ -216,7 +217,7 @@ func RunNumberingAblation(seed int64) (*AblationResult, error) {
 		var counts eval.Counts
 		wholePages := 0
 		for pageIdx := range site.Lists {
-			seg, err := core.Segment(BuildInput(site, pageIdx), opts)
+			seg, err := core.SegmentContext(ctx, BuildInput(site, pageIdx), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -235,10 +236,10 @@ func RunNumberingAblation(seed int64) (*AblationResult, error) {
 
 // RunMethodComparison scores the two paper methods and the §7 combined
 // method over the full twelve-site study.
-func RunMethodComparison(seed int64) (*AblationResult, error) {
+func RunMethodComparison(ctx context.Context, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Name: "method comparison over all 24 pages (incl. §7 combined)"}
 	for _, m := range []core.Method{core.CSP, core.Probabilistic, core.Combined} {
-		counts, err := runAll(seed, core.DefaultOptions(m))
+		counts, err := runAll(ctx, seed, core.DefaultOptions(m))
 		if err != nil {
 			return nil, err
 		}
@@ -248,11 +249,11 @@ func RunMethodComparison(seed int64) (*AblationResult, error) {
 }
 
 // RunAllAblations executes every ablation.
-func RunAllAblations(seed int64) ([]*AblationResult, error) {
-	type runner func(int64) (*AblationResult, error)
+func RunAllAblations(ctx context.Context, seed int64) ([]*AblationResult, error) {
+	type runner func(context.Context, int64) (*AblationResult, error)
 	var out []*AblationResult
 	for _, run := range []runner{RunEpsilonAblation, RunPeriodAblation, RunTemplateAblation, RunRelaxationAblation, RunCutAblation, RunEnumerationAblation, RunNumberingAblation, RunMethodComparison} {
-		r, err := run(seed)
+		r, err := run(ctx, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -264,11 +265,11 @@ func RunAllAblations(seed int64) ([]*AblationResult, error) {
 // RunSeedSweep re-runs Table 4 over several generator seeds and reports
 // the aggregate per seed, exposing the variance of the synthetic-data
 // substitution.
-func RunSeedSweep(seeds []int64) (*AblationResult, *AblationResult, error) {
+func RunSeedSweep(ctx context.Context, seeds []int64) (*AblationResult, *AblationResult, error) {
 	prob := &AblationResult{Name: "Table 4 totals across generator seeds (probabilistic)"}
 	cspRes := &AblationResult{Name: "Table 4 totals across generator seeds (CSP)"}
 	for _, seed := range seeds {
-		t4, err := RunTable4(seed)
+		t4, err := RunTable4(ctx, seed)
 		if err != nil {
 			return nil, nil, err
 		}

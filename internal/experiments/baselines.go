@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,7 +35,7 @@ type BaselineResult struct {
 // reproducing the §6.3 argument: union-free inference fails wherever a
 // field has alternate formatting, while the content-based methods of
 // Table 4 are unaffected.
-func RunBaselines(seed int64) ([]*BaselineResult, error) {
+func RunBaselines(ctx context.Context, seed int64) ([]*BaselineResult, error) {
 	var out []*BaselineResult
 	for _, name := range []string{baseline.NameUnionFree, baseline.NameTagRepetition} {
 		res := &BaselineResult{Name: name}

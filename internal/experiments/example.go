@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,8 +42,8 @@ type Example struct {
 
 // RunExample executes the §3 pipeline on the worked example and solves
 // the §4 CSP, reproducing Tables 1–3 (observations, assignment,
-// positions).
-func RunExample() *Example {
+// positions). The error is non-nil only when ctx is cancelled.
+func RunExample(ctx context.Context) (*Example, error) {
 	list := token.Tokenize(superpagesExampleList)
 	details := make([][]token.Token, len(superpagesExampleDetails))
 	for i, d := range superpagesExampleDetails {
@@ -60,8 +61,12 @@ func RunExample() *Example {
 	for ai, oi := range ex.Analyzed {
 		ex.Input.Candidates[ai] = ex.Observations[oi].Pages
 	}
-	ex.Result = csp.SolveSegmentation(ex.Input, csp.SolveParams{ExactCheck: true})
-	return ex
+	res, err := csp.SolveSegmentationContext(ctx, ex.Input, csp.SolveParams{ExactCheck: true})
+	if err != nil {
+		return nil, err
+	}
+	ex.Result = res
+	return ex, nil
 }
 
 // RenderTable1 formats the observation matrix (extracts × detail pages).

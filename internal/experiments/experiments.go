@@ -65,17 +65,12 @@ type Table4Result struct {
 	CleanPages          int
 }
 
-// RunTable4 reproduces Table 4 for a generator seed.
-func RunTable4(seed int64) (*Table4Result, error) {
-	return RunTable4Context(context.Background(), seed)
-}
-
-// RunTable4Context reproduces Table 4 under a context. The 48 runs
+// RunTable4 reproduces Table 4 for a generator seed. The 48 runs
 // (24 list pages, each scored under both methods) go through the batch
 // engine: the two runs of a page share one cached site preparation, and
 // the pool keeps every core busy. Each run is pure for a fixed seed, so
 // the aggregated result is deterministic regardless of scheduling.
-func RunTable4Context(ctx context.Context, seed int64) (*Table4Result, error) {
+func RunTable4(ctx context.Context, seed int64) (*Table4Result, error) {
 	type job struct {
 		site    *sitegen.Site
 		pageIdx int

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,10 @@ import (
 
 // The worked example must reproduce the paper's Tables 1–3 exactly.
 func TestExampleReproducesPaperTables(t *testing.T) {
-	ex := RunExample()
+	ex, exErr := RunExample(context.Background())
+	if exErr != nil {
+		t.Fatal(exErr)
+	}
 	if len(ex.Analyzed) != 11 {
 		t.Fatalf("%d analyzed extracts, want 11 (E1..E11)", len(ex.Analyzed))
 	}
@@ -69,7 +73,7 @@ func TestRunTable4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full study in -short mode")
 	}
-	res, err := RunTable4(DefaultSeed)
+	res, err := RunTable4(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +145,11 @@ func TestRunTable4Deterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full study in -short mode")
 	}
-	a, err := RunTable4(DefaultSeed)
+	a, err := RunTable4(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunTable4(DefaultSeed)
+	b, err := RunTable4(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +162,7 @@ func TestRelaxationAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	res, err := RunRelaxationAblation(DefaultSeed)
+	res, err := RunRelaxationAblation(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +184,7 @@ func TestBaselinesShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("baselines in -short mode")
 	}
-	results, err := RunBaselines(DefaultSeed)
+	results, err := RunBaselines(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +257,7 @@ func TestAmazonDegradationDirection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("study in -short mode")
 	}
-	res, err := RunTable4(DefaultSeed)
+	res, err := RunTable4(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}

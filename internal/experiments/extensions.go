@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"tableseg/internal/classify"
+	"tableseg/internal/clock"
 	"tableseg/internal/core"
 	"tableseg/internal/eval"
 	"tableseg/internal/sitegen"
@@ -44,7 +46,7 @@ func (r ClassifyRow) Recall() float64 {
 // the pages linked from each list page (details interleaved with
 // advertisement pages) are clustered structurally and the largest
 // cluster is taken as the detail set.
-func RunClassification(seed int64) ([]ClassifyRow, error) {
+func RunClassification(ctx context.Context, seed int64) ([]ClassifyRow, error) {
 	var rows []ClassifyRow
 	for _, profile := range sitegen.Profiles() {
 		site := sitegen.Generate(profile, seed)
@@ -112,12 +114,12 @@ type WrapperRow struct {
 // second page — extraction with no detail-page fetches at all. This is
 // the bridge from the paper's unsupervised segmentation to conventional
 // wrapper-based extraction (§1's framing).
-func RunWrapperTransfer(seed int64) ([]WrapperRow, error) {
+func RunWrapperTransfer(ctx context.Context, seed int64) ([]WrapperRow, error) {
 	var rows []WrapperRow
 	for _, profile := range sitegen.Profiles() {
 		site := sitegen.Generate(profile, seed)
 		row := WrapperRow{Site: profile.Name}
-		seg, err := core.Segment(BuildInput(site, 0), core.DefaultOptions(core.Probabilistic))
+		seg, err := core.SegmentContext(ctx, BuildInput(site, 0), core.DefaultOptions(core.Probabilistic))
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +151,7 @@ type ScaleRow struct {
 // paper's sizes (tens of records) to an order of magnitude beyond —
 // grounding §6.1's "the algorithms were exceedingly fast, taking only a
 // few seconds to run in all cases" with a growth curve.
-func RunScale(seed int64, sizes []int) ([]ScaleRow, error) {
+func RunScale(ctx context.Context, seed int64, sizes []int) ([]ScaleRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{20, 50, 100, 200}
 	}
@@ -164,15 +166,15 @@ func RunScale(seed int64, sizes []int) ([]ScaleRow, error) {
 		in := BuildInput(site, 0)
 		for _, m := range []core.Method{core.CSP, core.Probabilistic} {
 			opts := core.DefaultOptions(m)
-			start := time.Now()
-			seg, err := core.Segment(in, opts)
+			start := clock.Now()
+			seg, err := core.SegmentContext(ctx, in, opts)
 			if err != nil {
 				return nil, err
 			}
 			rows = append(rows, ScaleRow{
 				Records: n,
 				Method:  m.String(),
-				PerPage: time.Since(start),
+				PerPage: clock.Since(start),
 				Counts:  eval.Score(seg, site.Lists[0].Truth),
 			})
 		}
@@ -206,7 +208,7 @@ type StressRow struct {
 // robustness boundary. (Missing fields and duplicates alone do not bend
 // either method: the sequential structure disambiguates them. Pollution
 // corrupts the D_i evidence itself.)
-func RunStressSweep(seed int64, rates []float64) ([]StressRow, error) {
+func RunStressSweep(ctx context.Context, seed int64, rates []float64) ([]StressRow, error) {
 	if len(rates) == 0 {
 		rates = []float64{0, 0.2, 0.4, 0.6, 0.8}
 	}
@@ -228,7 +230,7 @@ func RunStressSweep(seed int64, rates []float64) ([]StressRow, error) {
 			for s := int64(0); s < seedsPerPoint; s++ {
 				site := sitegen.Generate(profile, seed+s)
 				for pageIdx := range site.Lists {
-					seg, err := core.Segment(BuildInput(site, pageIdx), core.DefaultOptions(m))
+					seg, err := core.SegmentContext(ctx, BuildInput(site, pageIdx), core.DefaultOptions(m))
 					if err != nil {
 						return nil, err
 					}
@@ -268,7 +270,7 @@ type VerticalRow struct {
 // RunVertical measures the vertical-table extension (§3 scopes vertical
 // layout out of the paper; internal/vertical transposes it back into
 // scope) on the demo site, with and without the extension.
-func RunVertical(seed int64) ([]VerticalRow, error) {
+func RunVertical(ctx context.Context, seed int64) ([]VerticalRow, error) {
 	site := sitegen.GenerateVerticalDemo(seed, 6)
 	in := BuildInput(site, 0)
 	truth := site.Lists[0].Truth
@@ -277,7 +279,7 @@ func RunVertical(seed int64) ([]VerticalRow, error) {
 		for _, ext := range []bool{false, true} {
 			opts := core.DefaultOptions(m)
 			opts.DetectVertical = ext
-			seg, err := core.Segment(in, opts)
+			seg, err := core.SegmentContext(ctx, in, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestRunClassificationPerfect(t *testing.T) {
 	if testing.Short() {
 		t.Skip("classification study in -short mode")
 	}
-	rows, err := RunClassification(DefaultSeed)
+	rows, err := RunClassification(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunWrapperTransferShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wrapper study in -short mode")
 	}
-	rows, err := RunWrapperTransfer(DefaultSeed)
+	rows, err := RunWrapperTransfer(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestRunWrapperTransferShape(t *testing.T) {
 }
 
 func TestRunVerticalExtension(t *testing.T) {
-	rows, err := RunVertical(DefaultSeed)
+	rows, err := RunVertical(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRunSeedSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep in -short mode")
 	}
-	prob, cspRes, err := RunSeedSweep([]int64{42, 43})
+	prob, cspRes, err := RunSeedSweep(context.Background(), []int64{42, 43})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestRunAllAblationsComplete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation suite in -short mode")
 	}
-	abls, err := RunAllAblations(DefaultSeed)
+	abls, err := RunAllAblations(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestMethodComparisonOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("method comparison in -short mode")
 	}
-	res, err := RunMethodComparison(DefaultSeed)
+	res, err := RunMethodComparison(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestRunScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling study in -short mode")
 	}
-	rows, err := RunScale(DefaultSeed, []int{10, 20})
+	rows, err := RunScale(context.Background(), DefaultSeed, []int{10, 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestStressSweepDirection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress sweep in -short mode")
 	}
-	rows, err := RunStressSweep(DefaultSeed, []float64{0, 0.8})
+	rows, err := RunStressSweep(context.Background(), DefaultSeed, []float64{0, 0.8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func TestSegmentContextCancelled(t *testing.T) {
 // the legacy entry point exactly.
 func TestSegmentContextUncancelled(t *testing.T) {
 	inst := contextInstance()
-	want, err := Segment(inst, DefaultParams())
+	want, err := segment(inst, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func (m *Model) estep(lt *lattice) (*emStats, float64) {
 		for r := 0; r < m.K; r++ {
 			for c := 0; c < m.C; c++ {
 				w := g[r*m.C+c]
-				if w == 0 {
+				if zeroProb(w) {
 					continue
 				}
 				st.colMass[c] += w
@@ -86,17 +86,11 @@ func (m *Model) mstep(st *emStats) {
 	}
 }
 
-// Fit runs EM to convergence (or MaxIter) and returns the final
-// log-likelihood and the iteration count.
-func (m *Model) Fit(inst Instance) (loglik float64, iters int) {
-	loglik, iters, _ = m.FitContext(context.Background(), inst)
-	return loglik, iters
-}
-
-// FitContext is Fit under a context. Cancellation is checked once per
-// EM iteration, so an uncancelled run performs exactly the same
-// iteration sequence as Fit while a cancelled one returns ctx.Err()
-// within one iteration.
+// FitContext runs EM to convergence (or MaxIter) and returns the
+// final log-likelihood and the iteration count. Cancellation is
+// checked once per EM iteration, so an uncancelled run performs a
+// deterministic iteration sequence while a cancelled one returns
+// ctx.Err() within one iteration.
 func (m *Model) FitContext(ctx context.Context, inst Instance) (loglik float64, iters int, err error) {
 	prev := math.Inf(-1)
 	for iters = 1; iters <= m.params.MaxIter; iters++ {
@@ -107,7 +101,7 @@ func (m *Model) FitContext(ctx context.Context, inst Instance) (loglik float64, 
 		st, ll := m.estep(lt)
 		m.mstep(st)
 		loglik = ll
-		if prev != math.Inf(-1) {
+		if !math.IsInf(prev, -1) {
 			denom := math.Abs(prev)
 			if denom < 1 {
 				denom = 1
@@ -147,15 +141,10 @@ type Result struct {
 	Model *Model
 }
 
-// Segment learns a model for the instance with EM and returns the MAP
-// segmentation — the probabilistic pipeline of §5 end to end.
-func Segment(inst Instance, params Params) (*Result, error) {
-	return SegmentContext(context.Background(), inst, params)
-}
-
-// SegmentContext is Segment under a context: cancellation aborts the EM
-// loop at an iteration boundary and is re-checked before the final
-// decode, returning ctx.Err().
+// SegmentContext learns a model for the instance with EM and returns
+// the MAP segmentation — the probabilistic pipeline of §5 end to end.
+// Cancellation aborts the EM loop at an iteration boundary and is
+// re-checked before the final decode, returning ctx.Err().
 func SegmentContext(ctx context.Context, inst Instance, params Params) (*Result, error) {
 	if err := validate(inst); err != nil {
 		return nil, err

@@ -1,0 +1,9 @@
+package phmm
+
+// zeroProb reports whether a nonnegative probability mass p carries no
+// weight. Probabilities in this package are products and sums of
+// nonnegative terms, so "no mass" is p <= 0 rather than an exact
+// floating-point equality (which tableseglint's floateq analyzer
+// forbids: == on floats asserts two computations took the same
+// instruction path, not a mathematical statement).
+func zeroProb(p float64) bool { return p <= 0 }

@@ -1,0 +1,10 @@
+package phmm
+
+import "context"
+
+// segment is the test shim over the context-first entry point:
+// production code must thread a caller's context (enforced by
+// tableseglint), but table-driven tests have none to thread.
+func segment(inst Instance, params Params) (*Result, error) {
+	return SegmentContext(context.Background(), inst, params)
+}

@@ -126,14 +126,14 @@ func (lt *lattice) forwardBackward() *posteriors {
 				// bootstrap demands a record start here).
 				for cPrev := 0; cPrev < C; cPrev++ {
 					a := alpha[i-1][r*C+cPrev]
-					if a == 0 {
+					if zeroProb(a) {
 						continue
 					}
 					stay := a * (1 - haz[cPrev]) * pen
 					alpha[i][r*C+cPrev] += stay * stallWeight * lt.emis[i][r*C+cPrev]
 					for c := cPrev + 1; c < C; c++ {
 						tr := m.Trans[cPrev][c]
-						if tr == 0 {
+						if zeroProb(tr) {
 							continue
 						}
 						alpha[i][r*C+c] += stay * tr * lt.emis[i][r*C+c]
@@ -187,7 +187,7 @@ func (lt *lattice) forwardBackward() *posteriors {
 				cont := stallWeight * lt.emis[next][r*C+c] * beta[next][r*C+c]
 				for c2 := c + 1; c2 < C; c2++ {
 					tr := m.Trans[c][c2]
-					if tr == 0 {
+					if zeroProb(tr) {
 						continue
 					}
 					cont += tr * lt.emis[next][r*C+c2] * beta[next][r*C+c2]
@@ -251,7 +251,7 @@ func (lt *lattice) forwardBackward() *posteriors {
 		for r := 0; r < K; r++ {
 			for c := 0; c < C; c++ {
 				a := alpha[i][r*C+c]
-				if a == 0 {
+				if zeroProb(a) {
 					continue
 				}
 				e := a * haz[c] * B[r] / scale[next]
@@ -260,7 +260,7 @@ func (lt *lattice) forwardBackward() *posteriors {
 				stay := a * (1 - haz[c]) * pen / scale[next]
 				for c2 := c + 1; c2 < C; c2++ {
 					tr := m.Trans[c][c2]
-					if tr == 0 {
+					if zeroProb(tr) {
 						continue
 					}
 					v := stay * tr * lt.emis[next][r*C+c2] * beta[next][r*C+c2]
@@ -364,7 +364,7 @@ func (lt *lattice) viterbi() (records, columns []int, logProb float64) {
 				}
 				for c0 := 0; c0 < c; c0++ {
 					tr := m.Trans[c0][c]
-					if tr == 0 {
+					if zeroProb(tr) {
 						continue
 					}
 					v := delta[i-1][r*C+c0] + logv(1-haz[c0]) + logv(tr) + penLog + emisLog

@@ -37,7 +37,7 @@ func superpagesInstance() Instance {
 var wantSuperpages = []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2}
 
 func TestSegmentSuperpages(t *testing.T) {
-	res, err := Segment(superpagesInstance(), DefaultParams())
+	res, err := segment(superpagesInstance(), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestSegmentSuperpages(t *testing.T) {
 }
 
 func TestSegmentRecordsMonotone(t *testing.T) {
-	res, err := Segment(superpagesInstance(), DefaultParams())
+	res, err := segment(superpagesInstance(), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestSegmentToleratesDirtyData(t *testing.T) {
 	// contextually correct segmentation.
 	inst := superpagesInstance()
 	inst.Candidates[9] = []int{0} // "Findlay, OH" polluted: seen only on r1's page
-	res, err := Segment(inst, DefaultParams())
+	res, err := segment(inst, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,13 +103,13 @@ func TestEpsilonGovernsDirtyDataCost(t *testing.T) {
 	inst := superpagesInstance()
 	inst.Candidates[9] = []int{0}
 
-	soft, err := Segment(inst, DefaultParams())
+	soft, err := segment(inst, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := DefaultParams()
 	p.Epsilon = 1e-12
-	hard, err := Segment(inst, p)
+	hard, err := segment(inst, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestPeriodModelLearnsLength(t *testing.T) {
 			inst.Candidates = append(inst.Candidates, []int{r})
 		}
 	}
-	res, err := Segment(inst, DefaultParams())
+	res, err := segment(inst, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestPeriodModelLearnsLength(t *testing.T) {
 func TestFigure2VariantStillSegments(t *testing.T) {
 	p := DefaultParams()
 	p.PeriodModel = false
-	res, err := Segment(superpagesInstance(), p)
+	res, err := segment(superpagesInstance(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestSegmentEmptyInstance(t *testing.T) {
-	res, err := Segment(Instance{NumRecords: 2}, DefaultParams())
+	res, err := segment(Instance{NumRecords: 2}, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestSegmentCleanRandomInstances(t *testing.T) {
 				want = append(want, r)
 			}
 		}
-		res, err := Segment(inst, DefaultParams())
+		res, err := segment(inst, DefaultParams())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -374,7 +374,7 @@ func TestViterbiStructuralInvariants(t *testing.T) {
 		p.Epsilon = 1e-4 + rng.Float64()*0.1
 		p.SkipPenalty = 0.01 + rng.Float64()*0.3
 		p.Seed = seedRaw
-		res, err := Segment(inst, p)
+		res, err := segment(inst, p)
 		if err != nil {
 			return false
 		}
@@ -397,7 +397,7 @@ func TestViterbiStructuralInvariants(t *testing.T) {
 }
 
 func TestConfidenceCalibration(t *testing.T) {
-	res, err := Segment(superpagesInstance(), DefaultParams())
+	res, err := segment(superpagesInstance(), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +426,7 @@ func TestConfidenceIsMAPPosterior(t *testing.T) {
 	// fitted model, not about pre-fit ambiguity.)
 	inst := superpagesInstance()
 	params := DefaultParams()
-	res, err := Segment(inst, params)
+	res, err := segment(inst, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +451,7 @@ func TestParamsClamping(t *testing.T) {
 		t.Errorf("epsilon > 1 not clamped: %f", big.Epsilon)
 	}
 	// Degenerate params must not crash inference.
-	res, err := Segment(superpagesInstance(), Params{Epsilon: -1, SkipPenalty: 99})
+	res, err := segment(superpagesInstance(), Params{Epsilon: -1, SkipPenalty: 99})
 	if err != nil || len(res.Records) != 11 {
 		t.Errorf("degenerate params: %v, %v", res, err)
 	}
@@ -460,7 +460,7 @@ func TestParamsClamping(t *testing.T) {
 func TestSegmentDegenerateShapes(t *testing.T) {
 	one := typeVec(token.TypeOf("Solo"))
 	// Single extract, single record.
-	res, err := Segment(Instance{
+	res, err := segment(Instance{
 		NumRecords: 1,
 		TypeVecs:   [][token.NumTypes]bool{one},
 		Candidates: [][]int{{0}},
@@ -476,7 +476,7 @@ func TestSegmentDegenerateShapes(t *testing.T) {
 		long.TypeVecs = append(long.TypeVecs, one)
 		long.Candidates = append(long.Candidates, []int{0})
 	}
-	res, err = Segment(long, DefaultParams())
+	res, err = segment(long, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +492,7 @@ func TestSegmentDegenerateShapes(t *testing.T) {
 		blind.TypeVecs = append(blind.TypeVecs, one)
 		blind.Candidates = append(blind.Candidates, nil)
 	}
-	if _, err := Segment(blind, DefaultParams()); err != nil {
+	if _, err := segment(blind, DefaultParams()); err != nil {
 		t.Errorf("evidence-free instance: %v", err)
 	}
 }

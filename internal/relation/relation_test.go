@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func segmentBoth(t *testing.T, slug string) (*core.Segmentation, *core.Segmentat
 		for _, d := range site.Lists[pageIdx].Details {
 			in.DetailPages = append(in.DetailPages, core.Page{HTML: d})
 		}
-		seg, err := core.Segment(in, core.DefaultOptions(core.Probabilistic))
+		seg, err := core.SegmentContext(context.Background(), in, core.DefaultOptions(core.Probabilistic))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestMergePositionalWithoutLabels(t *testing.T) {
 	}
 	opts := core.DefaultOptions(core.Probabilistic)
 	opts.MineLabels = false
-	seg, err := core.Segment(in, opts)
+	seg, err := core.SegmentContext(context.Background(), in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,7 +40,7 @@ func Load(in io.Reader) (*Wrapper, error) {
 	var wf wireFormat
 	dec := json.NewDecoder(in)
 	if err := dec.Decode(&wf); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadWrapperFile, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadWrapperFile, err)
 	}
 	if wf.Version != wireVersion {
 		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadWrapperFile, wf.Version, wireVersion)

@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func segmentPage(t *testing.T, site *sitegen.Site, pageIdx int) (*core.Segmentat
 	for _, d := range site.Lists[pageIdx].Details {
 		in.DetailPages = append(in.DetailPages, core.Page{HTML: d})
 	}
-	seg, err := core.Segment(in, core.DefaultOptions(core.Probabilistic))
+	seg, err := core.SegmentContext(context.Background(), in, core.DefaultOptions(core.Probabilistic))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint check bench experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint check bench bench-stages experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -43,9 +43,15 @@ results:
 	$(GO) run ./cmd/experiments -scale > results/scale.txt
 	$(GO) run ./cmd/experiments -seeds 42,43,44,45 > results/seeds.txt
 
-# One benchmark per table/figure (see DESIGN.md's index).
+# One benchmark per table/figure (see DESIGN.md's index), plus the
+# per-stage microbenchmarks. The stage/solver results are exported as
+# BENCH_stages.json for structured regression diffs.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -filter '^(Stage|Solver)' -out BENCH_stages.json
+
+# The stage/solver microbenchmarks alone (what CI smoke-runs).
+bench-stages:
+	$(GO) test -bench '^(BenchmarkStage|BenchmarkSolver)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -filter '^(Stage|Solver)' -out BENCH_stages.json
 
 # Render the synthetic twelve-site corpus to ./corpus.
 corpus:

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	i64 := func(n int64) *int64 { return &n }
+	cases := []struct {
+		line string
+		want Record
+		ok   bool
+	}{
+		{
+			line: "BenchmarkStageTokenize-8   \t    1234\t    987654 ns/op\t  123456 B/op\t     789 allocs/op",
+			want: Record{Name: "StageTokenize", Iterations: 1234, NsPerOp: 987654,
+				BytesPerOp: i64(123456), AllocsPerOp: i64(789)},
+			ok: true,
+		},
+		{
+			line: "BenchmarkSolver/csp-8         100          51234 ns/op",
+			want: Record{Name: "Solver/csp", Iterations: 100, NsPerOp: 51234},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkEngineThroughput/engine-8  5  1.5e+08 ns/op  160.0 pages/s",
+			want: Record{Name: "EngineThroughput/engine", Iterations: 5, NsPerOp: 1.5e8,
+				Metrics: map[string]float64{"pages/s": 160}},
+			ok: true,
+		},
+		{line: "goos: linux", ok: false},
+		{line: "PASS", ok: false},
+		{line: "BenchmarkBroken-8  notanumber  12 ns/op", ok: false},
+	}
+	for _, c := range cases {
+		got, ok := parseLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}

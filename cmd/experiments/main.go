@@ -26,6 +26,7 @@ func main() {
 	baselines := flag.Bool("baselines", false, "run the layout-only baselines")
 	extensions := flag.Bool("extensions", false, "run the future-work extensions (detail-page classification, wrapper transfer)")
 	scale := flag.Bool("scale", false, "run the scaling study (per-page latency vs record count)")
+	timing := flag.Bool("timing", false, "report per-stage timing and cache counters over the Table 4 workload")
 	seedsFlag := flag.String("seeds", "", "comma-separated generator seeds for a Table 4 sweep")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "generator seed")
 	all := flag.Bool("all", false, "run everything")
@@ -112,6 +113,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(experiments.RenderStressSweep(stress))
+		ran = true
+	}
+	if *timing {
+		rep, err := experiments.RunTiming(ctx, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderTiming(rep))
 		ran = true
 	}
 	if *seedsFlag != "" {

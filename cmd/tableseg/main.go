@@ -115,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	res := eng.Segment(ctx, in)
 	if *stats {
-		printStats(stderr, res.Stats)
+		printStats(stderr, res.Stats, eng.CacheStats())
 	}
 	seg, err := res.Seg, res.Err
 	if err != nil {
@@ -215,14 +215,21 @@ func emitJSON(w io.Writer, seg *tableseg.Segmentation, m tableseg.Method) error 
 	return enc.Encode(out)
 }
 
-// printStats reports the engine's per-stage instrumentation.
-func printStats(w io.Writer, st tableseg.TaskStats) {
+// printStats reports the engine's per-stage instrumentation and cache
+// counters.
+func printStats(w io.Writer, st tableseg.TaskStats, cs tableseg.CacheStats) {
 	fmt.Fprintf(w, "stats: wall=%v tokenize=%v template=%v extract=%v solve=%v\n",
 		st.Wall.Round(time.Microsecond), st.TokenizeTime.Round(time.Microsecond),
 		st.TemplateTime.Round(time.Microsecond), st.ExtractTime.Round(time.Microsecond),
 		st.SolveTime.Round(time.Microsecond))
+	for _, s := range st.Stages {
+		fmt.Fprintf(w, "stats: stage=%s calls=%d time=%v\n",
+			s.Name, s.Calls, s.Duration.Round(time.Microsecond))
+	}
 	fmt.Fprintf(w, "stats: wsat restarts=%d flips=%d cutRounds=%d emIters=%d\n",
 		st.WSATRestarts, st.WSATFlips, st.CutRounds, st.EMIters)
+	fmt.Fprintf(w, "stats: cache tokenHits=%d tokenMisses=%d templateHits=%d templateMisses=%d\n",
+		cs.TokenHits, cs.TokenMisses, cs.TemplateHits, cs.TemplateMisses)
 }
 
 func readPage(path string) (tableseg.Page, error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -93,6 +94,8 @@ func TestBadFlagRejected(t *testing.T) {
 
 var statsLine1 = regexp.MustCompile(`(?m)^stats: wall=\S+ tokenize=\S+ template=\S+ extract=\S+ solve=\S+$`)
 var statsLine2 = regexp.MustCompile(`(?m)^stats: wsat restarts=\d+ flips=\d+ cutRounds=\d+ emIters=\d+$`)
+var statsStage = regexp.MustCompile(`(?m)^stats: stage=(\w+) calls=\d+ time=\S+$`)
+var statsCache = regexp.MustCompile(`(?m)^stats: cache tokenHits=\d+ tokenMisses=\d+ templateHits=\d+ templateMisses=\d+$`)
 
 func TestStatsOutputShape(t *testing.T) {
 	args := append(writeTestSite(t), "-stats")
@@ -105,6 +108,17 @@ func TestStatsOutputShape(t *testing.T) {
 	}
 	if !statsLine2.MatchString(stderr) {
 		t.Errorf("stderr missing the solver-effort line:\n%s", stderr)
+	}
+	if !statsCache.MatchString(stderr) {
+		t.Errorf("stderr missing the cache-counter line:\n%s", stderr)
+	}
+	var stages []string
+	for _, m := range statsStage.FindAllStringSubmatch(stderr, -1) {
+		stages = append(stages, m[1])
+	}
+	want := []string{"Tokenize", "InduceTemplate", "SelectSlot", "Extract", "Observe", "Segment", "PostProcess"}
+	if !reflect.DeepEqual(stages, want) {
+		t.Errorf("stage lines = %v, want %v\nstderr:\n%s", stages, want, stderr)
 	}
 	if !strings.Contains(stdout, "record 1") {
 		t.Errorf("stdout missing segmented records:\n%s", stdout)

@@ -39,6 +39,15 @@ type TaskStats = engine.TaskStats
 // TaskStats.
 type Stats = core.Stats
 
+// StageTiming is one pipeline stage's aggregated wall time within a
+// Stats collection (Stats.Stages lists them in pipeline order).
+type StageTiming = core.StageTiming
+
+// CacheStats is an Engine's aggregate artifact-cache counters
+// (content-addressed tokenization and per-site template preps); see
+// Engine.CacheStats.
+type CacheStats = engine.CacheStats
+
 // NewEngine creates an Engine after validating the configuration
 // (ErrBadOptions on a bad one).
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }

@@ -5,7 +5,7 @@
 // randomness in solver paths, no map-iteration order leaking into
 // results, contexts threaded rather than minted, errors wrapped so
 // sentinel classification survives) that ordinary Go tooling does not
-// enforce. The four analyzers in this package check them mechanically
+// enforce. The five analyzers in this package check them mechanically
 // over the parsed and type-checked source of every package, using only
 // the standard library (go/parser, go/ast, go/types).
 //
@@ -24,6 +24,9 @@
 //     wrap a declared sentinel.
 //   - floateq: forbids ==/!= on floating-point operands in the
 //     numeric solver packages (phmm, csp).
+//   - stagepurity: enforces the stage-graph layering — stage packages
+//     may not import algorithm, solver or orchestration packages, and
+//     solver packages may not import orchestration packages.
 //
 // A diagnostic can be suppressed by a "//tableseglint:ignore <name>
 // <reason>" comment on the same line or the line above; the reason is
@@ -93,6 +96,20 @@ type Config struct {
 	// CorePkg is the package whose exported functions must return
 	// sentinel-wrapped errors.
 	CorePkg string
+	// StagePkgs are the stage-graph packages that must stay
+	// algorithm-agnostic: they may import none of AlgorithmPkgs,
+	// SolverPkgs or OrchestrationPkgs.
+	StagePkgs []string
+	// AlgorithmPkgs are the segmentation-algorithm packages that only
+	// solver adapters (and orchestration) may import.
+	AlgorithmPkgs []string
+	// SolverPkgs are the solver adapter packages: they may import the
+	// artifact types and the algorithm packages but none of
+	// OrchestrationPkgs.
+	SolverPkgs []string
+	// OrchestrationPkgs are the pipeline-orchestration packages, off
+	// limits to both stages and solvers.
+	OrchestrationPkgs []string
 }
 
 // DefaultConfig is the project policy enforced by cmd/tableseglint.
@@ -101,13 +118,21 @@ func DefaultConfig() Config {
 		DeterminismPkgs: []string{
 			"internal/csp", "internal/phmm", "internal/core",
 			"internal/engine", "internal/experiments",
+			"internal/stage", "internal/solvers",
 		},
 		FloatEqPkgs: []string{"internal/phmm", "internal/csp"},
 		EntryPointPkgs: []string{
 			"internal/core", "internal/csp", "internal/phmm",
 			"internal/engine", "internal/experiments",
+			"internal/stage", "internal/solvers",
 		},
-		CorePkg: "internal/core",
+		CorePkg:       "internal/core",
+		StagePkgs:     []string{"internal/stage"},
+		AlgorithmPkgs: []string{"internal/csp", "internal/phmm", "internal/baseline"},
+		SolverPkgs:    []string{"internal/solvers"},
+		OrchestrationPkgs: []string{
+			"internal/core", "internal/engine", "internal/experiments",
+		},
 	}
 }
 
@@ -138,13 +163,14 @@ func isInternal(pkgPath string) bool {
 		pkgPath == "internal"
 }
 
-// Suite returns the four analyzers.
+// Suite returns the five analyzers.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
 		CtxDiscipline(),
 		ErrWrap(),
 		FloatEq(),
+		StagePurity(),
 	}
 }
 

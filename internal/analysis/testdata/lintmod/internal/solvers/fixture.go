@@ -1,0 +1,21 @@
+// Package solvers is a lint fixture for the stagepurity analyzer: its
+// import path ends in internal/solvers, so it may import the algorithm
+// packages freely but never the orchestration layer.
+package solvers
+
+import (
+	"context"
+
+	"lintfixture/internal/core" // want stagepurity "may not import lintfixture/internal/core"
+	"lintfixture/internal/csp"  // algorithm import: allowed for solvers
+)
+
+// SolveFixture is a well-formed solver entry point (context first)
+// that legitimately calls into an algorithm package; only the
+// orchestration import above is a violation.
+func SolveFixture(ctx context.Context, n int) (int, error) {
+	if err := core.BuildGood(false); err != nil {
+		return 0, err
+	}
+	return csp.SolveGood(ctx, n), nil
+}

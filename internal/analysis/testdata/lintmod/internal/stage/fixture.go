@@ -1,0 +1,21 @@
+// Package stage is a lint fixture for the stagepurity analyzer: its
+// import path ends in internal/stage, so it must stay algorithm-
+// agnostic — importing an algorithm, solver or orchestration package
+// is a layering violation.
+package stage
+
+import (
+	"context"
+
+	"lintfixture/internal/core" // want stagepurity "may not import lintfixture/internal/core"
+	"lintfixture/internal/csp"  // want stagepurity "may not import lintfixture/internal/csp"
+)
+
+// SegmentFixture is a well-formed stage entry point (context first,
+// deterministic body); the package is dirty only in its imports.
+func SegmentFixture(ctx context.Context, n int) (int, error) {
+	if err := core.BuildGood(false); err != nil {
+		return 0, err
+	}
+	return csp.SolveGood(ctx, n), nil
+}

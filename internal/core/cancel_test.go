@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tableseg/internal/stage"
+)
+
+// cancelObserver records every stage boundary and cancels the run's
+// context as the after-th OnStageEnd fires (after=0 never cancels).
+type cancelObserver struct {
+	cancel  context.CancelFunc
+	after   int
+	started []string
+	ended   []string
+}
+
+func (o *cancelObserver) OnStageStart(name string) {
+	o.started = append(o.started, name)
+}
+
+func (o *cancelObserver) OnStageEnd(name string, _ time.Duration, _ error) {
+	o.ended = append(o.ended, name)
+	if len(o.ended) == o.after {
+		o.cancel()
+	}
+}
+
+// TestCancelAtEveryStageBoundary drives the Instrument contract through
+// the whole pipeline: a context canceled as stage N completes must
+// return a wrapped context.Canceled naming stage N+1 as not started,
+// with exactly N stages started and none beyond. Canceling as the final
+// stage completes must change nothing. The reference (uncancelled) run
+// supplies the stage sequence, so the test adapts if the fallback
+// ladder re-runs Extract/Observe.
+func TestCancelAtEveryStageBoundary(t *testing.T) {
+	in := contextInput()
+	for _, m := range []Method{CSP, Probabilistic} {
+		opts := DefaultOptions(m)
+
+		ref := &cancelObserver{}
+		if _, err := SegmentEnv(context.Background(), in, opts, Env{Observer: ref}); err != nil {
+			t.Fatalf("%v: reference run failed: %v", m, err)
+		}
+		seq := ref.ended
+		if len(seq) < len(stage.Names()) {
+			t.Fatalf("%v: reference run hit %d stage boundaries %v, want at least %d",
+				m, len(seq), seq, len(stage.Names()))
+		}
+
+		for n := 1; n < len(seq); n++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			o := &cancelObserver{cancel: cancel, after: n}
+			_, err := SegmentEnv(ctx, in, opts, Env{Observer: o})
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%v: cancel after stage %d (%s): err = %v, want context.Canceled", m, n, seq[n-1], err)
+				continue
+			}
+			if want := fmt.Sprintf("stage: %s not started", seq[n]); !strings.Contains(err.Error(), want) {
+				t.Errorf("%v: cancel after stage %d: err = %q, want mention of %q", m, n, err, want)
+			}
+			if !reflect.DeepEqual(o.started, seq[:n]) {
+				t.Errorf("%v: cancel after stage %d: started %v, want %v", m, n, o.started, seq[:n])
+			}
+			if !reflect.DeepEqual(o.ended, seq[:n]) {
+				t.Errorf("%v: cancel after stage %d: ended %v, want %v", m, n, o.ended, seq[:n])
+			}
+		}
+
+		// Cancellation after the last stage boundary is a no-op: the run
+		// has already produced its result.
+		ctx, cancel := context.WithCancel(context.Background())
+		o := &cancelObserver{cancel: cancel, after: len(seq)}
+		seg, err := SegmentEnv(ctx, in, opts, Env{Observer: o})
+		cancel()
+		if err != nil {
+			t.Errorf("%v: cancel after final stage: err = %v, want success", m, err)
+		} else if len(seg.Records) == 0 {
+			t.Errorf("%v: cancel after final stage: no records", m)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"tableseg/internal/stage"
+)
 
 // Validate rejects nonsensical configurations with ErrBadOptions before
 // any pipeline work happens, so misconfiguration surfaces as one typed
@@ -11,6 +15,9 @@ func (o Options) Validate() error {
 	case CSP, Probabilistic, Combined:
 	default:
 		return fmt.Errorf("%w: unknown method %d", ErrBadOptions, o.Method)
+	}
+	if o.Solver != "" && !stage.HasSolver(o.Solver) {
+		return fmt.Errorf("%w: unknown solver %q (registered: %v)", ErrBadOptions, o.Solver, stage.RegisteredSolvers())
 	}
 	if o.MinSlotQuality < 0 || o.MinSlotQuality > 1 {
 		return fmt.Errorf("%w: MinSlotQuality %v outside [0,1]", ErrBadOptions, o.MinSlotQuality)

@@ -1,12 +1,14 @@
-// Package core implements the paper's end-to-end pipeline (§3): given
-// sample list pages from a site and the detail pages linked from one of
-// them, it tokenizes the pages, induces the page template, locates the
-// table slot, extracts the visible strings, builds the detail-page
-// observation matrix, and segments the extracts into records with either
-// the CSP method (§4) or the probabilistic method (§5). It also applies
-// the paper's post-processing rule: table data that carries no
-// detail-page evidence is attached to the record of the last assigned
-// extract (§6.2).
+// Package core orchestrates the paper's end-to-end pipeline (§3) as an
+// explicit stage graph: Tokenize → InduceTemplate → SelectSlot →
+// Extract → Observe → Segment → PostProcess. The stages themselves are
+// pure functions over typed artifacts (internal/stage); the algorithms
+// behind the Segment stage implement stage.Solver and live behind the
+// solver registry (internal/solvers registers the built-ins). What
+// remains here is the paper's control flow — input validation, the
+// fallback and retry ladder (single-page row detection, shattered-slot
+// whole-page fallback, coverage retry), error classification into the
+// typed sentinels, and the mapping of solver diagnostics onto the
+// public Segmentation.
 package core
 
 import (
@@ -14,181 +16,13 @@ import (
 	"fmt"
 
 	"tableseg/internal/baseline"
-	"tableseg/internal/clock"
 	"tableseg/internal/csp"
-	"tableseg/internal/extract"
-	"tableseg/internal/labels"
 	"tableseg/internal/pagetemplate"
 	"tableseg/internal/phmm"
+	"tableseg/internal/solvers"
+	"tableseg/internal/stage"
 	"tableseg/internal/token"
-	"tableseg/internal/vertical"
 )
-
-// Page is one HTML document.
-type Page struct {
-	// Name identifies the page in diagnostics (a URL or file name).
-	Name string
-	// HTML is the raw document source.
-	HTML string
-}
-
-// Input describes one segmentation task.
-type Input struct {
-	// ListPages are the sampled list pages from the site; at least two
-	// are needed for template induction (§3.1). All are used for the
-	// "appears on all list pages" filter.
-	ListPages []Page
-	// Target is the index into ListPages of the page to segment.
-	Target int
-	// DetailPages are the detail pages linked from the target list
-	// page, in the order their links appear (record order).
-	DetailPages []Page
-}
-
-// Method selects the segmentation algorithm.
-type Method int
-
-const (
-	// CSP is the constraint-satisfaction method of §4.
-	CSP Method = iota
-	// Probabilistic is the factored-HMM method of §5.
-	Probabilistic
-	// Combined is the §7 suggestion that "both techniques (or a
-	// combination of the two) are likely to be required": it trusts
-	// the CSP where the strict constraints are satisfiable (clean
-	// data, where the CSP is most reliable) and falls back to the
-	// inconsistency-tolerant probabilistic model otherwise.
-	Combined
-)
-
-func (m Method) String() string {
-	switch m {
-	case CSP:
-		return "csp"
-	case Probabilistic:
-		return "probabilistic"
-	case Combined:
-		return "combined"
-	default:
-		return "unknown"
-	}
-}
-
-// Options tunes the pipeline.
-type Options struct {
-	Method Method
-	// MinSlotQuality is the threshold below which the template's table
-	// slot is considered shattered and the whole page is used instead
-	// (the paper's fallback for numbered entries). Default 0.5.
-	MinSlotQuality float64
-	// ForceWholePage skips template finding entirely (ablation).
-	ForceWholePage bool
-	// MineLabels enables §3.4's semantic column labeling: column names
-	// are mined from the captions preceding each value on its detail
-	// page.
-	MineLabels bool
-	// CSPColumns enables §6.3's CSP-based column extraction: after a
-	// successful record segmentation, a second constraint problem
-	// assigns column labels using content-similarity constraints.
-	CSPColumns bool
-	// DetectVertical enables vertical-table handling (an extension
-	// beyond §3's horizontal-only scope): when adjacent extracts'
-	// detail sets are mostly disjoint the table is judged vertical and
-	// the extract stream is transposed into record-major order before
-	// segmentation.
-	DetectVertical bool
-	// StripEnumeration enables the §6.3 future-work heuristic: detect
-	// enumerated entries ("1.", "2.", ...) in the induced skeleton and
-	// strip them before locating the table slot, instead of falling
-	// back to the whole page. Off by default to keep the headline
-	// Table 4 faithful to the paper.
-	StripEnumeration bool
-	// CSPParams configures the CSP solver.
-	CSPParams csp.SolveParams
-	// PHMMParams configures the probabilistic model.
-	PHMMParams phmm.Params
-}
-
-// DefaultOptions returns the configuration used in the paper
-// reproduction for the given method.
-func DefaultOptions(m Method) Options {
-	return Options{
-		Method:         m,
-		MinSlotQuality: 0.5,
-		CSPParams:      csp.SolveParams{ExactCheck: true},
-		CSPColumns:     true,
-		MineLabels:     true,
-		PHMMParams:     phmm.DefaultParams(),
-	}
-}
-
-// Record is one segmented record.
-type Record struct {
-	// Index is the record number: the index of the detail page the
-	// record corresponds to.
-	Index int
-	// Extracts are the record's extracts in stream order (both the
-	// evidence-bearing ones and the attached remainder).
-	Extracts []extract.Extract
-	// Columns holds, per extract, the column label assigned by the
-	// probabilistic method (§3.4), or -1 when unavailable.
-	Columns []int
-	// Analyzed marks, per extract, whether it was an informative
-	// (evidence-bearing) extract; the rest were attached by the §6.2
-	// rule.
-	Analyzed []bool
-	// Confidence holds, per extract, the probabilistic method's
-	// posterior confidence in the assignment (-1 for attached extracts
-	// or when the CSP method ran).
-	Confidence []float64
-}
-
-// Texts returns the record's extract strings in order.
-func (r *Record) Texts() []string {
-	out := make([]string, len(r.Extracts))
-	for i := range r.Extracts {
-		out[i] = r.Extracts[i].Text()
-	}
-	return out
-}
-
-// Segmentation is the pipeline's result.
-type Segmentation struct {
-	// Records in record order. Records with no evidence on the list
-	// page are absent.
-	Records []Record
-	// Method that produced the segmentation.
-	Method Method
-	// UsedWholePage is true when the template fallback fired (§6.2).
-	UsedWholePage bool
-	// EnumerationStripped counts the enumerated skeleton tokens removed
-	// by the StripEnumeration heuristic (0 when disabled or not
-	// needed).
-	EnumerationStripped int
-	// Vertical is true when the vertical-table extension detected a
-	// vertically laid out table and transposed the extract stream.
-	Vertical bool
-	// TemplateQuality is the table-slot concentration measure.
-	TemplateQuality float64
-	// TotalExtracts and Analyzed count the table slot's extracts and
-	// the informative subset used for inference.
-	TotalExtracts, Analyzed int
-	// CSPStatus reports the solver outcome for the CSP method.
-	CSPStatus csp.Status
-	// Relaxed is true when the CSP relaxation ladder fired.
-	Relaxed bool
-	// PHMM carries the learned model for the probabilistic method.
-	PHMM *phmm.Result
-	// ColumnLabels holds the mined semantic name of each column label
-	// (index = column number, "" when no caption was found); nil when
-	// label mining is disabled or no columns were assigned.
-	ColumnLabels []string
-}
-
-// minTextSkeleton is the fewest invariant text tokens a credible page
-// template must have; below it the induced skeleton is just structural
-// tags and the pipeline falls back to the whole page.
-const minTextSkeleton = 6
 
 // SitePrep holds the per-site artifacts of a segmentation task that do
 // not depend on the target page or the detail pages: the tokenized
@@ -206,10 +40,16 @@ type SitePrep struct {
 
 // PrepareSite tokenizes a site's sample list pages and induces their
 // shared template, for reuse across every task that targets the site.
-func PrepareSite(listPages []Page) *SitePrep {
+// A non-nil cache resolves tokenization through it (and retains the
+// streams for later detail-page hits).
+func PrepareSite(listPages []Page, cache stage.TokenCache) *SitePrep {
 	prep := &SitePrep{ListToks: make([][]token.Token, len(listPages))}
 	for i, p := range listPages {
-		prep.ListToks[i] = token.Tokenize(p.HTML)
+		if cache != nil {
+			prep.ListToks[i] = cache.Tokens(p)
+		} else {
+			prep.ListToks[i] = token.Tokenize(p.HTML)
+		}
 	}
 	if len(listPages) >= 2 {
 		prep.Tpl = pagetemplate.Induce(prep.ListToks)
@@ -217,20 +57,43 @@ func PrepareSite(listPages []Page) *SitePrep {
 	return prep
 }
 
+// Env carries the batch-processing hooks of one Segment call. The zero
+// Env is valid: no reuse, no observation, no collection.
+type Env struct {
+	// Prep, when non-nil, supplies the tokenized list pages and induced
+	// template (it must have been built from the input's ListPages), so
+	// repeated tasks against one site skip re-tokenization and
+	// re-induction.
+	Prep *SitePrep
+	// Tokens, when non-nil, resolves page tokenization through a shared
+	// content-addressed artifact cache (the engine shares detail pages
+	// across tasks through it).
+	Tokens stage.TokenCache
+	// Observer, when non-nil, receives a callback at every stage
+	// boundary, in addition to the Stats collection.
+	Observer stage.Observer
+	// Stats, when non-nil, receives per-stage wall times and solver
+	// counters.
+	Stats *Stats
+}
+
 // SegmentContext runs the full pipeline under a context: cancellation
 // and deadlines are honored at stage boundaries and inside the solver
 // hot loops (WSAT restarts, EM iterations), so a cancelled call returns
 // ctx.Err() promptly while uncancelled runs stay deterministic.
 func SegmentContext(ctx context.Context, in Input, opts Options) (*Segmentation, error) {
-	return SegmentPrepared(ctx, in, opts, nil, nil)
+	return SegmentEnv(ctx, in, opts, Env{})
 }
 
-// SegmentPrepared is SegmentContext with two batch-processing hooks:
-// prep, when non-nil, supplies the tokenized list pages and induced
-// template (it must have been built from in.ListPages) so repeated
-// tasks against one site skip re-tokenization and re-induction; stats,
-// when non-nil, receives per-stage wall times and solver counters.
+// SegmentPrepared is SegmentContext with the original batch hooks,
+// kept for compatibility; new callers use SegmentEnv.
 func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep, stats *Stats) (*Segmentation, error) {
+	return SegmentEnv(ctx, in, opts, Env{Prep: prep, Stats: stats})
+}
+
+// SegmentEnv runs the stage graph over one input with the given
+// environment hooks.
+func SegmentEnv(ctx context.Context, in Input, opts Options, env Env) (*Segmentation, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -246,392 +109,169 @@ func SegmentPrepared(ctx context.Context, in Input, opts Options, prep *SitePrep
 	if opts.MinSlotQuality == 0 {
 		opts.MinSlotQuality = 0.5
 	}
+	stats := env.Stats
 	if stats == nil {
 		stats = &Stats{} // discarded collector; keeps the hot path branch-free
 	}
+	var obs stage.Observer = &statsObserver{stats: stats}
+	if env.Observer != nil {
+		obs = stage.MultiObserver{obs, env.Observer}
+	}
+	solver, err := newSolver(opts)
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// 1. Tokenize everything (reusing the site prep when supplied).
-	start := clock.Now()
-	var listToks [][]token.Token
-	if prep != nil {
-		listToks = prep.ListToks
-	} else {
-		listToks = make([][]token.Token, len(in.ListPages))
-		for i, p := range in.ListPages {
-			listToks[i] = token.Tokenize(p.HTML)
-		}
+	// Tokenize everything (through the prep and cache when supplied).
+	var preparedLists [][]token.Token
+	if env.Prep != nil {
+		preparedLists = env.Prep.ListToks
 	}
-	detailToks := make([][]token.Token, len(in.DetailPages))
-	for i, p := range in.DetailPages {
-		detailToks[i] = token.Tokenize(p.HTML)
+	toks, err := stage.Instrument(ctx, stage.StageTokenize, obs, stage.Tokenize, stage.TokenizeIn{
+		ListPages: in.ListPages, DetailPages: in.DetailPages,
+		PreparedLists: preparedLists, Cache: env.Tokens,
+	})
+	if err != nil {
+		return nil, err
 	}
-	target := listToks[in.Target]
-	stats.TokenizeTime += clock.Since(start)
-	if err := ctx.Err(); err != nil {
+	target := toks.Lists[in.Target].Tokens
+
+	// Template induction over the sample list pages.
+	var preparedTpl *pagetemplate.Template
+	if env.Prep != nil {
+		preparedTpl = env.Prep.Tpl
+	}
+	tpl, err := stage.Instrument(ctx, stage.StageInduceTemplate, obs, stage.InduceTemplate, stage.TemplateIn{
+		Lists: toks.Lists, Prepared: preparedTpl,
+	})
+	if err != nil {
 		return nil, err
 	}
 
-	// 2. Template induction and table-slot location.
-	start = clock.Now()
-	seg := &Segmentation{Method: opts.Method}
-	slot := pagetemplate.Slot{Start: 0, End: len(target)}
-	if opts.ForceWholePage {
-		seg.UsedWholePage = true
-	} else if len(in.ListPages) < 2 {
-		// A single sample page cannot support cross-page template
-		// induction; fall back to single-page row-repetition analysis
-		// (the IEPAD-style detector) to bound the table region, and to
-		// the whole page when no repeated row structure exists.
-		if s, ok := singlePageSlot(target); ok {
-			slot = s
-			seg.TemplateQuality = 1
-		} else {
-			seg.UsedWholePage = true
-		}
-	} else {
-		var tpl *pagetemplate.Template
-		if prep != nil && prep.Tpl != nil {
-			tpl = prep.Tpl
-		} else {
-			tpl = pagetemplate.Induce(listToks)
-		}
-		slots := tpl.SlotsOn(in.Target, len(target))
-		tableSlot, quality := pagetemplate.TableSlot(slots, target)
-		seg.TemplateQuality = quality
-		// When the slot is shattered, optionally try the §6.3
-		// enumerated-entries heuristic before giving up on the
-		// template.
-		if quality < opts.MinSlotQuality && opts.StripEnumeration {
-			if stripped, n := tpl.StripEnumeration(); n > 0 {
-				slots = stripped.SlotsOn(in.Target, len(target))
-				if s2, q2 := pagetemplate.TableSlot(slots, target); q2 > quality {
-					tpl, tableSlot, quality = stripped, s2, q2
-					seg.EnumerationStripped = n
-					seg.TemplateQuality = quality
-				}
-			}
-		}
-		// The fallback fires when the table is shattered across slots
-		// (numbered entries) or the skeleton is too thin to be a real
-		// template (volatile headers): the paper's "page template
-		// problem; entire page used".
-		if quality < opts.MinSlotQuality || tpl.TextSkeletonLen() < minTextSkeleton {
-			seg.UsedWholePage = true
-		} else {
-			slot = tableSlot
-		}
-	}
-	if seg.UsedWholePage {
-		slot = pagetemplate.Slot{Start: 0, End: len(target)}
-	}
-	stats.TemplateTime += clock.Since(start)
-	if err := ctx.Err(); err != nil {
+	// Table-slot location, with the paper's whole-page fallbacks.
+	slot, err := stage.Instrument(ctx, stage.StageSelectSlot, obs, stage.SelectSlot, stage.SlotIn{
+		Template: tpl, Lists: toks.Lists, Target: in.Target,
+		MinSlotQuality: opts.MinSlotQuality, StripEnumeration: opts.StripEnumeration,
+		ForceWholePage: opts.ForceWholePage,
+	})
+	if err != nil {
 		return nil, err
 	}
+	// A single sample page cannot support cross-page template
+	// induction; fall back to single-page row-repetition analysis (the
+	// IEPAD-style detector) to bound the table region, and keep the
+	// whole page when no repeated row structure exists.
+	if !opts.ForceWholePage && len(in.ListPages) < 2 {
+		if s, e, ok := baseline.TableSpan(target); ok {
+			slot = stage.Slot{Start: s, End: e, Quality: 1}
+		}
+	}
+	seg := &Segmentation{Method: opts.Method, Solver: solver.Name()}
+	seg.UsedWholePage = slot.WholePage
+	seg.TemplateQuality = slot.Quality
+	seg.EnumerationStripped = slot.EnumerationStripped
 
-	// 3. Extracts and observations.
-	start = clock.Now()
+	// Extracts and observations.
 	var otherLists [][]token.Token
-	for i, lt := range listToks {
+	for i := range toks.Lists {
 		if i != in.Target {
-			otherLists = append(otherLists, lt)
+			otherLists = append(otherLists, toks.Lists[i].Tokens)
 		}
 	}
-	extracts := extract.Split(target, slot.Start, slot.End)
-	obs := extract.Observe(extracts, detailToks, otherLists)
-	analyzed := extract.InformativeSubset(obs, len(in.DetailPages))
-
+	observe := func(slot stage.Slot) (stage.Extracts, *stage.ObservationMatrix, error) {
+		exs, err := stage.Instrument(ctx, stage.StageExtract, obs, stage.Extract,
+			stage.ExtractIn{Target: toks.Lists[in.Target], Slot: slot})
+		if err != nil {
+			return stage.Extracts{}, nil, err
+		}
+		matrix, err := stage.Instrument(ctx, stage.StageObserve, obs, stage.Observe, stage.ObserveIn{
+			Extracts: exs, Details: toks.Details, OtherLists: otherLists,
+			DetectVertical: opts.DetectVertical,
+		})
+		return exs, matrix, err
+	}
+	exs, matrix, err := observe(slot)
+	if err != nil {
+		return nil, err
+	}
 	// Structural sanity check: every detail page is a record of this
 	// list page, so every detail page should support at least one
 	// analyzed extract. If some pages are uncovered the table slot is
-	// probably truncated (a data value masquerading as a template
-	// token split the table) — retry with the whole page.
-	if !seg.UsedWholePage && !coversAllPages(obs, analyzed, len(in.DetailPages)) {
+	// probably truncated (a data value masquerading as a template token
+	// split the table) — retry with the whole page.
+	if !slot.WholePage && !matrix.Covered {
 		seg.UsedWholePage = true
-		slot = pagetemplate.Slot{Start: 0, End: len(target)}
-		extracts = extract.Split(target, slot.Start, slot.End)
-		obs = extract.Observe(extracts, detailToks, otherLists)
-		analyzed = extract.InformativeSubset(obs, len(in.DetailPages))
+		exs, matrix, err = observe(stage.Slot{Start: 0, End: len(target), WholePage: true})
+		if err != nil {
+			return nil, err
+		}
 	}
-	seg.TotalExtracts = len(extracts)
-	seg.Analyzed = len(analyzed)
-	if len(extracts) == 0 {
+	seg.TotalExtracts = len(exs.Items)
+	seg.Analyzed = len(matrix.Analyzed)
+	if len(exs.Items) == 0 {
 		return seg, fmt.Errorf("%w: %q", ErrNoTableSlot, in.ListPages[in.Target].Name)
 	}
-	if len(analyzed) == 0 {
+	if len(matrix.Analyzed) == 0 {
 		// Nothing to segment: no extract appears on any detail page.
 		// The segmentation still carries its diagnostics.
-		return seg, fmt.Errorf("%w: %q (%d extracts)", ErrNoDetailEvidence, in.ListPages[in.Target].Name, len(extracts))
+		return seg, fmt.Errorf("%w: %q (%d extracts)", ErrNoDetailEvidence, in.ListPages[in.Target].Name, len(exs.Items))
 	}
+	seg.Vertical = matrix.Vertical
 
-	// Vertical-table extension: transpose the analyzed stream into
-	// record-major order when the evidence says records run down the
-	// columns. Everything downstream (consecutiveness, forced starts,
-	// position groups) then applies unchanged.
-	if opts.DetectVertical {
-		cands := candidateSets(obs, analyzed)
-		if vertical.IsVertical(cands) {
-			if perm, ok := vertical.Transpose(cands, len(in.DetailPages)); ok {
-				analyzed = vertical.Apply(perm, analyzed)
-				seg.Vertical = true
-			}
-		}
-	}
-	stats.ExtractTime += clock.Since(start)
-	if err := ctx.Err(); err != nil {
+	// Run the selected solver over the analyzed extracts.
+	asg, err := stage.Instrument(ctx, stage.StageSegment, obs, stage.Segment, stage.SegmentIn{
+		Problem: stage.BuildProblem(matrix), Solver: solver,
+	})
+	if err != nil {
 		return nil, err
 	}
-
-	// 4. Run the selected method over the analyzed extracts.
-	start = clock.Now()
-	records := make([]int, len(analyzed)) // record per analyzed extract
-	columns := make([]int, len(analyzed))
-	confidence := make([]float64, len(analyzed))
-	for i := range columns {
-		columns[i] = -1
-		confidence[i] = -1
+	stats.WSATRestarts += asg.Counters.WSATRestarts
+	stats.WSATFlips += asg.Counters.WSATFlips
+	stats.CutRounds += asg.Counters.CutRounds
+	stats.EMIters += asg.Counters.EMIters
+	for _, d := range asg.Details {
+		switch v := d.(type) {
+		case *csp.SegmentResult:
+			seg.CSPStatus = v.Status
+			seg.Relaxed = v.Relaxed
+		case *phmm.Result:
+			seg.PHMM = v
+		}
 	}
-	runCSP := func(params csp.SolveParams) (*csp.SegmentResult, error) {
-		sin := csp.SegmentInput{
-			NumRecords:     len(in.DetailPages),
-			Candidates:     candidateSets(obs, analyzed),
-			PositionGroups: extract.PositionGroups(obs, analyzed, len(in.DetailPages)),
-		}
-		res, err := csp.SolveSegmentationContext(ctx, sin, params)
-		if err != nil {
-			return nil, err
-		}
-		seg.CSPStatus = res.Status
-		seg.Relaxed = res.Relaxed
-		stats.WSATRestarts += res.Restarts
-		stats.WSATFlips += res.Flips
-		stats.CutRounds += res.CutRounds
-		return res, nil
-	}
-	runPHMM := func() error {
-		inst := phmm.Instance{
-			NumRecords: len(in.DetailPages),
-			Candidates: candidateSets(obs, analyzed),
-		}
-		inst.TypeVecs = make([][token.NumTypes]bool, len(analyzed))
-		for ai, oi := range analyzed {
-			inst.TypeVecs[ai] = obs[oi].Extract.TypeVector()
-		}
-		res, err := phmm.SegmentContext(ctx, inst, opts.PHMMParams)
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return fmt.Errorf("core: probabilistic segmentation: %w", err)
-		}
-		seg.PHMM = res
-		stats.EMIters += res.Iters
-		copy(records, res.Records)
-		copy(columns, res.Columns)
-		copy(confidence, res.Confidence)
-		return nil
-	}
-	cspColumns := func() error {
-		if !opts.CSPColumns {
-			return nil
-		}
-		types := make([]token.Type, len(analyzed))
-		for ai, oi := range analyzed {
-			types[ai] = obs[oi].Extract.FirstType()
-		}
-		cols, err := csp.AssignColumns(ctx, records, types, opts.CSPParams.WSAT)
-		if err != nil {
-			return err
-		}
-		copy(columns, cols)
-		return nil
-	}
-	switch opts.Method {
-	case CSP:
-		res, err := runCSP(opts.CSPParams)
-		if err != nil {
-			return nil, err
-		}
-		// A Failed status after the full relaxation ladder means no
-		// feasible assignment exists at all; report it as a typed error
-		// (the seg still carries the diagnostics). Under NoRelax or
-		// with repair disabled (negative MaxCutRounds) a failure is the
-		// outcome those ablation configurations ask to observe, not an
-		// error.
-		if res.Status == csp.Failed && !opts.CSPParams.NoRelax && opts.CSPParams.MaxCutRounds >= 0 {
-			stats.SolveTime += clock.Since(start)
-			return seg, fmt.Errorf("%w: %q", ErrCSPUnsatisfiable, in.ListPages[in.Target].Name)
-		}
-		copy(records, res.Records)
-		if err := cspColumns(); err != nil {
-			return nil, err
-		}
-	case Probabilistic:
-		if err := runPHMM(); err != nil {
-			return nil, err
-		}
-	case Combined:
-		// Trust the CSP only when the strict constraints hold; any
-		// inconsistency hands the page to the probabilistic model.
-		params := opts.CSPParams
-		params.NoRelax = true
-		res, err := runCSP(params)
-		if err != nil {
-			return nil, err
-		}
-		if res.Status == csp.Solved {
-			copy(records, res.Records)
-			if err := cspColumns(); err != nil {
-				return nil, err
-			}
-		} else if err := runPHMM(); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("%w: unknown method %d", ErrBadOptions, opts.Method)
-	}
-	stats.SolveTime += clock.Since(start)
-
-	// 5. Mine semantic column labels from the detail-page captions.
-	if opts.MineLabels {
-		seg.ColumnLabels = labels.Mine(detailToks, obs, analyzed, records, columns)
+	if asg.Exhausted {
+		// The solver ran out of fallbacks without finding any feasible
+		// assignment; report it as a typed error (the seg still carries
+		// the diagnostics).
+		return seg, fmt.Errorf("%w: %q", ErrCSPUnsatisfiable, in.ListPages[in.Target].Name)
 	}
 
-	// 6. Attach the rest of the table data to the record of the last
-	// assigned extract and assemble the output records.
-	seg.Records = assemble(extracts, analyzed, records, columns, confidence)
+	// Attach the evidence-free remainder (§6.2), mine column labels.
+	post, err := stage.Instrument(ctx, stage.StagePostProcess, obs, stage.PostProcess, stage.PostIn{
+		Extracts: exs, Matrix: matrix, Assignment: asg,
+		Details: toks.Details, MineLabels: opts.MineLabels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seg.ColumnLabels = post.ColumnLabels
+	seg.Records = post.Records
 	return seg, nil
 }
 
-// singlePageSlot bounds the table region of a page using repeated-row
-// structure alone (no second sample page): the span from the first to
-// the last row found by the tag-repetition detector.
-func singlePageSlot(page []token.Token) (pagetemplate.Slot, bool) {
-	rows, err := baseline.TagRepetition(page, 0, len(page))
-	if err != nil || len(rows) < 2 {
-		return pagetemplate.Slot{}, false
+// newSolver resolves the options to a configured registry solver.
+func newSolver(opts Options) (stage.Solver, error) {
+	name := opts.Solver
+	if name == "" {
+		name = opts.Method.String()
 	}
-	// Rows are sub-slices of page; recover their bounds by offset. The
-	// detector's final row absorbs everything to the end of the range
-	// (table close, page footer), so cap it at the longest non-final
-	// row: rows of one table share their shape.
-	first, last := rows[0], rows[len(rows)-1]
-	maxLen := 0
-	for _, r := range rows[:len(rows)-1] {
-		if len(r) > maxLen {
-			maxLen = len(r)
-		}
+	s, err := stage.NewSolver(name, solvers.Config{
+		CSP: opts.CSPParams, PHMM: opts.PHMMParams, CSPColumns: opts.CSPColumns,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadOptions, err)
 	}
-	if len(last) > maxLen {
-		last = last[:maxLen]
-	}
-	start := tokenIndexOf(page, first[0].Offset)
-	end := tokenIndexOf(page, last[len(last)-1].Offset) + 1
-	if start < 0 || end <= start {
-		return pagetemplate.Slot{}, false
-	}
-	return pagetemplate.Slot{Start: start, End: end}, true
-}
-
-// tokenIndexOf finds the index of the token with the given byte offset
-// (offsets are strictly increasing).
-func tokenIndexOf(page []token.Token, offset int) int {
-	lo, hi := 0, len(page)-1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		switch {
-		case page[mid].Offset == offset:
-			return mid
-		case page[mid].Offset < offset:
-			lo = mid + 1
-		default:
-			hi = mid - 1
-		}
-	}
-	return -1
-}
-
-// coversAllPages reports whether every detail page supports at least
-// one analyzed extract.
-func coversAllPages(obs []extract.Observation, analyzed []int, numPages int) bool {
-	covered := make([]bool, numPages)
-	n := 0
-	for _, oi := range analyzed {
-		for _, p := range obs[oi].Pages {
-			if !covered[p] {
-				covered[p] = true
-				n++
-			}
-		}
-	}
-	return n == numPages
-}
-
-// candidateSets projects the observations of the analyzed extracts to
-// their D_i record candidate lists.
-func candidateSets(obs []extract.Observation, analyzed []int) [][]int {
-	out := make([][]int, len(analyzed))
-	for ai, oi := range analyzed {
-		out[ai] = obs[oi].Pages
-	}
-	return out
-}
-
-// assemble groups all extracts into records: each analyzed extract goes
-// to its assigned record; every other extract (uninformative, or left
-// unassigned by a relaxed CSP solve) joins the record of the last
-// assigned extract before it. Extracts preceding the first assignment
-// belong to no record (page prologue).
-func assemble(extracts []extract.Extract, analyzed []int, records, columns []int, confidence []float64) []Record {
-	// Assignment per extract index.
-	recOf := make([]int, len(extracts))
-	colOf := make([]int, len(extracts))
-	confOf := make([]float64, len(extracts))
-	assignedBy := make([]bool, len(extracts)) // method-assigned (not attached)
-	for i := range recOf {
-		recOf[i] = -1
-		colOf[i] = -1
-		confOf[i] = -1
-	}
-	for ai, oi := range analyzed {
-		recOf[oi] = records[ai]
-		colOf[oi] = columns[ai]
-		confOf[oi] = confidence[ai]
-		assignedBy[oi] = records[ai] >= 0
-	}
-	cur := -1
-	for i := range extracts {
-		if assignedBy[i] {
-			cur = recOf[i]
-		} else {
-			recOf[i] = cur
-			colOf[i] = -1
-		}
-	}
-	byRecord := map[int]*Record{}
-	var order []int
-	for i := range extracts {
-		r := recOf[i]
-		if r < 0 {
-			continue
-		}
-		rec, ok := byRecord[r]
-		if !ok {
-			rec = &Record{Index: r}
-			byRecord[r] = rec
-			order = append(order, r)
-		}
-		rec.Extracts = append(rec.Extracts, extracts[i])
-		rec.Columns = append(rec.Columns, colOf[i])
-		rec.Analyzed = append(rec.Analyzed, assignedBy[i])
-		rec.Confidence = append(rec.Confidence, confOf[i])
-	}
-	out := make([]Record, 0, len(order))
-	for _, r := range order {
-		out = append(out, *byRecord[r])
-	}
-	return out
+	return s, nil
 }

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"tableseg/internal/stage"
+)
 
 // Stats records per-stage instrumentation of one Segment call — the
 // pipeline's observability surface. All fields are measured on the
@@ -18,6 +22,9 @@ type Stats struct {
 	// SolveTime covers the CSP solve and/or the EM learning plus MAP
 	// decode of the probabilistic model.
 	SolveTime time.Duration
+	// Stages breaks the call down by pipeline stage, in pipeline order.
+	// The legacy fields above are aggregations of these entries.
+	Stages []StageTiming
 	// WSATRestarts and WSATFlips count the local-search work done by
 	// the CSP solve (0 for the probabilistic method).
 	WSATRestarts, WSATFlips int
@@ -25,4 +32,53 @@ type Stats struct {
 	CutRounds int
 	// EMIters counts EM iterations (0 for the CSP method).
 	EMIters int
+}
+
+// StageTiming aggregates the invocations of one pipeline stage within
+// a Stats collection window.
+type StageTiming struct {
+	// Name is the stage name (stage.StageTokenize, ...).
+	Name string
+	// Duration totals the stage's wall time across Calls invocations.
+	Duration time.Duration
+	// Calls counts invocations (the coverage retry re-runs Extract and
+	// Observe).
+	Calls int
+}
+
+// AddStage folds one stage invocation into the collection: entries
+// merge by name in first-invocation order.
+func (s *Stats) AddStage(name string, d time.Duration) {
+	for i := range s.Stages {
+		if s.Stages[i].Name == name {
+			s.Stages[i].Duration += d
+			s.Stages[i].Calls++
+			return
+		}
+	}
+	s.Stages = append(s.Stages, StageTiming{Name: name, Duration: d, Calls: 1})
+}
+
+// statsObserver folds stage.Observer callbacks into a Stats: the
+// per-stage breakdown plus the legacy coarse buckets (template covers
+// induction and slot location; extract covers splitting and
+// observation, as before the stage-graph refactor).
+type statsObserver struct {
+	stats *Stats
+}
+
+func (o *statsObserver) OnStageStart(name string) {}
+
+func (o *statsObserver) OnStageEnd(name string, d time.Duration, err error) {
+	o.stats.AddStage(name, d)
+	switch name {
+	case stage.StageTokenize:
+		o.stats.TokenizeTime += d
+	case stage.StageInduceTemplate, stage.StageSelectSlot:
+		o.stats.TemplateTime += d
+	case stage.StageExtract, stage.StageObserve:
+		o.stats.ExtractTime += d
+	case stage.StageSegment:
+		o.stats.SolveTime += d
+	}
 }

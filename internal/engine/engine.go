@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tableseg/internal/clock"
 	"tableseg/internal/core"
+	"tableseg/internal/token"
 )
 
 // Config configures an Engine.
@@ -76,6 +78,12 @@ type TaskStats struct {
 	// prepared site (tokenized list pages + induced template) instead
 	// of computing its own.
 	TemplateCacheHit bool
+	// TokenCacheHits and TokenCacheMisses count the task's lookups in
+	// the engine's content-addressed token cache (0/0 when caching is
+	// disabled). Detail pages shared across tasks — the same input
+	// segmented under several methods, or one site's pages reappearing
+	// as targets — hit instead of re-tokenizing.
+	TokenCacheHits, TokenCacheMisses int
 }
 
 // Result is the outcome of one task.
@@ -104,8 +112,14 @@ type Engine struct {
 	workers int
 	caching bool
 
-	mu    sync.Mutex
-	sites map[string]*siteEntry
+	mu     sync.Mutex
+	sites  map[string]*siteEntry
+	tokens *tokenCache
+
+	cacheStats struct {
+		tokenHits, tokenMisses       atomic.Int64
+		templateHits, templateMisses atomic.Int64
+	}
 }
 
 // siteEntry guards one site's prep so concurrent first tasks for the
@@ -113,6 +127,77 @@ type Engine struct {
 type siteEntry struct {
 	once sync.Once
 	prep *core.SitePrep
+}
+
+// tokenCache is the engine's content-addressed tokenization cache:
+// byte-identical pages (keyed by HTML hash, not name) tokenize once for
+// the engine's lifetime. Entries are once-guarded so concurrent first
+// lookups compute exactly once, and the cached streams are shared and
+// therefore treated as immutable by every consumer.
+type tokenCache struct {
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]*tokenEntry
+}
+
+type tokenEntry struct {
+	once sync.Once
+	toks []token.Token
+}
+
+// lookup returns the page's token stream and whether the entry already
+// existed (a hit). On a miss the calling goroutine tokenizes; a
+// concurrent hit on a fresh entry blocks until that work finishes.
+func (c *tokenCache) lookup(p core.Page) ([]token.Token, bool) {
+	key := sha256.Sum256([]byte(p.HTML))
+	c.mu.Lock()
+	ent, hit := c.entries[key]
+	if !hit {
+		ent = &tokenEntry{}
+		c.entries[key] = ent
+	}
+	c.mu.Unlock()
+	ent.once.Do(func() { ent.toks = token.Tokenize(p.HTML) })
+	return ent.toks, hit
+}
+
+// cacheView is one task's window onto the engine's token cache: it
+// implements stage.TokenCache and counts the task's hits and misses
+// (the cache itself is engine-global and unaware of tasks).
+type cacheView struct {
+	cache        *tokenCache
+	hits, misses int
+}
+
+// Tokens implements stage.TokenCache.
+func (v *cacheView) Tokens(p core.Page) []token.Token {
+	toks, hit := v.cache.lookup(p)
+	if hit {
+		v.hits++
+	} else {
+		v.misses++
+	}
+	return toks
+}
+
+// CacheStats is a snapshot of the engine's artifact-cache counters,
+// accumulated across every task since the engine was created.
+type CacheStats struct {
+	// TokenHits and TokenMisses count content-addressed tokenization
+	// lookups (list and detail pages).
+	TokenHits, TokenMisses int64
+	// TemplateHits and TemplateMisses count per-site prep lookups
+	// (tokenized sample lists + induced template).
+	TemplateHits, TemplateMisses int64
+}
+
+// CacheStats returns the engine's aggregate cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{
+		TokenHits:      e.cacheStats.tokenHits.Load(),
+		TokenMisses:    e.cacheStats.tokenMisses.Load(),
+		TemplateHits:   e.cacheStats.templateHits.Load(),
+		TemplateMisses: e.cacheStats.templateMisses.Load(),
+	}
 }
 
 // New creates an Engine after validating the configuration.
@@ -129,6 +214,7 @@ func New(cfg Config) (*Engine, error) {
 		workers: workers,
 		caching: !cfg.DisableCache,
 		sites:   make(map[string]*siteEntry),
+		tokens:  &tokenCache{entries: make(map[[sha256.Size]byte]*tokenEntry)},
 	}, nil
 }
 
@@ -160,10 +246,13 @@ func siteKey(lists []core.Page) string {
 }
 
 // prepFor returns the site prep for a task's list pages, from cache
-// when possible, and reports whether the prep was reused.
-func (e *Engine) prepFor(lists []core.Page) (*core.SitePrep, bool) {
+// when possible, and reports whether the prep was reused. The view
+// (nil when caching is off) routes the prep's tokenization through the
+// token cache, so a site's list pages also serve later detail-page
+// lookups.
+func (e *Engine) prepFor(lists []core.Page, view *cacheView) (*core.SitePrep, bool) {
 	if !e.caching {
-		return core.PrepareSite(lists), false
+		return core.PrepareSite(lists, nil), false
 	}
 	key := siteKey(lists)
 	e.mu.Lock()
@@ -173,7 +262,12 @@ func (e *Engine) prepFor(lists []core.Page) (*core.SitePrep, bool) {
 		e.sites[key] = ent
 	}
 	e.mu.Unlock()
-	ent.once.Do(func() { ent.prep = core.PrepareSite(lists) })
+	ent.once.Do(func() { ent.prep = core.PrepareSite(lists, view) })
+	if hit {
+		e.cacheStats.templateHits.Add(1)
+	} else {
+		e.cacheStats.templateMisses.Add(1)
+	}
 	return ent.prep, hit
 }
 
@@ -189,11 +283,22 @@ func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
 	if t.Options != nil {
 		opts = *t.Options
 	}
-	var prep *core.SitePrep
-	if len(t.Input.ListPages) > 0 {
-		prep, res.Stats.TemplateCacheHit = e.prepFor(t.Input.ListPages)
+	env := core.Env{Stats: &res.Stats.Stats}
+	var view *cacheView
+	if e.caching {
+		view = &cacheView{cache: e.tokens}
+		env.Tokens = view
 	}
-	res.Seg, res.Err = core.SegmentPrepared(ctx, t.Input, opts, prep, &res.Stats.Stats)
+	if len(t.Input.ListPages) > 0 {
+		env.Prep, res.Stats.TemplateCacheHit = e.prepFor(t.Input.ListPages, view)
+	}
+	res.Seg, res.Err = core.SegmentEnv(ctx, t.Input, opts, env)
+	if view != nil {
+		res.Stats.TokenCacheHits = view.hits
+		res.Stats.TokenCacheMisses = view.misses
+		e.cacheStats.tokenHits.Add(int64(view.hits))
+		e.cacheStats.tokenMisses.Add(int64(view.misses))
+	}
 	res.Stats.Wall = clock.Since(start)
 	return res
 }

@@ -279,3 +279,63 @@ func TestEngineConfigValidation(t *testing.T) {
 		t.Errorf("default Concurrency() = %d, want GOMAXPROCS %d", eng.Concurrency(), runtime.GOMAXPROCS(0))
 	}
 }
+
+// TestEngineTokenCache verifies the content-addressed token cache: a
+// repeated input re-reads every page from cache, the engine aggregates
+// the counters, and DisableCache keeps them at zero.
+func TestEngineTokenCache(t *testing.T) {
+	in := siteInput(t, "allegheny", 0)
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := eng.RunTasks(context.Background(), []engine.Task{
+		{ID: "first", Input: in},
+		{ID: "second", Input: in},
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %s: %v", r.ID, r.Err)
+		}
+	}
+	first, second := results[0].Stats, results[1].Stats
+	if first.TokenCacheMisses == 0 {
+		t.Errorf("first task: TokenCacheMisses = 0, want every page tokenized")
+	}
+	if first.TokenCacheHits != 0 {
+		t.Errorf("first task: TokenCacheHits = %d, want 0 on a cold cache", first.TokenCacheHits)
+	}
+	// The second task shares the prep (list pages) and re-reads each
+	// detail page from cache.
+	if second.TokenCacheMisses != 0 {
+		t.Errorf("second task: TokenCacheMisses = %d, want 0", second.TokenCacheMisses)
+	}
+	if second.TokenCacheHits != len(in.DetailPages) {
+		t.Errorf("second task: TokenCacheHits = %d, want %d detail pages", second.TokenCacheHits, len(in.DetailPages))
+	}
+	cs := eng.CacheStats()
+	wantHits := int64(first.TokenCacheHits + second.TokenCacheHits)
+	wantMisses := int64(first.TokenCacheMisses + second.TokenCacheMisses)
+	if cs.TokenHits != wantHits || cs.TokenMisses != wantMisses {
+		t.Errorf("CacheStats token = %d/%d hits/misses, want %d/%d", cs.TokenHits, cs.TokenMisses, wantHits, wantMisses)
+	}
+	if cs.TemplateHits != 1 || cs.TemplateMisses != 1 {
+		t.Errorf("CacheStats template = %d/%d hits/misses, want 1/1", cs.TemplateHits, cs.TemplateMisses)
+	}
+
+	off, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range off.RunTasks(context.Background(), []engine.Task{{Input: in}, {Input: in}}) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Stats.TokenCacheHits != 0 || r.Stats.TokenCacheMisses != 0 {
+			t.Errorf("DisableCache task counted token lookups: %d/%d", r.Stats.TokenCacheHits, r.Stats.TokenCacheMisses)
+		}
+	}
+	if cs := off.CacheStats(); cs != (engine.CacheStats{}) {
+		t.Errorf("DisableCache CacheStats = %+v, want zero", cs)
+	}
+}

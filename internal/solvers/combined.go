@@ -1,0 +1,45 @@
+package solvers
+
+import (
+	"context"
+
+	"tableseg/internal/csp"
+	"tableseg/internal/phmm"
+	"tableseg/internal/stage"
+)
+
+// Combined is the paper's combination method: trust the CSP only when
+// the strict constraints hold; any inconsistency hands the page to the
+// probabilistic model. Its Details carry the strict CSP result first
+// and, when the fallback fired, the PHMM result after it.
+type Combined struct {
+	CSP  csp.SolveParams
+	PHMM phmm.Params
+	// Columns enables §6.3 CSP column assignment on the CSP path.
+	Columns bool
+}
+
+// Name implements stage.Solver.
+func (s *Combined) Name() string { return "combined" }
+
+// Solve implements stage.Solver.
+func (s *Combined) Solve(ctx context.Context, p *stage.Problem) (*stage.Assignment, error) {
+	asg := newAssignment(len(p.Candidates))
+	params := s.CSP
+	params.NoRelax = true
+	res, err := solveCSP(ctx, p, params, asg)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status == csp.Solved {
+		copy(asg.Records, res.Records)
+		if err := assignColumns(ctx, s.Columns, p, asg, s.CSP.WSAT); err != nil {
+			return nil, err
+		}
+		return asg, nil
+	}
+	if err := solvePHMM(ctx, p, s.PHMM, asg); err != nil {
+		return nil, err
+	}
+	return asg, nil
+}

@@ -1,0 +1,51 @@
+package solvers
+
+import (
+	"context"
+	"fmt"
+
+	"tableseg/internal/phmm"
+	"tableseg/internal/stage"
+)
+
+// PHMM is the §5 probabilistic solver: a factored hidden Markov model
+// fit with EM, decoded with Viterbi for the MAP segmentation, column
+// labels and per-extract posterior confidence.
+type PHMM struct {
+	Params phmm.Params
+}
+
+// Name implements stage.Solver.
+func (s *PHMM) Name() string { return "probabilistic" }
+
+// Solve implements stage.Solver.
+func (s *PHMM) Solve(ctx context.Context, p *stage.Problem) (*stage.Assignment, error) {
+	asg := newAssignment(len(p.Candidates))
+	if err := solvePHMM(ctx, p, s.Params, asg); err != nil {
+		return nil, err
+	}
+	return asg, nil
+}
+
+// solvePHMM runs one PHMM segmentation solve, writing the records,
+// columns, confidence and diagnostics into the assignment.
+func solvePHMM(ctx context.Context, p *stage.Problem, params phmm.Params, asg *stage.Assignment) error {
+	inst := phmm.Instance{
+		NumRecords: p.NumRecords,
+		Candidates: p.Candidates,
+		TypeVecs:   p.TypeVecs,
+	}
+	res, err := phmm.SegmentContext(ctx, inst, params)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("solvers: probabilistic segmentation: %w", err)
+	}
+	asg.Counters.Add(stage.Counters{EMIters: res.Iters})
+	asg.Details = append(asg.Details, res)
+	copy(asg.Records, res.Records)
+	copy(asg.Columns, res.Columns)
+	copy(asg.Confidence, res.Confidence)
+	return nil
+}

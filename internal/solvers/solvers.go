@@ -1,0 +1,101 @@
+// Package solvers implements the stage.Solver interface over the
+// repository's segmentation algorithms and registers them in the stage
+// solver registry. It is the single seam joining the algorithm
+// packages (internal/csp, internal/phmm) to the algorithm-agnostic
+// stage graph: internal/stage never imports an algorithm, the
+// algorithm packages never import the stages, and anything that wants
+// a solver by name goes through stage.NewSolver.
+//
+// Registered solvers:
+//
+//	csp            the §4 constraint-satisfaction method (WSAT(OIP)
+//	               local search with the §6.3 relaxation ladder)
+//	probabilistic  the §5 factored-HMM method (EM + MAP decode)
+//	combined       the §7 combination: CSP where the strict
+//	               constraints hold, probabilistic otherwise
+//	exact          complete DFS over the strict encoding with lazy
+//	               consecutiveness repair (certifies UNSAT)
+//	greedy         evidence baseline: first-fit monotone assignment
+//	               to each extract's earliest usable candidate
+//	uniform        layout baseline: equal consecutive runs, ignoring
+//	               detail-page evidence entirely
+package solvers
+
+import (
+	"fmt"
+
+	"tableseg/internal/csp"
+	"tableseg/internal/phmm"
+	"tableseg/internal/stage"
+)
+
+// Config parameterizes the built-in solver factories. Every registered
+// factory accepts nil (defaults), Config or *Config.
+type Config struct {
+	// CSP configures the constraint solvers (csp, combined, exact).
+	CSP csp.SolveParams
+	// PHMM configures the probabilistic model (probabilistic,
+	// combined).
+	PHMM phmm.Params
+	// CSPColumns enables §6.3's CSP-based column extraction after a
+	// successful record segmentation (csp, combined, exact).
+	CSPColumns bool
+}
+
+func asConfig(cfg any) (Config, error) {
+	switch c := cfg.(type) {
+	case nil:
+		return Config{}, nil
+	case Config:
+		return c, nil
+	case *Config:
+		if c == nil {
+			return Config{}, nil
+		}
+		return *c, nil
+	default:
+		return Config{}, fmt.Errorf("solvers: config type %T (want solvers.Config)", cfg)
+	}
+}
+
+func init() {
+	register := func(name string, build func(Config) stage.Solver) {
+		stage.RegisterSolver(name, func(cfg any) (stage.Solver, error) {
+			c, err := asConfig(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return build(c), nil
+		})
+	}
+	register("csp", func(c Config) stage.Solver {
+		return &CSP{Params: c.CSP, Columns: c.CSPColumns}
+	})
+	register("probabilistic", func(c Config) stage.Solver {
+		return &PHMM{Params: c.PHMM}
+	})
+	register("combined", func(c Config) stage.Solver {
+		return &Combined{CSP: c.CSP, PHMM: c.PHMM, Columns: c.CSPColumns}
+	})
+	register("exact", func(c Config) stage.Solver {
+		return &Exact{Params: c.CSP, Columns: c.CSPColumns}
+	})
+	register("greedy", func(Config) stage.Solver { return Greedy{} })
+	register("uniform", func(Config) stage.Solver { return Uniform{} })
+}
+
+// newAssignment returns an Assignment with n slots: records zeroed for
+// the solver to fill, columns and confidence at their -1 "unavailable"
+// defaults.
+func newAssignment(n int) *stage.Assignment {
+	asg := &stage.Assignment{
+		Records:    make([]int, n),
+		Columns:    make([]int, n),
+		Confidence: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		asg.Columns[i] = -1
+		asg.Confidence[i] = -1
+	}
+	return asg
+}

@@ -1,0 +1,106 @@
+package stage
+
+import (
+	"context"
+
+	"tableseg/internal/extract"
+	"tableseg/internal/labels"
+)
+
+// PostIn feeds the PostProcess stage.
+type PostIn struct {
+	// Extracts are all the table slot's extracts in stream order.
+	Extracts Extracts
+	// Matrix is the observation matrix the assignment was made over.
+	Matrix *ObservationMatrix
+	// Assignment is the solver's output over Matrix.Analyzed.
+	Assignment *Assignment
+	// Details are the tokenized detail pages (caption mining input).
+	Details []TokenizedPage
+	// MineLabels enables §3.4's semantic column labeling: column names
+	// are mined from the captions preceding each value on its detail
+	// page.
+	MineLabels bool
+}
+
+// PostOut is the PostProcess stage's result.
+type PostOut struct {
+	// Records are the assembled records in record order.
+	Records []Record
+	// ColumnLabels holds the mined semantic name of each column label
+	// (index = column number, "" when no caption was found); nil when
+	// label mining is disabled or no columns were assigned.
+	ColumnLabels []string
+}
+
+// PostProcess applies the paper's §6.2 rule — table data that carries
+// no detail-page evidence is attached to the record of the last
+// assigned extract — assembling the final records, and optionally
+// mines semantic column labels from the detail-page captions (§3.4).
+func PostProcess(ctx context.Context, in PostIn) (PostOut, error) {
+	var out PostOut
+	if in.MineLabels {
+		out.ColumnLabels = labels.Mine(
+			TokensOf(in.Details), in.Matrix.Obs, in.Matrix.Analyzed,
+			in.Assignment.Records, in.Assignment.Columns)
+	}
+	out.Records = assemble(in.Extracts.Items, in.Matrix.Analyzed,
+		in.Assignment.Records, in.Assignment.Columns, in.Assignment.Confidence)
+	return out, nil
+}
+
+// assemble groups all extracts into records: each analyzed extract goes
+// to its assigned record; every other extract (uninformative, or left
+// unassigned by a relaxed CSP solve) joins the record of the last
+// assigned extract before it. Extracts preceding the first assignment
+// belong to no record (page prologue).
+func assemble(extracts []extract.Extract, analyzed []int, records, columns []int, confidence []float64) []Record {
+	// Assignment per extract index.
+	recOf := make([]int, len(extracts))
+	colOf := make([]int, len(extracts))
+	confOf := make([]float64, len(extracts))
+	assignedBy := make([]bool, len(extracts)) // method-assigned (not attached)
+	for i := range recOf {
+		recOf[i] = -1
+		colOf[i] = -1
+		confOf[i] = -1
+	}
+	for ai, oi := range analyzed {
+		recOf[oi] = records[ai]
+		colOf[oi] = columns[ai]
+		confOf[oi] = confidence[ai]
+		assignedBy[oi] = records[ai] >= 0
+	}
+	cur := -1
+	for i := range extracts {
+		if assignedBy[i] {
+			cur = recOf[i]
+		} else {
+			recOf[i] = cur
+			colOf[i] = -1
+		}
+	}
+	byRecord := map[int]*Record{}
+	var order []int
+	for i := range extracts {
+		r := recOf[i]
+		if r < 0 {
+			continue
+		}
+		rec, ok := byRecord[r]
+		if !ok {
+			rec = &Record{Index: r}
+			byRecord[r] = rec
+			order = append(order, r)
+		}
+		rec.Extracts = append(rec.Extracts, extracts[i])
+		rec.Columns = append(rec.Columns, colOf[i])
+		rec.Analyzed = append(rec.Analyzed, assignedBy[i])
+		rec.Confidence = append(rec.Confidence, confOf[i])
+	}
+	out := make([]Record, 0, len(order))
+	for _, r := range order {
+		out = append(out, *byRecord[r])
+	}
+	return out
+}

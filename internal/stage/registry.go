@@ -1,0 +1,80 @@
+package stage
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Solver is the single interface every segmentation algorithm
+// implements: given a Problem, produce an Assignment. Implementations
+// must be deterministic for a fixed Problem and configuration (any
+// randomness seeded per solve), must honor ctx at their natural
+// boundaries (restarts, iterations), and may not mutate the Problem.
+type Solver interface {
+	// Name is the solver's registry name (e.g. "csp", "probabilistic").
+	Name() string
+	// Solve segments the problem. On context cancellation it returns
+	// ctx.Err() (possibly wrapped) promptly.
+	Solve(ctx context.Context, p *Problem) (*Assignment, error)
+}
+
+// SolverFactory builds a configured Solver. The cfg value is opaque to
+// this package — each factory documents the configuration type it
+// accepts (a nil cfg must yield the solver's defaults) — so the
+// registry stays free of algorithm-package imports.
+type SolverFactory func(cfg any) (Solver, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]SolverFactory{}
+)
+
+// RegisterSolver adds a solver factory under a unique name. It is
+// intended for package init time (internal/solvers registers the
+// built-ins); registering a duplicate name panics, surfacing wiring
+// mistakes at startup rather than as silently shadowed algorithms.
+func RegisterSolver(name string, factory SolverFactory) {
+	if name == "" || factory == nil {
+		panic("stage: RegisterSolver with empty name or nil factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("stage: solver %q registered twice", name))
+	}
+	registry[name] = factory
+}
+
+// NewSolver builds the named registered solver with the given
+// configuration (nil for defaults).
+func NewSolver(name string, cfg any) (Solver, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("stage: unknown solver %q (registered: %v)", name, RegisteredSolvers())
+	}
+	return factory(cfg)
+}
+
+// HasSolver reports whether a solver name is registered.
+func HasSolver(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// RegisteredSolvers lists the registered solver names, sorted.
+func RegisteredSolvers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -47,6 +47,7 @@ import (
 	"context"
 	"encoding/csv"
 	"io"
+	"strconv"
 
 	"tableseg/internal/core"
 	"tableseg/internal/csp"
@@ -157,21 +158,7 @@ func WriteCSV(w io.Writer, seg *Segmentation) error {
 
 // labelName renders the default column name L<n>.
 func labelName(i int) string {
-	return "L" + itoa(i+1)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	k := len(buf)
-	for v > 0 {
-		k--
-		buf[k] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[k:])
+	return "L" + strconv.Itoa(i+1)
 }
 
 // ReconstructTable rebuilds a relational view of a segmentation: one row

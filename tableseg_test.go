@@ -1,6 +1,9 @@
 package tableseg
 
 import (
+	"encoding/csv"
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -177,5 +180,66 @@ func TestPublicLinksAndDiscovery(t *testing.T) {
 	links := Links("/list1.html", site.Lists[0].HTML)
 	if len(links) < len(site.Lists[0].Truth) {
 		t.Errorf("only %d links", len(links))
+	}
+}
+
+// TestWriteCSVRoundTrip verifies that parsing WriteCSV's output
+// recovers exactly the reconstructed table (padded to uniform width)
+// under the header row, for both a labeled (probabilistic) and an
+// unlabeled (CSP, no columns) segmentation.
+func TestWriteCSVRoundTrip(t *testing.T) {
+	in := exampleInput(t)
+	prob, err := SegmentProbabilistic(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCols := DefaultOptions(CSP)
+	noCols.CSPColumns = false
+	noCols.MineLabels = false
+	cspSeg, err := Segment(in, noCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, seg := range map[string]*Segmentation{"prob": prob, "csp": cspSeg} {
+		var buf strings.Builder
+		if err := WriteCSV(&buf, seg); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", name, err)
+		}
+		rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: parsing our own CSV: %v", name, err)
+		}
+		if len(seg.ColumnLabels) > 0 {
+			header := rows[0]
+			rows = rows[1:]
+			if len(header) != len(seg.ColumnLabels) {
+				t.Fatalf("%s: header width %d, want %d", name, len(header), len(seg.ColumnLabels))
+			}
+			for i, l := range seg.ColumnLabels {
+				if l == "" {
+					l = "L" + strconv.Itoa(i+1)
+				}
+				if header[i] != l {
+					t.Errorf("%s: header[%d] = %q, want %q", name, i, header[i], l)
+				}
+			}
+		}
+		table := ReconstructTable(seg)
+		width := 0
+		for _, row := range table {
+			if len(row) > width {
+				width = len(row)
+			}
+		}
+		if len(rows) != len(table) {
+			t.Fatalf("%s: %d CSV rows for %d table rows", name, len(rows), len(table))
+		}
+		for i, row := range table {
+			padded := make([]string, width)
+			copy(padded, row)
+			if !reflect.DeepEqual(rows[i], padded) {
+				t.Errorf("%s: row %d = %q, want %q", name, i, rows[i], padded)
+			}
+		}
 	}
 }

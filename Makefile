@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint check bench bench-stages experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint lint-json lint-sarif check bench bench-stages experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -13,10 +13,21 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: determinism, context discipline,
-# error wrapping and float equality (see internal/analysis). Exits
-# non-zero on any finding.
+# error wrapping, float equality, stage purity and the CFG-based
+# concurrency checks (see internal/analysis). Exits non-zero on any
+# finding.
 lint: vet
 	$(GO) run ./cmd/tableseglint
+
+# Machine-readable variants of the same gate: a flat JSON array for
+# scripting, and a SARIF 2.1.0 log (written to tableseglint.sarif,
+# what the CI lint job uploads as an artifact). Both exit 1 on
+# findings, like lint.
+lint-json: vet
+	$(GO) run ./cmd/tableseglint -json
+
+lint-sarif: vet
+	$(GO) run ./cmd/tableseglint -sarif > tableseglint.sarif
 
 test: vet
 	$(GO) test ./...
@@ -68,3 +79,4 @@ fuzz:
 
 clean:
 	rm -rf corpus
+	rm -f tableseglint.sarif

@@ -1,22 +1,31 @@
 // Command tableseglint runs the repository's static-analysis suite
 // (internal/analysis) over every package of the module and reports
-// violations of the determinism, context-discipline, error-wrapping
-// and float-equality invariants with file:line positions. It exits
-// non-zero when any diagnostic survives, so `make lint` gates CI.
+// violations of the determinism, context-discipline, error-wrapping,
+// float-equality, stage-purity and concurrency (goroutine-exit, lock
+// and channel-ownership) invariants with file:line positions.
 //
 // Usage:
 //
-//	tableseglint [-root dir] [packages...]
+//	tableseglint [-root dir] [-json | -sarif] [packages...]
 //
 // With no package arguments every package under the module root is
 // checked (testdata, corpus and hidden directories are skipped).
 // Package arguments are directories relative to the module root, e.g.
 // `internal/csp`.
+//
+// Output is plain file:line text by default; -json emits a flat JSON
+// array and -sarif a SARIF 2.1.0 log for CI code-scanning upload.
+// Whatever the format, diagnostics are ordered by file, line and
+// column across all packages, so output is diff-stable.
+//
+// Exit codes: 0 when the tree is clean, 1 when findings survive, 2 on
+// usage or load errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -27,21 +36,56 @@ import (
 )
 
 func main() {
-	root := flag.String("root", ".", "module root directory (must contain go.mod)")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	diags, err := run(*root, flag.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tableseglint:", err)
-		os.Exit(2)
+// realMain is the whole program behind the exit code, separated so
+// tests can drive flags, streams and status without a subprocess.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("tableseglint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	root := flags.String("root", ".", "module root directory (must contain go.mod)")
+	asJSON := flags.Bool("json", false, "emit findings as a JSON array")
+	asSARIF := flags.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	if err := flags.Parse(args); err != nil {
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "tableseglint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+
+	diags, err := run(*root, flags.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "tableseglint:", err)
+		return 2
+	}
+
+	switch {
+	case *asJSON:
+		out, err := analysis.EncodeJSON(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "tableseglint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(out))
+	case *asSARIF:
+		out, err := analysis.EncodeSARIF(diags, analysis.Suite())
+		if err != nil {
+			fmt.Fprintln(stderr, "tableseglint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(out))
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if n := len(diags); n > 0 {
-		fmt.Fprintf(os.Stderr, "tableseglint: %d finding(s)\n", n)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tableseglint: %d finding(s)\n", n)
+		return 1
 	}
+	return 0
 }
 
 func run(root string, pkgDirs []string) ([]analysis.Diagnostic, error) {
@@ -66,6 +110,9 @@ func run(root string, pkgDirs []string) ([]analysis.Diagnostic, error) {
 		}
 		diags = append(diags, analysis.Run(pkg, cfg, suite)...)
 	}
+	// Run sorts per package; re-sort across packages so the combined
+	// stream is one deterministic file:line sequence.
+	analysis.SortDiagnostics(diags)
 	return diags, nil
 }
 

@@ -4,10 +4,15 @@
 // rests on a handful of coding invariants (no wall-clock or unseeded
 // randomness in solver paths, no map-iteration order leaking into
 // results, contexts threaded rather than minted, errors wrapped so
-// sentinel classification survives) that ordinary Go tooling does not
-// enforce. The five analyzers in this package check them mechanically
-// over the parsed and type-checked source of every package, using only
-// the standard library (go/parser, go/ast, go/types).
+// sentinel classification survives, goroutines and locks that provably
+// wind down) that ordinary Go tooling does not enforce. The eight
+// analyzers in this package check them mechanically over the parsed
+// and type-checked source of every package, using only the standard
+// library (go/parser, go/ast, go/types). Five are expression-level;
+// the three concurrency analyzers (goroleak, lockdiscipline,
+// chancontract) run over the intra-procedural control-flow graphs of
+// internal/analysis/cfg, so "on every path" facts — a channel closed,
+// a mutex released — are proved rather than pattern-matched.
 //
 // The analyzers are:
 //
@@ -27,11 +32,26 @@
 //   - stagepurity: enforces the stage-graph layering — stage packages
 //     may not import algorithm, solver or orchestration packages, and
 //     solver packages may not import orchestration packages.
+//   - goroleak: every goroutine launched in an exported function must
+//     have a provable exit path — it ranges over (or receives from) a
+//     channel closed on all CFG paths, receives from ctx.Done(), does
+//     no blocking work at all, or only joins other goroutines.
+//   - lockdiscipline: a sync.Mutex/RWMutex acquired in a function must
+//     be released on every path out of it (defer unlock or per-path
+//     unlock) and may not be held across a may-block call (channel
+//     send/receive, blocking select, wg.Wait, once.Do, another lock,
+//     solver invocation).
+//   - chancontract: a channel returned by an exported function must be
+//     closed by its producer, exactly once, only after joining any
+//     other senders; no function closes a channel it received as a
+//     parameter.
 //
 // A diagnostic can be suppressed by a "//tableseglint:ignore <name>
-// <reason>" comment on the same line or the line above; the reason is
-// mandatory by convention and the directive is expected to be rare
-// (epsilon-comparison helpers are the only intended use).
+// <reason>" comment on the same line or the line above. The reason is
+// mandatory — a directive without one does not suppress anything —
+// and the directive is expected to be rare (epsilon-comparison
+// helpers and deliberately caller-managed channels are the intended
+// uses).
 package analysis
 
 import (
@@ -163,7 +183,8 @@ func isInternal(pkgPath string) bool {
 		pkgPath == "internal"
 }
 
-// Suite returns the five analyzers.
+// Suite returns the eight analyzers: the five expression-level checks
+// plus the three CFG-based concurrency checks.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
@@ -171,6 +192,9 @@ func Suite() []*Analyzer {
 		ErrWrap(),
 		FloatEq(),
 		StagePurity(),
+		GoroLeak(),
+		LockDiscipline(),
+		ChanContract(),
 	}
 }
 
@@ -184,8 +208,17 @@ func Run(pkg *Package, cfg Config, analyzers []*Analyzer) []Diagnostic {
 		out = append(out, pass.diags...)
 	}
 	out = filterSuppressed(pkg, out)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics by file, line, column and
+// analyzer name. Run applies it per package; the CLI re-applies it
+// across packages so multi-package output is one deterministic
+// file:line sequence regardless of package load order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -197,7 +230,6 @@ func Run(pkg *Package, cfg Config, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }
 
 const ignoreDirective = "tableseglint:ignore"
@@ -216,7 +248,11 @@ func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
 					continue
 				}
 				fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
-				if len(fields) == 0 {
+				if len(fields) < 2 {
+					// The reason is mandatory: a bare
+					// "//tableseglint:ignore determinism" suppresses
+					// nothing, so unexplained exceptions cannot
+					// accumulate.
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())

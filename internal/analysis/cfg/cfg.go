@@ -1,0 +1,384 @@
+// Package cfg builds lightweight intra-procedural control-flow graphs
+// over go/ast function bodies, for the concurrency-safety analyzers in
+// internal/analysis (goroleak, lockdiscipline, chancontract). It uses
+// only the standard library, matching the rest of the tableseglint
+// suite.
+//
+// The graph is statement-granular: every basic block carries the
+// ast.Nodes executed when control passes through it, in source order.
+// Control statements are decomposed — an *ast.IfStmt contributes its
+// Init and Cond to the block that evaluates them while its branches
+// become successor blocks — so walking Block.Nodes never re-enters a
+// nested body, and an analyzer can inspect each node without
+// double-visiting. Function literals are opaque: a *ast.FuncLit
+// appearing in a node is a value, not control flow, and its body is
+// graphed separately by the analyzer that cares (New accepts any
+// *ast.BlockStmt).
+//
+// Supported control flow: if/else, for (all three clause shapes),
+// range, switch, type switch (incl. fallthrough), select (each comm
+// clause becomes a branch whose first node is the communication, so
+// path-sensitive analyses see exactly which operation can block on
+// which path), return, break, continue, defer, panic-free straight
+// lines. Labeled branches and goto are out of scope for this suite's
+// shapes and are modeled conservatively as jumps to Exit, which can
+// only under-claim "on all paths" facts, never over-claim them.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: the nodes executed when control passes
+// through it, and its successor edges.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order,
+	// which follows source order).
+	Index int
+	// Nodes are the statements and decomposed control-statement parts
+	// (init statements, conditions, range operands, switch tags)
+	// evaluated in this block, in execution order.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the synthetic sink every return and fall-off-the-end
+	// edge targets. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block including Entry and Exit, in creation
+	// (≈ source) order.
+	Blocks []*Block
+	// Defers are the defer statements of this body (outermost function
+	// only — defers inside nested function literals belong to those
+	// literals' own graphs). Each also appears as a node in its block,
+	// so path queries can reason about where it was registered.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph of body. A nil body yields a two-block graph
+// (Entry → Exit) with no nodes.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	cur := b.g.Entry
+	if body != nil {
+		cur = b.stmtList(cur, body.List)
+	}
+	b.edge(cur, b.g.Exit)
+	return b.g
+}
+
+type loopFrame struct {
+	brk  *Block // break target (the block after the loop/switch/select)
+	cont *Block // continue target (the loop latch); nil for switch/select
+}
+
+type builder struct {
+	g     *Graph
+	loops []loopFrame
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmtList extends the graph with each statement in turn and returns
+// the fall-through continuation block.
+func (b *builder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt extends the graph with s starting at cur and returns the block
+// holding the fall-through continuation.
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		then := b.newBlock()
+		b.edge(cur, then)
+		join := b.newBlock()
+		after := b.stmtList(then, s.Body.List)
+		b.edge(after, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			b.edge(b.stmt(els, s.Else), join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		latch := b.newBlock()
+		exit := b.newBlock()
+		if s.Post != nil {
+			latch.Nodes = append(latch.Nodes, s.Post)
+		}
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		b.loops = append(b.loops, loopFrame{brk: exit, cont: latch})
+		after := b.stmtList(body, s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(after, latch)
+		b.edge(latch, head)
+		return exit
+
+	case *ast.RangeStmt:
+		// The ranged operand is evaluated on entry; modeling it in the
+		// loop head (re-scanned per iteration) is conservative for path
+		// facts and lets a channel-typed operand register as a blocking
+		// receive on every pass.
+		head := b.newBlock()
+		b.edge(cur, head)
+		head.Nodes = append(head.Nodes, s.X)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, exit) // ranges may run zero iterations
+		b.loops = append(b.loops, loopFrame{brk: exit, cont: head})
+		after := b.stmtList(body, s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(after, head)
+		return exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.caseClauses(cur, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.caseClauses(cur, s.Body.List)
+
+	case *ast.SelectStmt:
+		// Each comm clause becomes a branch whose first node is the
+		// communication, so a path query through a case sees exactly
+		// which send/receive can block there; a default clause is a
+		// communication-free branch, which is what makes the whole
+		// select non-blocking to path-sensitive analyses. A bare
+		// `select {}` has no branches at all and never reaches join.
+		join := b.newBlock()
+		b.loops = append(b.loops, loopFrame{brk: join})
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(cur, cb)
+			if comm.Comm != nil {
+				cb = b.stmt(cb, comm.Comm)
+			}
+			b.edge(b.stmtList(cb, comm.Body), join)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return join
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.g.Exit)
+		return b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		switch {
+		case s.Tok == token.BREAK && s.Label == nil:
+			if t := b.branchTarget(func(f loopFrame) *Block { return f.brk }); t != nil {
+				b.edge(cur, t)
+			}
+		case s.Tok == token.CONTINUE && s.Label == nil:
+			if t := b.branchTarget(func(f loopFrame) *Block { return f.cont }); t != nil {
+				b.edge(cur, t)
+			}
+		case s.Tok == token.FALLTHROUGH:
+			// handled by caseClauses via explicit next-clause edges.
+			cur.Nodes = append(cur.Nodes, s)
+			return cur
+		default:
+			// goto / labeled branch: modeled as a jump to Exit
+			// (conservative for all-paths facts).
+			b.edge(cur, b.g.Exit)
+		}
+		return b.newBlock()
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	case *ast.LabeledStmt:
+		return b.stmt(cur, s.Stmt)
+
+	case nil:
+		return cur
+
+	default:
+		// Plain statements: assignments, sends, expression statements,
+		// declarations, go statements, inc/dec, empty.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// branchTarget walks the loop stack innermost-out and returns the
+// first non-nil target selected by pick.
+func (b *builder) branchTarget(pick func(loopFrame) *Block) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if t := pick(b.loops[i]); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// caseClauses wires a switch body: every clause branches from cur,
+// fallthrough chains to the next clause, and a missing default adds a
+// skip edge.
+func (b *builder) caseClauses(cur *Block, clauses []ast.Stmt) *Block {
+	join := b.newBlock()
+	b.loops = append(b.loops, loopFrame{brk: join})
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(cur, blocks[i])
+	}
+	hasDefault := false
+	for i, cs := range clauses {
+		var body []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				blocks[i].Nodes = append(blocks[i].Nodes, e)
+			}
+			body = cs.Body
+		}
+		after := b.stmtList(blocks[i], body)
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+				b.edge(after, blocks[i+1])
+				continue
+			}
+		}
+		b.edge(after, join)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		b.edge(cur, join)
+	}
+	return join
+}
+
+// Find locates the block and node index holding n (by node identity).
+// It returns (nil, -1) when n is not a node of this graph.
+func (g *Graph) Find(n ast.Node) (*Block, int) {
+	for _, blk := range g.Blocks {
+		for i, node := range blk.Nodes {
+			if node == n {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// AllPathsContain reports whether every path from the given position
+// (the node after index idx of block from; pass idx -1 to include the
+// whole block) to Exit passes through a node satisfying pred. It is
+// false exactly when some pred-free path reaches Exit; cycles that
+// never reach Exit do not count as escapes.
+func (g *Graph) AllPathsContain(from *Block, idx int, pred func(ast.Node) bool) bool {
+	if from == nil {
+		return false
+	}
+	seen := map[*Block]bool{}
+	var escape func(b *Block, start int) bool
+	escape = func(b *Block, start int) bool {
+		for i := start; i < len(b.Nodes); i++ {
+			if pred(b.Nodes[i]) {
+				return false // this path is covered
+			}
+		}
+		if b == g.Exit {
+			return true // reached Exit without pred
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if escape(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return !escape(from, idx+1)
+}
+
+// Reaches reports whether Exit is reachable from block from — i.e.
+// the position can terminate at all. A `for {}` with no break has no
+// path to Exit.
+func (g *Graph) Reaches(from *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}

@@ -1,0 +1,364 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a single function declaration
+// and returns its graph.
+func parseBody(t *testing.T, src string) *Graph {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// callNamed matches a call statement or expression whose callee is the
+// bare identifier name (close, unlock, ...).
+func callNamed(name string) func(ast.Node) bool {
+	match := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	return func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			return match(n.X)
+		case *ast.DeferStmt:
+			return match(n.Call)
+		case *ast.CallExpr:
+			return match(n)
+		}
+		return false
+	}
+}
+
+func TestIfBothBranches(t *testing.T) {
+	// close() only in the then-branch: not on all paths.
+	g := parseBody(t, `
+if cond() {
+	closer()
+}
+tail()`)
+	if g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("closer() in one if-branch reported as on all paths")
+	}
+	if !g.AllPathsContain(g.Entry, -1, callNamed("tail")) {
+		t.Error("tail() after the if not reported as on all paths")
+	}
+	if !g.AllPathsContain(g.Entry, -1, callNamed("cond")) {
+		t.Error("the if condition not reported as on all paths")
+	}
+}
+
+func TestIfElseCoversPaths(t *testing.T) {
+	g := parseBody(t, `
+if cond() {
+	closer()
+} else {
+	closer()
+}`)
+	if !g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("closer() in both branches not reported as on all paths")
+	}
+}
+
+func TestIfEarlyReturnEscapes(t *testing.T) {
+	g := parseBody(t, `
+if cond() {
+	return
+}
+closer()`)
+	if g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("early return path reported as containing closer()")
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	// A conditional for loop may run zero times: body nodes are not on
+	// all paths, statements after the loop are.
+	g := parseBody(t, `
+for i := 0; i < n; i++ {
+	work()
+}
+closer()`)
+	if g.AllPathsContain(g.Entry, -1, callNamed("work")) {
+		t.Error("loop body reported as on all paths")
+	}
+	if !g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("statement after the loop not reported as on all paths")
+	}
+	if !g.Reaches(g.Entry) {
+		t.Error("conditional loop reported as non-terminating")
+	}
+}
+
+func TestForeverLoopDoesNotReachExit(t *testing.T) {
+	g := parseBody(t, `
+for {
+	work()
+}`)
+	if g.Reaches(g.Entry) {
+		t.Error("for{} without break reported as reaching Exit")
+	}
+	// Vacuously true: no path reaches Exit at all, so no pred-free
+	// path escapes.
+	if !g.AllPathsContain(g.Entry, -1, callNamed("never")) {
+		t.Error("non-terminating body reported as escaping")
+	}
+}
+
+func TestForeverLoopWithBreak(t *testing.T) {
+	g := parseBody(t, `
+for {
+	if done() {
+		break
+	}
+	work()
+}
+closer()`)
+	if !g.Reaches(g.Entry) {
+		t.Error("breakable loop reported as non-terminating")
+	}
+	if !g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("closer() after breakable loop not on all paths")
+	}
+}
+
+func TestRangeLoopOperandOnAllPaths(t *testing.T) {
+	// The ranged operand is evaluated even for zero iterations; the
+	// body is not.
+	g := parseBody(t, `
+for range src() {
+	work()
+}
+closer()`)
+	if !g.AllPathsContain(g.Entry, -1, callNamed("src")) {
+		t.Error("range operand not reported as on all paths")
+	}
+	if g.AllPathsContain(g.Entry, -1, callNamed("work")) {
+		t.Error("range body reported as on all paths")
+	}
+	if !g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("statement after the range not on all paths")
+	}
+}
+
+func TestContinueTargetsLatch(t *testing.T) {
+	g := parseBody(t, `
+for i := 0; i < n; i++ {
+	if skip() {
+		continue
+	}
+	work()
+}
+closer()`)
+	if g.AllPathsContain(g.Entry, -1, callNamed("work")) {
+		t.Error("continue-skippable work() reported as on all paths")
+	}
+	if !g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("closer() after continue loop not on all paths")
+	}
+}
+
+func TestSelectBranches(t *testing.T) {
+	// Every select case runs handle() before join, so it is on all
+	// paths; the per-case communications are not.
+	g := parseBody(t, `
+select {
+case v := <-a:
+	handle(v)
+case b <- x:
+	handle(x)
+}
+closer()`)
+	if !g.AllPathsContain(g.Entry, -1, callNamed("handle")) {
+		t.Error("handle() in every select case not reported as on all paths")
+	}
+	if !g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("closer() after select not on all paths")
+	}
+	// A receive appears as a node on its case path.
+	recv := func(n ast.Node) bool {
+		if asg, ok := n.(*ast.AssignStmt); ok {
+			if u, ok := asg.Rhs[0].(*ast.UnaryExpr); ok {
+				return u.Op == token.ARROW
+			}
+		}
+		return false
+	}
+	if g.AllPathsContain(g.Entry, -1, recv) {
+		t.Error("one case's receive reported as on all paths")
+	}
+}
+
+func TestSelectWithDefaultIsNonBlockingPath(t *testing.T) {
+	g := parseBody(t, `
+select {
+case <-a:
+	handle()
+default:
+}
+closer()`)
+	// The default branch carries no communication: a path with no
+	// receive reaches closer().
+	comm := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			u, ok := n.X.(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		case *ast.SendStmt:
+			return true
+		}
+		return false
+	}
+	if g.AllPathsContain(g.Entry, -1, comm) {
+		t.Error("select with default reported as communicating on all paths")
+	}
+}
+
+func TestDeferTracking(t *testing.T) {
+	g := parseBody(t, `
+defer closer()
+if cond() {
+	return
+}
+work()`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+	// The defer registration itself is a node on all paths (it
+	// precedes the early return), which is how analyzers prove
+	// defer-close/defer-unlock coverage.
+	if !g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("entry defer not reported as on all paths")
+	}
+}
+
+func TestDeferAfterEarlyReturnNotOnAllPaths(t *testing.T) {
+	g := parseBody(t, `
+if cond() {
+	return
+}
+defer closer()
+work()`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+	if g.AllPathsContain(g.Entry, -1, callNamed("closer")) {
+		t.Error("defer registered after an early return reported as on all paths")
+	}
+}
+
+func TestSwitchDefaultCoverage(t *testing.T) {
+	// Without default the tag can skip every case.
+	g := parseBody(t, `
+switch tag() {
+case 1:
+	handle()
+case 2:
+	handle()
+}
+closer()`)
+	if g.AllPathsContain(g.Entry, -1, callNamed("handle")) {
+		t.Error("switch without default reported as handling on all paths")
+	}
+
+	g = parseBody(t, `
+switch tag() {
+case 1:
+	handle()
+default:
+	handle()
+}
+closer()`)
+	if !g.AllPathsContain(g.Entry, -1, callNamed("handle")) {
+		t.Error("switch with default in every arm not on all paths")
+	}
+}
+
+func TestFallthroughChains(t *testing.T) {
+	g := parseBody(t, `
+switch tag() {
+case 1:
+	work()
+	fallthrough
+case 2:
+	handle()
+default:
+	handle()
+}`)
+	if !g.AllPathsContain(g.Entry, -1, callNamed("handle")) {
+		t.Error("fallthrough into handle() arm not reported as on all paths")
+	}
+}
+
+func TestFindLocatesNodes(t *testing.T) {
+	g := parseBody(t, `
+work()
+if cond() {
+	closer()
+}`)
+	var target ast.Node
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if callNamed("closer")(n) {
+				target = n
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("closer() node not present in any block")
+	}
+	blk, idx := g.Find(target)
+	if blk == nil || idx < 0 || blk.Nodes[idx] != target {
+		t.Errorf("Find(closer) = (%v, %d)", blk, idx)
+	}
+	if blk, idx := g.Find(&ast.BadStmt{}); blk != nil || idx != -1 {
+		t.Error("Find of a foreign node did not return (nil, -1)")
+	}
+}
+
+func TestAllPathsFromMidBlock(t *testing.T) {
+	// From after work(), the earlier closer() no longer covers paths.
+	g := parseBody(t, `
+closer()
+work()
+tail()`)
+	blk, idx := (*Block)(nil), -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if callNamed("work")(n) {
+				blk, idx = b, i
+			}
+		}
+	}
+	if blk == nil {
+		t.Fatal("work() not found")
+	}
+	if g.AllPathsContain(blk, idx, callNamed("closer")) {
+		t.Error("closer() before the query point reported as covering")
+	}
+	if !g.AllPathsContain(blk, idx, callNamed("tail")) {
+		t.Error("tail() after the query point not covering")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if g.Entry == nil || g.Exit == nil || !g.Reaches(g.Entry) {
+		t.Error("nil body graph malformed")
+	}
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tableseg/internal/analysis/cfg"
+)
+
+// LockDiscipline returns the analyzer enforcing mutex hygiene over the
+// control-flow graph: a sync.Mutex/RWMutex acquired in a function must
+// be released on every path out of it (a defer unlock registered on
+// all paths, or a per-path explicit unlock), and must not be held
+// across a potentially-blocking operation — a channel send or receive,
+// a select case communication (selects with a default are exempt: they
+// cannot block), sync.WaitGroup.Wait, sync.Once.Do, acquiring another
+// lock, or a solver invocation. Holding a lock across any of these
+// turns an unrelated stall into a deadlock of every goroutine sharing
+// the cache or registry the lock guards — precisely the failure mode
+// that makes batch runs hang instead of reproducing Tables 1–4.
+//
+// Locks are identified by the printed receiver expression (e.g. e.mu,
+// c.cache.mu), which is exact for the suite's shapes: a mutex reached
+// through the same selector chain in one function body is the same
+// mutex.
+func LockDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "require every mutex acquisition to unlock on all paths and never hold a lock across a may-block call",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						checkLocks(pass, n.Body)
+					}
+					return true
+				case *ast.FuncLit:
+					checkLocks(pass, n.Body)
+					return true
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// lockEvent is one Lock/RLock call found in a CFG node.
+type lockEvent struct {
+	call  *ast.CallExpr
+	key   string // printed receiver expression, e.g. "e.mu"
+	read  bool   // RLock/RUnlock pairing
+	block *cfg.Block
+	idx   int
+}
+
+// mutexCall classifies call as a Lock/Unlock-family method on a
+// sync.Mutex or sync.RWMutex and returns the receiver key.
+func mutexCall(pass *Pass, call *ast.CallExpr) (key, method string) {
+	recv, method := pass.syncSelector(call)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", ""
+	}
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		sel := call.Fun.(*ast.SelectorExpr)
+		return types.ExprString(sel.X), method
+	}
+	return "", ""
+}
+
+// checkLocks analyzes one function body (outermost statements only;
+// nested literals get their own call).
+func checkLocks(pass *Pass, body *ast.BlockStmt) {
+	graph := cfg.New(body)
+	exempt := nonBlockingComms(body)
+
+	// Collect the acquisition events block by block. Node expressions
+	// are scanned without descending into nested literals, mirroring
+	// the classifier's scoping.
+	var locks []lockEvent
+	for _, blk := range graph.Blocks {
+		for i, node := range blk.Nodes {
+			if _, isDefer := node.(*ast.DeferStmt); isDefer {
+				continue // defer mu.Lock() is nonsense we don't model
+			}
+			inspectShallow(node, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if key, method := mutexCall(pass, call); key != "" && (method == "Lock" || method == "RLock") {
+					locks = append(locks, lockEvent{
+						call: call, key: key, read: method == "RLock",
+						block: blk, idx: i,
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	for _, lk := range locks {
+		unlockName := "Unlock"
+		if lk.read {
+			unlockName = "RUnlock"
+		}
+		isRelease := func(n ast.Node) bool {
+			released := false
+			inspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if key, method := mutexCall(pass, call); key == lk.key && method == unlockName {
+						released = true
+					}
+				}
+				return !released
+			})
+			// A defer node counts through its call, which
+			// inspectShallow skips; look at it directly.
+			if d, ok := n.(*ast.DeferStmt); ok && !released {
+				if key, method := mutexCall(pass, d.Call); key == lk.key && method == unlockName {
+					released = true
+				}
+			}
+			return released
+		}
+		if !graph.AllPathsContain(lk.block, lk.idx, isRelease) {
+			pass.Reportf(lk.call.Pos(), "%s.%s is not released on every path out of the function; unlock on each path or defer %s.%s", lk.key, lockName(lk.read), lk.key, unlockName)
+		}
+		checkHeldAcross(pass, graph, lk, unlockName, exempt)
+	}
+}
+
+func lockName(read bool) string {
+	if read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// checkHeldAcross walks every path from the acquisition until its
+// release and reports potentially-blocking operations encountered
+// while the lock is held. A deferred release never clears the held
+// state (the lock stays held to function exit by design), so anything
+// blocking after it is still reported.
+func checkHeldAcross(pass *Pass, graph *cfg.Graph, lk lockEvent, unlockName string, exempt map[ast.Node]bool) {
+	reported := map[ast.Node]bool{}
+	releasedBy := func(n ast.Node) bool {
+		// Only an explicit (non-deferred) unlock call releases here.
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		released := false
+		inspectShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if key, method := mutexCall(pass, call); key == lk.key && method == unlockName {
+					released = true
+				}
+			}
+			return !released
+		})
+		return released
+	}
+	seen := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block, start int)
+	walk = func(b *cfg.Block, start int) {
+		for i := start; i < len(b.Nodes); i++ {
+			n := b.Nodes[i]
+			if releasedBy(n) {
+				return // lock released on this path
+			}
+			if op := pass.firstBlocking(n, exempt); op != nil && !reported[op.node] {
+				reported[op.node] = true
+				pass.Reportf(op.node.Pos(), "%s held across %s; release the lock before blocking (move the %s out of the critical section)", lk.key, op.what, op.what)
+			}
+		}
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s, 0)
+		}
+	}
+	walk(lk.block, lk.idx+1)
+}
+
+// inspectShallow walks n without descending into nested function
+// literals or the deferred/spawned calls of defer and go statements.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		return f(m)
+	})
+}

@@ -322,7 +322,16 @@ func (e *Engine) Run(ctx context.Context, tasks <-chan Task) <-chan Result {
 		defer close(feed)
 		idx := 0
 		for t := range tasks {
-			feed <- indexed{t, idx}
+			select {
+			case feed <- indexed{t, idx}:
+			case <-ctx.Done():
+				// The workers may all be parked mid-solve; report the
+				// unfed task directly so the stream still accounts for
+				// every submitted task. Sending here is safe: these
+				// sends happen before close(feed), which happens before
+				// the workers exit, which happens before close(out).
+				out <- Result{Index: idx, ID: t.ID, Err: ctx.Err()}
+			}
 			idx++
 		}
 	}()

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 
 	"tableseg/internal/core"
 	"tableseg/internal/engine"
@@ -338,4 +339,68 @@ func TestEngineTokenCache(t *testing.T) {
 	if cs := off.CacheStats(); cs != (engine.CacheStats{}) {
 		t.Errorf("DisableCache CacheStats = %+v, want zero", cs)
 	}
+}
+
+// TestEngineNoGoroutineLeak pins the goroleak contract at runtime: a
+// completed batch and a cancelled batch must both wind their worker,
+// feeder and closer goroutines down once the result stream is drained.
+// The settle loop absorbs scheduler lag (goroutines that have returned
+// but not yet been reaped from the count).
+func TestEngineNoGoroutineLeak(t *testing.T) {
+	inputs := corpusInputs(t)[:6]
+	base := runtime.NumGoroutine()
+
+	// Completed batch: every task runs to completion.
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.Probabilistic), Concurrency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := eng.SegmentAll(context.Background(), inputs)
+	if len(results) != len(inputs) {
+		t.Fatalf("got %d results for %d inputs", len(results), len(inputs))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", r.Index, r.Err)
+		}
+	}
+	if n := settledGoroutines(base); n > base {
+		t.Errorf("completed batch leaked goroutines: %d before, %d after settling", base, n)
+	}
+
+	// Cancelled batch: the context dies mid-stream while the feeder
+	// still holds undelivered tasks; the stream must still account for
+	// every task and every goroutine must exit once it is drained.
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := make(chan engine.Task)
+	go func() {
+		defer close(tasks)
+		for _, in := range inputs {
+			tasks <- engine.Task{Input: in}
+		}
+	}()
+	out := eng.Run(ctx, tasks)
+	<-out // let the batch get under way, then pull the plug
+	cancel()
+	got := 1
+	for range out {
+		got++
+	}
+	if got != len(inputs) {
+		t.Fatalf("cancelled batch reported %d results for %d tasks", got, len(inputs))
+	}
+	if n := settledGoroutines(base); n > base {
+		t.Errorf("cancelled batch leaked goroutines: %d before, %d after settling", base, n)
+	}
+}
+
+// settledGoroutines polls runtime.NumGoroutine until it drops to the
+// baseline or a deadline passes, returning the last observed count.
+func settledGoroutines(base int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 200 && n > base; i++ {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json lint-sarif check bench bench-stages experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint lint-json lint-sarif lint-self check bench bench-stages experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -13,9 +13,9 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: determinism, context discipline,
-# error wrapping, float equality, stage purity and the CFG-based
-# concurrency checks (see internal/analysis). Exits non-zero on any
-# finding.
+# error wrapping, float equality, stage purity, the CFG-based
+# concurrency checks and the dataflow checks (rngflow, probflow,
+# aliasflow — see internal/analysis). Exits non-zero on any finding.
 lint: vet
 	$(GO) run ./cmd/tableseglint
 
@@ -28,6 +28,12 @@ lint-json: vet
 
 lint-sarif: vet
 	$(GO) run ./cmd/tableseglint -sarif > tableseglint.sarif
+
+# Self-lint: run the full suite (all 11 analyzers) over the analysis
+# machinery itself, so the linter is held to its own invariants. CI's
+# selflint job runs this and uploads tableseglint-self.sarif.
+lint-self:
+	$(GO) run ./cmd/tableseglint internal/analysis internal/analysis/cfg internal/analysis/dataflow cmd/tableseglint
 
 test: vet
 	$(GO) test ./...

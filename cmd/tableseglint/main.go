@@ -6,12 +6,19 @@
 //
 // Usage:
 //
-//	tableseglint [-root dir] [-json | -sarif] [packages...]
+//	tableseglint [-root dir] [-json | -sarif] [-analyzers list] [-baseline file] [packages...]
+//	tableseglint -list
 //
 // With no package arguments every package under the module root is
 // checked (testdata, corpus and hidden directories are skipped).
 // Package arguments are directories relative to the module root, e.g.
 // `internal/csp`.
+//
+// -list prints every analyzer's name and one-line doc and exits.
+// -analyzers runs only the named subset (comma-separated; unknown
+// names are a usage error). -baseline replays a previous `-json` run
+// and suppresses every finding already recorded there, so CI fails
+// only on findings introduced since the baseline was cut.
 //
 // Output is plain file:line text by default; -json emits a flat JSON
 // array and -sarif a SARIF 2.1.0 log for CI code-scanning upload.
@@ -47,6 +54,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	root := flags.String("root", ".", "module root directory (must contain go.mod)")
 	asJSON := flags.Bool("json", false, "emit findings as a JSON array")
 	asSARIF := flags.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	analyzerList := flags.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	baselinePath := flags.String("baseline", "", "JSON file from a previous -json run; findings recorded there are suppressed")
+	list := flags.Bool("list", false, "print analyzer names and docs, then exit")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -55,10 +65,38 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, err := run(*root, flags.Args())
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *analyzerList != "" {
+		selected, err := selectAnalyzers(suite, *analyzerList)
+		if err != nil {
+			fmt.Fprintln(stderr, "tableseglint:", err)
+			return 2
+		}
+		suite = selected
+	}
+
+	diags, err := run(*root, flags.Args(), suite)
 	if err != nil {
 		fmt.Fprintln(stderr, "tableseglint:", err)
 		return 2
+	}
+	if *baselinePath != "" {
+		baseline, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tableseglint:", err)
+			return 2
+		}
+		var suppressed int
+		diags, suppressed = baseline.Filter(diags)
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "tableseglint: %d baseline finding(s) suppressed\n", suppressed)
+		}
 	}
 
 	switch {
@@ -70,7 +108,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, string(out))
 	case *asSARIF:
-		out, err := analysis.EncodeSARIF(diags, analysis.Suite())
+		out, err := analysis.EncodeSARIF(diags, suite)
 		if err != nil {
 			fmt.Fprintln(stderr, "tableseglint:", err)
 			return 2
@@ -88,7 +126,40 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func run(root string, pkgDirs []string) ([]analysis.Diagnostic, error) {
+// selectAnalyzers resolves a comma-separated -analyzers value against
+// the suite, preserving suite order.
+func selectAnalyzers(suite []*analysis.Analyzer, names string) ([]*analysis.Analyzer, error) {
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		known := false
+		for _, a := range suite {
+			if a.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		wanted[name] = true
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("-analyzers given but no analyzer names parsed")
+	}
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if wanted[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+func run(root string, pkgDirs []string, suite []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
 	modPath, err := analysis.ModulePathOf(root)
 	if err != nil {
 		return nil, err
@@ -101,7 +172,6 @@ func run(root string, pkgDirs []string) ([]analysis.Diagnostic, error) {
 	}
 	loader := analysis.NewLoader(root, modPath)
 	cfg := analysis.DefaultConfig()
-	suite := analysis.Suite()
 	var diags []analysis.Diagnostic
 	for _, dir := range pkgDirs {
 		pkg, err := loader.LoadDir(filepath.Join(root, dir))

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -151,8 +152,8 @@ func TestSARIFOutput(t *testing.T) {
 		t.Fatalf("not a single-run SARIF 2.1.0 log: version=%q runs=%d", log.Version, len(log.Runs))
 	}
 	run := log.Runs[0]
-	if run.Tool.Driver.Name != "tableseglint" || len(run.Tool.Driver.Rules) != 8 {
-		t.Errorf("driver = %q with %d rules, want tableseglint with 8", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	if run.Tool.Driver.Name != "tableseglint" || len(run.Tool.Driver.Rules) != 11 {
+		t.Errorf("driver = %q with %d rules, want tableseglint with 11", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
 	}
 	seen := map[string]bool{}
 	for _, r := range run.Results {
@@ -169,5 +170,96 @@ func TestSARIFOutput(t *testing.T) {
 		if !seen[want] {
 			t.Errorf("engine fixture produced no %s result", want)
 		}
+	}
+}
+
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("-list printed %d lines, want 11:\n%s", len(lines), stdout)
+	}
+	for _, name := range []string{"determinism", "rngflow", "probflow", "aliasflow"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+}
+
+func TestAnalyzersSubset(t *testing.T) {
+	// The csp fixture carries determinism, ctxdiscipline, floateq and
+	// rngflow findings; restricted to floateq only those may remain.
+	code, stdout, _ := runCLI(t, "-root", fixtureRoot, "-analyzers", "floateq", "internal/csp")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if !strings.Contains(line, "[floateq]") {
+			t.Errorf("non-floateq finding leaked through -analyzers: %q", line)
+		}
+	}
+}
+
+func TestAnalyzersUnknownIsUsageError(t *testing.T) {
+	code, _, stderr := runCLI(t, "-root", fixtureRoot, "-analyzers", "nosuch")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", stderr)
+	}
+}
+
+// TestBaselineSuppression records the csp fixture's findings as a
+// baseline, replays the run against it (everything suppressed, exit
+// 0), then checks a truncated baseline lets the remainder through.
+func TestBaselineSuppression(t *testing.T) {
+	_, recorded, _ := runCLI(t, "-root", fixtureRoot, "-json", "internal/csp")
+	dir := t.TempDir()
+	full := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(full, []byte(recorded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCLI(t, "-root", fixtureRoot, "-baseline", full, "internal/csp")
+	if code != 0 {
+		t.Fatalf("fully baselined run: exit = %d, want 0 (stdout: %s)", code, stdout)
+	}
+	if !strings.Contains(stderr, "baseline finding(s) suppressed") {
+		t.Errorf("stderr missing suppression note: %s", stderr)
+	}
+
+	// Drop one entry: exactly one finding must survive.
+	var entries []json.RawMessage
+	if err := json.Unmarshal([]byte(recorded), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("csp fixture recorded only %d finding(s)", len(entries))
+	}
+	truncated, err := json.Marshal(entries[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := filepath.Join(dir, "partial.json")
+	if err := os.WriteFile(partial, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, "-root", fixtureRoot, "-baseline", partial, "internal/csp")
+	if code != 1 {
+		t.Fatalf("partially baselined run: exit = %d, want 1", code)
+	}
+	if got := len(strings.Split(strings.TrimSpace(stdout), "\n")); got != 1 {
+		t.Errorf("partially baselined run printed %d finding(s), want 1:\n%s", got, stdout)
+	}
+}
+
+func TestBaselineUnreadableIsUsageError(t *testing.T) {
+	code, _, _ := runCLI(t, "-root", fixtureRoot, "-baseline", filepath.Join(t.TempDir(), "missing.json"), "internal/csp")
+	if code != 2 {
+		t.Errorf("missing baseline file: exit = %d, want 2", code)
 	}
 }

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tableseg/internal/analysis/cfg"
+	"tableseg/internal/analysis/dataflow"
+)
+
+// AliasFlow returns the analyzer enforcing value-level stage purity.
+// The stage graph caches artifacts and hands them to concurrent
+// consumers, so a stage output that retains a slice, map or pointer
+// into its mutable input lets a later writer mutate a cached (or
+// already-consumed) artifact at a distance. stagepurity pins the
+// import graph; aliasflow pins the values: every exported stage-shaped
+// function (context.Context first, error last) has its reference-
+// carrying parameters tainted at entry with one provenance bit each,
+// the taint is propagated by internal/analysis/dataflow — through
+// assignments, composite literals, index/selector chains and appends,
+// but not through copy() into scalar-element storage, which severs the
+// alias — and any return value still tainted is reported with the
+// parameters it aliases. Deliberate sharing seams are documented with
+// a tableseglint:ignore directive instead of silently relied on.
+func AliasFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "aliasflow",
+		Doc:  "forbid stage outputs from retaining aliases of mutable inputs (slice/map/pointer flow from parameter to return)",
+	}
+	a.Run = func(pass *Pass) {
+		if !matchesAny(pass.Pkg.Path, pass.Cfg.AliasPkgs) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				if !stageShaped(pass.Pkg.Info, fd) {
+					continue
+				}
+				checkAliasFlow(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+// stageShaped reports whether fd has the stage/solver entry-point
+// signature: first parameter context.Context, last result error.
+func stageShaped(info *types.Info, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	first := info.TypeOf(params.List[0].Type)
+	if first == nil || first.String() != "context.Context" {
+		return false
+	}
+	results := fd.Type.Results
+	if results == nil || len(results.List) == 0 {
+		return false
+	}
+	last := info.TypeOf(results.List[len(results.List)-1].Type)
+	return last != nil && isErrorType(last)
+}
+
+// checkAliasFlow taints fd's mutable parameters and reports returns
+// that still carry the taint.
+func checkAliasFlow(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	g := cfg.New(fd.Body)
+
+	// One provenance bit per reference-carrying parameter (after the
+	// context), so the report can name exactly what leaked.
+	entry := map[types.Object]dataflow.Mask{}
+	bitName := map[int]string{}
+	bit := 0
+	for i, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if i == 0 {
+				continue // the context
+			}
+			obj := info.ObjectOf(name)
+			if obj == nil || !dataflow.CarriesRefs(obj.Type()) {
+				continue
+			}
+			if bit >= 64 {
+				break
+			}
+			entry[obj] = 1 << bit
+			bitName[bit] = name.Name
+			bit++
+		}
+	}
+	if len(entry) == 0 {
+		return
+	}
+
+	tt := dataflow.NewTaint(fd.Body, g, dataflow.TaintConfig{
+		Info:         info,
+		Entry:        entry,
+		TypeOK:       dataflow.CarriesRefs,
+		ElemCopyRefs: true,
+	})
+
+	// Named results matter for bare returns.
+	var namedResults []types.Object
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					namedResults = append(namedResults, obj)
+				}
+			}
+		}
+	}
+
+	tt.Walk(func(_ *cfg.Block, n ast.Node, fact map[types.Object]dataflow.Mask) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		var mask dataflow.Mask
+		if len(ret.Results) == 0 {
+			for _, obj := range namedResults {
+				if !isErrorType(obj.Type()) {
+					mask |= fact[obj]
+				}
+			}
+		}
+		for _, res := range ret.Results {
+			if tv, ok := info.Types[res]; ok && tv.Type != nil && isErrorType(tv.Type) {
+				continue // the error result never carries the artifact
+			}
+			mask |= tt.Mask(fact, res)
+		}
+		if mask == 0 {
+			return
+		}
+		pass.Reportf(ret.Pos(), "returned artifact aliases mutable input parameter%s %s; copy the slice/map/pointer storage before returning (or document the sharing seam with a tableseglint:ignore directive)", plural(mask), maskNames(mask, bitName))
+	})
+}
+
+// maskNames renders the parameter names a provenance mask covers.
+func maskNames(m dataflow.Mask, bitName map[int]string) string {
+	var names []string
+	for b, name := range bitName {
+		if m&(1<<b) != 0 {
+			names = append(names, `"`+name+`"`)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func plural(m dataflow.Mask) string {
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	if n > 1 {
+		return "s"
+	}
+	return ""
+}

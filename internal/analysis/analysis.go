@@ -5,14 +5,19 @@
 // randomness in solver paths, no map-iteration order leaking into
 // results, contexts threaded rather than minted, errors wrapped so
 // sentinel classification survives, goroutines and locks that provably
-// wind down) that ordinary Go tooling does not enforce. The eight
+// wind down) that ordinary Go tooling does not enforce. The eleven
 // analyzers in this package check them mechanically over the parsed
 // and type-checked source of every package, using only the standard
 // library (go/parser, go/ast, go/types). Five are expression-level;
 // the three concurrency analyzers (goroleak, lockdiscipline,
 // chancontract) run over the intra-procedural control-flow graphs of
 // internal/analysis/cfg, so "on every path" facts — a channel closed,
-// a mutex released — are proved rather than pattern-matched.
+// a mutex released — are proved rather than pattern-matched; and the
+// three dataflow analyzers (rngflow, probflow, aliasflow) run the
+// worklist solver of internal/analysis/dataflow over those same
+// graphs, so "where did this value come from?" facts — RNG
+// provenance, probability taint, input aliasing — are answered by
+// reaching definitions and taint propagation rather than syntax.
 //
 // The analyzers are:
 //
@@ -45,6 +50,22 @@
 //     closed by its producer, exactly once, only after joining any
 //     other senders; no function closes a channel it received as a
 //     parameter.
+//   - rngflow: every *rand.Rand used at a call site in the solver
+//     packages must derive — through its def-use chain — from a
+//     seeded constructor, a parameter or another threaded source, not
+//     from a package-level generator or an unseeded declaration; and
+//     top-level math/rand functions are forbidden anywhere under
+//     internal/.
+//   - probflow: float values tainted as probabilities (model tables,
+//     forward–backward messages) may not flow into a division,
+//     math.Log, or an ordered comparison of two tainted operands
+//     without first passing a zeroProb-style sanitizer or a guard
+//     comparison against a constant.
+//   - aliasflow: an exported stage-shaped function (context first,
+//     error last) may not return an artifact that aliases a mutable
+//     input parameter — slice, map or pointer storage must be copied,
+//     not retained — making stagepurity's import-level purity hold at
+//     the value level.
 //
 // A diagnostic can be suppressed by a "//tableseglint:ignore <name>
 // <reason>" comment on the same line or the line above. The reason is
@@ -130,6 +151,28 @@ type Config struct {
 	// OrchestrationPkgs are the pipeline-orchestration packages, off
 	// limits to both stages and solvers.
 	OrchestrationPkgs []string
+	// RNGPkgs are the packages where rngflow traces every *rand.Rand
+	// reaching a call site back to a seeded constructor, a parameter or
+	// another non-global origin via def-use chains.
+	RNGPkgs []string
+	// ProbPkgs are the packages where probflow tracks probability
+	// taint into division, math.Log and comparison sinks.
+	ProbPkgs []string
+	// ProbSources are the identifier and field names whose
+	// float-carrying values are tainted as probabilities (model tables
+	// and forward–backward messages).
+	ProbSources []string
+	// ProbSourceCalls are the function/method names whose results are
+	// probabilities.
+	ProbSourceCalls []string
+	// ProbSanitizers are the function names that validate a
+	// probability (zero guards, clamps); passing a value through one
+	// clears its taint.
+	ProbSanitizers []string
+	// AliasPkgs are the packages whose exported stage-shaped functions
+	// (context first, error last) may not return artifacts aliasing
+	// their mutable inputs.
+	AliasPkgs []string
 }
 
 // DefaultConfig is the project policy enforced by cmd/tableseglint.
@@ -153,6 +196,22 @@ func DefaultConfig() Config {
 		OrchestrationPkgs: []string{
 			"internal/core", "internal/engine", "internal/experiments",
 		},
+		RNGPkgs: []string{
+			"internal/csp", "internal/phmm", "internal/core",
+			"internal/engine", "internal/experiments",
+			"internal/stage", "internal/solvers", "internal/sitegen",
+		},
+		ProbPkgs: []string{"internal/phmm"},
+		ProbSources: []string{
+			"Theta", "Trans", "Pi",
+			"alpha", "beta", "gamma", "emis",
+			"colMass", "endC", "typeTrue", "xiCont",
+		},
+		ProbSourceCalls: []string{
+			"emitType", "evidence", "hazard", "startWeight",
+		},
+		ProbSanitizers: []string{"zeroProb", "maxf"},
+		AliasPkgs:      []string{"internal/stage", "internal/solvers"},
 	}
 }
 
@@ -183,8 +242,9 @@ func isInternal(pkgPath string) bool {
 		pkgPath == "internal"
 }
 
-// Suite returns the eight analyzers: the five expression-level checks
-// plus the three CFG-based concurrency checks.
+// Suite returns the eleven analyzers: the five expression-level
+// checks, the three CFG-based concurrency checks, and the three
+// dataflow checks built on internal/analysis/dataflow.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
@@ -195,6 +255,9 @@ func Suite() []*Analyzer {
 		GoroLeak(),
 		LockDiscipline(),
 		ChanContract(),
+		RNGFlow(),
+		ProbFlow(),
+		AliasFlow(),
 	}
 }
 

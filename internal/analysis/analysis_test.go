@@ -13,8 +13,8 @@ import (
 // fixtureDirs are the package directories of the lint fixture module,
 // relative to testdata/lintmod.
 var fixtureDirs = []string{
-	"internal/core", "internal/csp", "internal/engine", "internal/solvers",
-	"internal/stage", "util",
+	"internal/core", "internal/csp", "internal/engine", "internal/phmm",
+	"internal/solvers", "internal/stage", "util",
 }
 
 // wantRe matches a golden-diagnostic expectation trailing a fixture
@@ -79,7 +79,7 @@ func parseExpectations(t *testing.T) []expectation {
 	return out
 }
 
-// TestFixtureDiagnostics is the golden test for all eight analyzers:
+// TestFixtureDiagnostics is the golden test for all eleven analyzers:
 // every `// want` annotation in the fixture module must be matched by
 // exactly one diagnostic at that file and line, and no diagnostic may
 // appear without an annotation (this also proves the suppression

@@ -362,3 +362,103 @@ func TestNilBody(t *testing.T) {
 		t.Error("nil body graph malformed")
 	}
 }
+
+// findCallBlock locates the block holding the first call statement to
+// the named function, or nil.
+func findCallBlock(g *Graph, name string) *Block {
+	pred := callNamed(name)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// TestGotoIntoLoopBodyConservative pins the conservative goto model: a
+// goto — even one targeting a label inside a loop body — is an edge to
+// Exit, so nothing downstream of it may be claimed "on all paths",
+// while the loop body itself stays reachable through the normal entry.
+func TestGotoIntoLoopBodyConservative(t *testing.T) {
+	g := parseBody(t, `
+if cond() {
+	goto inner
+}
+for i := 0; i < 3; i++ {
+inner:
+	work()
+}
+tail()`)
+	if !g.AllPathsContain(g.Entry, -1, callNamed("cond")) {
+		t.Error("the if condition not on all paths")
+	}
+	if g.AllPathsContain(g.Entry, -1, callNamed("work")) {
+		t.Error("loop body claimed on all paths despite the goto path modeled as an exit")
+	}
+	if g.AllPathsContain(g.Entry, -1, callNamed("tail")) {
+		t.Error("tail() claimed on all paths despite the goto path modeled as an exit")
+	}
+	wb := findCallBlock(g, "work")
+	if wb == nil {
+		t.Fatal("loop body absent from the graph")
+	}
+	if !g.Reaches(wb) {
+		t.Error("loop body cannot reach Exit")
+	}
+}
+
+// TestLabeledContinueAcrossRangesConservative pins the same
+// conservatism for a labeled continue jumping out of a nested range:
+// modeled as an exit edge, so the outer loop's tail statements lose
+// their all-paths claims but stay reachable.
+func TestLabeledContinueAcrossRangesConservative(t *testing.T) {
+	g := parseBody(t, `
+outer:
+	for _, x := range xs() {
+		_ = x
+		for _, y := range ys() {
+			_ = y
+			if cond() {
+				continue outer
+			}
+			work()
+		}
+		mid()
+	}
+	tail()`)
+	if g.AllPathsContain(g.Entry, -1, callNamed("work")) {
+		t.Error("inner loop body claimed on all paths")
+	}
+	if g.AllPathsContain(g.Entry, -1, callNamed("tail")) {
+		t.Error("tail() claimed on all paths despite the labeled continue modeled as an exit")
+	}
+	for _, name := range []string{"work", "mid", "tail"} {
+		b := findCallBlock(g, name)
+		if b == nil {
+			t.Fatalf("%s() absent from the graph", name)
+		}
+		if !g.Reaches(b) {
+			t.Errorf("%s() cannot reach Exit", name)
+		}
+	}
+}
+
+// TestSelectDefaultOnlyArm pins that a select with only a default arm
+// is a straight line: the single communication-free branch has no skip
+// edge, so its body holds on all paths.
+func TestSelectDefaultOnlyArm(t *testing.T) {
+	g := parseBody(t, `
+select {
+default:
+	work()
+}
+tail()`)
+	if !g.AllPathsContain(g.Entry, -1, callNamed("work")) {
+		t.Error("default-only select body not on all paths")
+	}
+	if !g.AllPathsContain(g.Entry, -1, callNamed("tail")) {
+		t.Error("statement after default-only select not on all paths")
+	}
+}

@@ -1,0 +1,109 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tableseg/internal/analysis/cfg"
+)
+
+// Liveness computes live variables per block: Out[b] is the set of
+// variables whose current value may still be read on some path from
+// the start of b (Backward direction flips In/Out semantics — see
+// Result). It is the suite's backward instantiation of Solve and is
+// exercised by tests to keep the solver honest in both directions.
+type Liveness struct {
+	Graph *cfg.Graph
+	res   Result[liveFact]
+	info  *types.Info
+}
+
+type liveFact map[types.Object]bool
+
+// NewLiveness solves live variables for body under graph g.
+func NewLiveness(body *ast.BlockStmt, g *cfg.Graph, info *types.Info) *Liveness {
+	l := &Liveness{Graph: g, info: info}
+	l.res = Solve(g, Problem[liveFact]{
+		Dir:      Backward,
+		Boundary: func() liveFact { return liveFact{} },
+		Init:     func() liveFact { return liveFact{} },
+		Merge: func(dst, src liveFact) liveFact {
+			for obj := range src {
+				dst[obj] = true
+			}
+			return dst
+		},
+		Equal: func(a, b liveFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for obj := range a {
+				if !b[obj] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in liveFact) liveFact {
+			f := liveFact{}
+			for obj := range in {
+				f[obj] = true
+			}
+			// Backward: replay the block's nodes last to first.
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				l.applyNode(f, b.Nodes[i])
+			}
+			return f
+		},
+	})
+	return l
+}
+
+// LiveAtEntry reports whether obj is live when block b starts
+// executing.
+func (l *Liveness) LiveAtEntry(b *cfg.Block, obj types.Object) bool {
+	return l.res.Out[b.Index][obj]
+}
+
+// applyNode applies one node backward: kill definitions, then add
+// uses (so x = x+1 keeps x live before the node).
+func (l *Liveness) applyNode(f liveFact, n ast.Node) {
+	if a, ok := n.(*ast.AssignStmt); ok && (a.Tok == token.ASSIGN || a.Tok == token.DEFINE) {
+		for _, lhs := range a.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := l.info.ObjectOf(id); obj != nil {
+					delete(f, obj)
+				}
+			}
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj, ok := l.info.Uses[m].(*types.Var); ok {
+				if !isWriteTarget(n, m) {
+					f[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isWriteTarget reports whether id is a pure write target inside n (LHS
+// identifier of a plain assignment or short declaration).
+func isWriteTarget(n ast.Node, id *ast.Ident) bool {
+	a, ok := n.(*ast.AssignStmt)
+	if !ok || (a.Tok != token.ASSIGN && a.Tok != token.DEFINE) {
+		return false
+	}
+	for _, lhs := range a.Lhs {
+		if lhs == id {
+			return true
+		}
+	}
+	return false
+}

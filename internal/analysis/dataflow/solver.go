@@ -1,0 +1,141 @@
+// Package dataflow implements a generic forward/backward worklist
+// solver over the control-flow graphs of internal/analysis/cfg, plus
+// the three standard instantiations the tableseglint analyzers are
+// built from: reaching definitions with use-def/def-use chains
+// (rngflow's RNG provenance), a configurable taint-propagation lattice
+// with per-source provenance masks (probflow's probability tracking,
+// aliasflow's input-aliasing tracking), and live variables (the
+// backward example that keeps the solver honest in both directions).
+//
+// Everything here is intra-procedural and stdlib-only (go/ast,
+// go/types), matching the rest of the suite. Function literals are
+// opaque to a graph — cfg.New never descends into them — so chains and
+// taint facts never cross a closure boundary; analyzers that care
+// analyze each literal body as its own unit.
+//
+// Facts are per-block: Solve computes the fixpoint of In/Out facts,
+// and the chain/taint layers replay a block's nodes in order to answer
+// statement-granular queries deterministically.
+package dataflow
+
+import (
+	"tableseg/internal/analysis/cfg"
+)
+
+// Direction selects which way facts propagate through the graph.
+type Direction int
+
+const (
+	// Forward propagates facts from Entry along successor edges.
+	Forward Direction = iota
+	// Backward propagates facts from Exit along predecessor edges.
+	Backward
+)
+
+// Problem describes one monotone dataflow problem with facts of type F.
+// Transfer and Merge must be monotone over the fact lattice and Merge
+// must be commutative; the worklist iteration then terminates at the
+// unique least fixpoint for lattices of finite height.
+type Problem[F any] struct {
+	// Dir is the propagation direction.
+	Dir Direction
+	// Boundary returns the fact entering the boundary block (Entry for
+	// Forward, Exit for Backward).
+	Boundary func() F
+	// Init returns the initial ("bottom") fact for every other block.
+	Init func() F
+	// Merge joins the fact src flowing in from one edge into dst and
+	// returns the combined fact. It may mutate and return dst.
+	Merge func(dst, src F) F
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b F) bool
+	// Transfer maps a block's input fact to its output fact. It must
+	// not retain or mutate in after returning.
+	Transfer func(b *cfg.Block, in F) F
+}
+
+// Result holds the per-block fixpoint facts, indexed by Block.Index.
+// In[b] is the fact at block entry and Out[b] at block exit, in the
+// problem's direction (for Backward problems In is the fact after the
+// block's last node, Out the fact before its first).
+type Result[F any] struct {
+	In, Out []F
+}
+
+// Solve runs the worklist algorithm to fixpoint. Blocks are seeded and
+// re-queued in index (≈ source) order, so iteration — and therefore
+// any diagnostic order derived from it — is deterministic for a given
+// graph.
+func Solve[F any](g *cfg.Graph, p Problem[F]) Result[F] {
+	n := len(g.Blocks)
+	res := Result[F]{In: make([]F, n), Out: make([]F, n)}
+
+	// Per direction: the blocks facts flow in from, and the blocks a
+	// changed fact must be pushed to.
+	preds := predecessors(g)
+	succs := make([][]*cfg.Block, n)
+	for _, b := range g.Blocks {
+		succs[b.Index] = b.Succs
+	}
+	inEdges, outEdges := preds, succs
+	boundary := g.Entry
+	if p.Dir == Backward {
+		inEdges, outEdges = succs, preds
+		boundary = g.Exit
+	}
+
+	for _, b := range g.Blocks {
+		if b == boundary {
+			res.In[b.Index] = p.Boundary()
+		} else {
+			res.In[b.Index] = p.Init()
+		}
+		res.Out[b.Index] = p.Transfer(b, res.In[b.Index])
+	}
+
+	// FIFO worklist with membership dedupe, seeded in index order.
+	queue := make([]*cfg.Block, 0, n)
+	queued := make([]bool, n)
+	for _, b := range g.Blocks {
+		queue = append(queue, b)
+		queued[b.Index] = true
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b.Index] = false
+
+		in := res.In[b.Index]
+		if b != boundary {
+			in = p.Init()
+			for _, e := range inEdges[b.Index] {
+				in = p.Merge(in, res.Out[e.Index])
+			}
+			res.In[b.Index] = in
+		}
+		out := p.Transfer(b, in)
+		if p.Equal(out, res.Out[b.Index]) {
+			continue
+		}
+		res.Out[b.Index] = out
+		// Requeue everything this block feeds.
+		for _, s := range outEdges[b.Index] {
+			if !queued[s.Index] {
+				queue = append(queue, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return res
+}
+
+// predecessors inverts the successor edges of g.
+func predecessors(g *cfg.Graph) [][]*cfg.Block {
+	preds := make([][]*cfg.Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	return preds
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"tableseg/internal/analysis/cfg"
+	"tableseg/internal/analysis/dataflow"
+)
+
+// ProbFlow returns the analyzer guarding the EM recursion's numerics.
+// Probabilities in the pHMM shrink multiplicatively — forward–backward
+// messages, emission rows, transition and period tables — so any of
+// them can underflow to exactly zero. Dividing by such a value yields
+// Inf/NaN, math.Log yields -Inf, and an ordered comparison of two
+// underflowed values ties arbitrarily; all three corrupt Tables 1–4
+// silently instead of failing loudly. probflow taints the model tables
+// and messages (by configured name) plus the probability-returning
+// helpers, propagates the taint through assignments, arithmetic,
+// composite literals and range bindings with the solver in
+// internal/analysis/dataflow, and reports any tainted value reaching a
+// division, math.Log or two-sided comparison sink that was not first
+// sanitized by a zeroProb-style call or a guard comparison against a
+// constant (`if total <= 0`). Sanitizing is branch-insensitive — the
+// CFG has no labeled true/false edges — which errs toward accepting
+// guarded code rather than inventing findings.
+func ProbFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "probflow",
+		Doc:  "forbid probability-tainted floats from reaching division, math.Log or comparison sinks unguarded",
+	}
+	a.Run = func(pass *Pass) {
+		if !matchesAny(pass.Pkg.Path, pass.Cfg.ProbPkgs) {
+			return
+		}
+		sources := map[string]int{}
+		for i, name := range pass.Cfg.ProbSources {
+			sources[name] = i % 64
+		}
+		sourceCalls := map[string]bool{}
+		for _, name := range pass.Cfg.ProbSourceCalls {
+			sourceCalls[name] = true
+		}
+		sanitizers := map[string]bool{}
+		for _, name := range pass.Cfg.ProbSanitizers {
+			sanitizers[name] = true
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkProbFlow(pass, fd.Body, sources, sourceCalls, sanitizers)
+			}
+		}
+	}
+	return a
+}
+
+// checkProbFlow runs the taint fixpoint over one function body and
+// scans every node for sinks under the fact holding there.
+func checkProbFlow(pass *Pass, body *ast.BlockStmt, sources map[string]int, sourceCalls, sanitizers map[string]bool) {
+	info := pass.Pkg.Info
+	g := cfg.New(body)
+
+	calleeName := func(call *ast.CallExpr) string {
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name
+		case *ast.SelectorExpr:
+			return fun.Sel.Name
+		}
+		return ""
+	}
+	tt := dataflow.NewTaint(body, g, dataflow.TaintConfig{
+		Info: info,
+		ExprSource: func(e ast.Expr) dataflow.Mask {
+			var name string
+			switch e := e.(type) {
+			case *ast.Ident:
+				name = e.Name
+			case *ast.SelectorExpr:
+				name = e.Sel.Name
+			}
+			if bit, ok := sources[name]; ok {
+				return 1 << bit
+			}
+			return 0
+		},
+		ResultTaint: func(call *ast.CallExpr) dataflow.Mask {
+			if sourceCalls[calleeName(call)] {
+				return 1 << 63
+			}
+			return 0
+		},
+		SanitizerCall: func(call *ast.CallExpr) bool {
+			return sanitizers[calleeName(call)]
+		},
+		PropagateBinary:  true,
+		GuardComparisons: true,
+		TypeOK:           floatCarrying,
+	})
+
+	reported := map[token.Pos]bool{}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	tt.Walk(func(_ *cfg.Block, n ast.Node, fact map[types.Object]dataflow.Mask) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BinaryExpr:
+				switch {
+				case m.Op == token.QUO:
+					if tt.Mask(fact, m.Y) != 0 {
+						reportf(m.Y.Pos(), "dividing by probability-tainted %s, which may have underflowed to zero; guard with zeroProb first", exprText(pass.Pkg.Fset, m.Y))
+					}
+				case isOrderedCmp(m.Op):
+					if tt.Mask(fact, m.X) != 0 && tt.Mask(fact, m.Y) != 0 {
+						reportf(m.Pos(), "comparing two probability-tainted values (%s, %s) in linear space; both may have underflowed — compare in log space or guard with zeroProb", exprText(pass.Pkg.Fset, m.X), exprText(pass.Pkg.Fset, m.Y))
+					}
+				}
+			case *ast.AssignStmt:
+				if m.Tok == token.QUO_ASSIGN && len(m.Rhs) == 1 {
+					if tt.Mask(fact, m.Rhs[0]) != 0 {
+						reportf(m.Rhs[0].Pos(), "dividing by probability-tainted %s, which may have underflowed to zero; guard with zeroProb first", exprText(pass.Pkg.Fset, m.Rhs[0]))
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && pass.pkgNameOf(id) == "math" && sel.Sel.Name == "Log" {
+						if len(m.Args) == 1 && tt.Mask(fact, m.Args[0]) != 0 {
+							reportf(m.Args[0].Pos(), "math.Log of probability-tainted %s, which may have underflowed to zero (-Inf); guard with zeroProb or stay in log space", exprText(pass.Pkg.Fset, m.Args[0]))
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// floatCarrying reports whether t can hold probability mass: a float,
+// or a slice/array/map/pointer chain ending in one. Structs do not
+// qualify — tainting whole stat structs would drown the analysis.
+func floatCarrying(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return floatCarrying(u.Elem())
+	case *types.Array:
+		return floatCarrying(u.Elem())
+	case *types.Map:
+		return floatCarrying(u.Elem())
+	case *types.Pointer:
+		return floatCarrying(u.Elem())
+	}
+	return false
+}
+
+func isOrderedCmp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// exprText renders an expression for a diagnostic message.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "expression"
+	}
+	return buf.String()
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file implements baseline suppression: `tableseglint -baseline
+// old.json` replays a previously recorded -json run and drops every
+// finding already present in it, so CI fails only on findings
+// introduced since the baseline was cut. Matching deliberately ignores
+// line and column — refactors move code — and keys on (analyzer, file,
+// message) as a multiset, so two identical findings in one file are
+// suppressed only if the baseline recorded two.
+
+// Baseline is a multiset of previously recorded findings.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+type baselineKey struct {
+	Analyzer string
+	File     string
+	Message  string
+}
+
+// LoadBaseline reads a baseline file in the exact format emitted by
+// `tableseglint -json`.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var entries []JSONDiagnostic
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s (expected the -json output format): %w", path, err)
+	}
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, e := range entries {
+		b.counts[baselineKey{e.Analyzer, e.File, e.Message}]++
+	}
+	return b, nil
+}
+
+// Filter returns the diagnostics not covered by the baseline, in the
+// original order, plus the number suppressed. Each baseline entry
+// suppresses at most one diagnostic.
+func (b *Baseline) Filter(diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	kept = make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, sarifURI(d.Pos.Filename), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

@@ -15,8 +15,28 @@ import (
 // SolveBad is an exported solver entry point missing its context.
 func SolveBad(n int) int { // want ctxdiscipline "SolveBad must take a context.Context"
 	stamp := time.Now()  // want determinism "time.Now is nondeterministic"
-	draw := rand.Intn(n) // want determinism "top-level math/rand.Intn"
+	draw := rand.Intn(n) // want determinism "top-level math/rand.Intn" // want rngflow "top-level math/rand.Intn"
 	return stamp.Nanosecond() + draw
+}
+
+// sharedRNG is a package-level generator: seeded or not, it is shared
+// mutable state, so every call-site use is a provenance violation.
+var sharedRNG = rand.New(rand.NewSource(1))
+
+func drawShared(n int) int {
+	return sharedRNG.Intn(n) // want rngflow "package-level generator"
+}
+
+func drawUnseeded(n int) int {
+	var rng *rand.Rand
+	return rng.Intn(n) // want rngflow "may be used unseeded"
+}
+
+// drawThreaded receives the generator as a parameter and passes it on
+// through a local copy: both uses trace to the threaded source, clean.
+func drawThreaded(rng *rand.Rand, n int) int {
+	local := rng
+	return local.Intn(n)
 }
 
 // SolveGood threads a context and seeds its own generator: clean.

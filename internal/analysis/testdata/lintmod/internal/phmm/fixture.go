@@ -1,0 +1,71 @@
+// Package phmm is a lint fixture for the probflow analyzer: its
+// import path ends in internal/phmm, so float values flowing from the
+// configured probability sources (alpha, beta, gamma, ... — matched by
+// name) must pass a zeroProb-style sanitizer or a constant guard
+// before reaching a division, math.Log or two-sided comparison sink.
+package phmm
+
+import "math"
+
+// zeroProb mirrors the real package's sanitizer; probflow recognizes
+// it by name.
+func zeroProb(p float64) bool { return p <= 0 }
+
+// NormalizeBad divides by an unguarded probability mass: the sum of a
+// gamma row can underflow to exactly zero.
+func NormalizeBad(gamma []float64) []float64 {
+	total := 0.0
+	for _, v := range gamma {
+		total += v
+	}
+	out := make([]float64, len(gamma))
+	for i, v := range gamma {
+		out[i] = v / total // want probflow "dividing by probability-tainted total"
+	}
+	return out
+}
+
+// NormalizeGood performs the same normalization behind the sanitizer:
+// clean.
+func NormalizeGood(gamma []float64) []float64 {
+	total := 0.0
+	for _, v := range gamma {
+		total += v
+	}
+	if zeroProb(total) {
+		return nil
+	}
+	out := make([]float64, len(gamma))
+	for i, v := range gamma {
+		out[i] = v / total
+	}
+	return out
+}
+
+// logLikBad takes the log of a possibly-underflowed forward mass.
+func logLikBad(alpha []float64) float64 {
+	s := 0.0
+	for _, v := range alpha {
+		s += v
+	}
+	return math.Log(s) // want probflow "math.Log of probability-tainted s"
+}
+
+// logLikGood guards against the underflow with a constant comparison
+// before taking the log: clean.
+func logLikGood(alpha []float64) float64 {
+	s := 0.0
+	for _, v := range alpha {
+		s += v
+	}
+	if s <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(s)
+}
+
+// argmaxBad compares two linear-space probabilities; when both have
+// underflowed to zero the tie is resolved arbitrarily.
+func argmaxBad(alpha, beta []float64) bool {
+	return alpha[0] > beta[0] // want probflow "comparing two probability-tainted values"
+}

@@ -19,3 +19,22 @@ func SegmentFixture(ctx context.Context, n int) (int, error) {
 	}
 	return csp.SolveGood(ctx, n), nil
 }
+
+// EchoIn is a mutable stage input; EchoOut the artifact built from it.
+type EchoIn struct{ Items []int }
+
+// EchoOut is a stage artifact wrapping a slice.
+type EchoOut struct{ Items []int }
+
+// Echo returns the input storage unchanged, so the cached artifact
+// aliases the caller's slice: an aliasflow violation.
+func Echo(ctx context.Context, in EchoIn) (EchoOut, error) {
+	return EchoOut{Items: in.Items}, nil // want aliasflow "aliases mutable input parameter \"in\""
+}
+
+// CopyEcho copies the storage before returning: clean.
+func CopyEcho(ctx context.Context, in EchoIn) (EchoOut, error) {
+	cp := make([]int, len(in.Items))
+	copy(cp, in.Items)
+	return EchoOut{Items: cp}, nil
+}

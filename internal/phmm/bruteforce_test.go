@@ -131,7 +131,7 @@ func tinyInstance(rng *rand.Rand) Instance {
 // forward–backward pass computes exactly the posteriors of the
 // enumerated path distribution.
 func TestForwardBackwardMatchesEnumeration(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	rng := testRNG(17)
 	for trial := 0; trial < 30; trial++ {
 		inst := tinyInstance(rng)
 		p := DefaultParams()
@@ -163,7 +163,7 @@ func TestForwardBackwardMatchesEnumeration(t *testing.T) {
 // TestViterbiMatchesEnumeration verifies that Viterbi finds the exact
 // maximum-probability path.
 func TestViterbiMatchesEnumeration(t *testing.T) {
-	rng := rand.New(rand.NewSource(23))
+	rng := testRNG(23)
 	for trial := 0; trial < 30; trial++ {
 		inst := tinyInstance(rng)
 		p := DefaultParams()

@@ -59,6 +59,9 @@ func (m *Model) mstep(st *emStats) {
 	)
 	for c := 0; c < m.C; c++ {
 		den := st.colMass[c] + 2*thetaPrior
+		if zeroProb(den) {
+			continue // unreachable while thetaPrior > 0; guards the division
+		}
 		for j := 0; j < token.NumTypes; j++ {
 			m.Theta[c][j] = (st.typeTrue[c][j] + thetaPrior) / den
 		}
@@ -79,6 +82,9 @@ func (m *Model) mstep(st *emStats) {
 		total := 0.0
 		for c := 0; c < m.C; c++ {
 			total += st.endC[c] + piPrior
+		}
+		if zeroProb(total) {
+			return // C == 0; nothing to normalize, and the division would be 0/0
 		}
 		for c := 0; c < m.C; c++ {
 			m.Pi[c] = (st.endC[c] + piPrior) / total

@@ -2,7 +2,6 @@ package phmm
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -329,7 +328,7 @@ func TestDeriveColumns(t *testing.T) {
 // Property: on randomly generated clean instances, the MAP segmentation
 // recovers the true record boundaries.
 func TestSegmentCleanRandomInstances(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := testRNG(9)
 	for trial := 0; trial < 15; trial++ {
 		numRecords := 2 + rng.Intn(5)
 		fields := 2 + rng.Intn(3)
@@ -368,7 +367,7 @@ func TestSegmentCleanRandomInstances(t *testing.T) {
 // epsilon and skip penalty.
 func TestViterbiStructuralInvariants(t *testing.T) {
 	f := func(seedRaw int64) bool {
-		rng := rand.New(rand.NewSource(seedRaw))
+		rng := testRNG(seedRaw)
 		inst := superpagesInstance()
 		p := DefaultParams()
 		p.Epsilon = 1e-4 + rng.Float64()*0.1

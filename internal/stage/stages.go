@@ -57,6 +57,10 @@ func Tokenize(ctx context.Context, in TokenizeIn) (TokenizeOut, error) {
 	for i, p := range in.DetailPages {
 		out.Details[i] = TokenizedPage{Name: p.Name, Tokens: lex(p)}
 	}
+	// PreparedLists (and cache-returned token slices) are shared by
+	// contract: token slices are write-once after tokenization, and
+	// copying every page's tokens would defeat the prepared-input seam.
+	//tableseglint:ignore aliasflow prepared token slices are immutable by contract and shared deliberately
 	return out, nil
 }
 
@@ -74,6 +78,9 @@ type TemplateIn struct {
 // cross-page induction is undefined — and downstream stages fall back.
 func InduceTemplate(ctx context.Context, in TemplateIn) (Template, error) {
 	if in.Prepared != nil {
+		// The prepared template is handed through untouched: induction
+		// output is immutable once built, so the alias is the contract.
+		//tableseglint:ignore aliasflow prepared templates are immutable after induction and shared deliberately
 		return Template{Tpl: in.Prepared}, nil
 	}
 	if len(in.Lists) < 2 {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json lint-sarif lint-self check bench bench-stages experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint lint-json lint-sarif lint-self serve-smoke check bench bench-stages experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -30,10 +30,19 @@ lint-sarif: vet
 	$(GO) run ./cmd/tableseglint -sarif > tableseglint.sarif
 
 # Self-lint: run the full suite (all 11 analyzers) over the analysis
-# machinery itself, so the linter is held to its own invariants. CI's
-# selflint job runs this and uploads tableseglint-self.sarif.
+# machinery itself — so the linter is held to its own invariants — and
+# over the daemon stack (api/v1, internal/server and its client),
+# which was written to pass every concurrency analyzer without
+# exemptions. CI's selflint job runs this and uploads
+# tableseglint-self.sarif.
 lint-self:
-	$(GO) run ./cmd/tableseglint internal/analysis internal/analysis/cfg internal/analysis/dataflow cmd/tableseglint
+	$(GO) run ./cmd/tableseglint internal/analysis internal/analysis/cfg internal/analysis/dataflow cmd/tableseglint api/v1 internal/server internal/server/client
+
+# End-to-end daemon smoke test: start tablesegd, segment a synthetic
+# site through `tableseg -remote`, assert byte-identical output to the
+# in-process path, check /healthz and /varz, drain via SIGTERM.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 test: vet
 	$(GO) test ./...

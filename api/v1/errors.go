@@ -1,0 +1,140 @@
+package apiv1
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"tableseg"
+)
+
+// Code is a stable wire error code. Codes never change meaning within
+// a wire version; new failure modes get new codes.
+type Code string
+
+// The v1 error codes. The first block maps one-to-one onto the
+// library's sentinel errors; the second describes daemon-level
+// rejections with no library counterpart.
+const (
+	// CodeBadRequest: the request body was not valid JSON or missed
+	// required fields.
+	CodeBadRequest Code = "bad_request"
+	// CodeBadOptions: the configuration was rejected (unknown method,
+	// unknown solver, out-of-range parameter).
+	CodeBadOptions Code = "bad_options"
+	// CodeTooFewListPages, CodeNoDetailPages, CodeBadTarget: the input
+	// shape was invalid.
+	CodeTooFewListPages Code = "too_few_list_pages"
+	CodeNoDetailPages   Code = "no_detail_pages"
+	CodeBadTarget       Code = "bad_target"
+	// CodeNoTableSlot, CodeNoDetailEvidence, CodeCSPUnsatisfiable: the
+	// pipeline ran but could not segment the page.
+	CodeNoTableSlot      Code = "no_table_slot"
+	CodeNoDetailEvidence Code = "no_detail_evidence"
+	CodeCSPUnsatisfiable Code = "csp_unsatisfiable"
+	CodeCanceled         Code = "canceled"
+	CodeDeadlineExceeded Code = "deadline_exceeded"
+
+	// CodeRateLimited: the client exhausted its token bucket.
+	CodeRateLimited Code = "rate_limited"
+	// CodeQueueFull: the admission queue was at capacity.
+	CodeQueueFull Code = "queue_full"
+	// CodeDraining: the daemon is shutting down and admits no new work.
+	CodeDraining Code = "draining"
+	// CodeInternal: an unclassified server-side failure.
+	CodeInternal Code = "internal"
+)
+
+// Error is the wire error: a stable code plus a human-readable
+// message. It implements error, and Unwrap restores the library
+// sentinel matching the code, so client-side errors.Is(err,
+// tableseg.ErrNoDetailEvidence) works across the wire.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterSeconds, when nonzero, is the server's backoff hint
+	// (mirrors the Retry-After header on 429 responses).
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+}
+
+func (e *Error) Error() string {
+	return string(e.Code) + ": " + e.Message
+}
+
+// Unwrap maps the code back onto the library sentinel (or the context
+// error), so errors.Is classification survives serialization. Codes
+// without a library counterpart unwrap to nil.
+func (e *Error) Unwrap() error { return sentinelFor(e.Code) }
+
+// ErrorResponse is the failure body of POST /v1/segment. Partial, when
+// present, carries the diagnostics the pipeline attached to a typed
+// failure (e.g. no_detail_evidence reports extract counts even though
+// no records were produced).
+type ErrorResponse struct {
+	Error   *Error           `json:"error"`
+	Partial *SegmentResponse `json:"partial,omitempty"`
+}
+
+// codeTable drives the error<->code mapping in both directions; order
+// matters for FromError because errors.Is walks wrap chains.
+var codeTable = []struct {
+	code     Code
+	sentinel error
+}{
+	{CodeBadOptions, tableseg.ErrBadOptions},
+	{CodeTooFewListPages, tableseg.ErrTooFewListPages},
+	{CodeNoDetailPages, tableseg.ErrNoDetailPages},
+	{CodeBadTarget, tableseg.ErrBadTarget},
+	{CodeNoTableSlot, tableseg.ErrNoTableSlot},
+	{CodeNoDetailEvidence, tableseg.ErrNoDetailEvidence},
+	{CodeCSPUnsatisfiable, tableseg.ErrCSPUnsatisfiable},
+	{CodeDeadlineExceeded, context.DeadlineExceeded},
+	{CodeCanceled, context.Canceled},
+}
+
+// CodeFromError classifies a library error into its wire code
+// (CodeInternal when no sentinel matches).
+func CodeFromError(err error) Code {
+	for _, e := range codeTable {
+		if errors.Is(err, e.sentinel) {
+			return e.code
+		}
+	}
+	return CodeInternal
+}
+
+// FromError builds the wire error for a library failure.
+func FromError(err error) *Error {
+	return &Error{Code: CodeFromError(err), Message: err.Error()}
+}
+
+func sentinelFor(c Code) error {
+	for _, e := range codeTable {
+		if e.code == c {
+			return e.sentinel
+		}
+	}
+	return nil
+}
+
+// HTTPStatus returns the HTTP status the daemon serves for a code.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest, CodeBadOptions, CodeTooFewListPages,
+		CodeNoDetailPages, CodeBadTarget:
+		return http.StatusBadRequest
+	case CodeNoTableSlot, CodeNoDetailEvidence, CodeCSPUnsatisfiable:
+		// The request was well-formed; the content was unsegmentable.
+		return http.StatusUnprocessableEntity
+	case CodeCanceled:
+		// Closest standard status to "client went away".
+		return http.StatusRequestTimeout
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeRateLimited, CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,70 @@
+package apiv1
+
+// Metrics is the GET /varz body: a JSON snapshot of the daemon's
+// operational counters. All counters are cumulative since process
+// start unless noted.
+type Metrics struct {
+	// UptimeSeconds since the server started.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Draining is true once graceful shutdown has begun.
+	Draining bool `json:"draining"`
+	// InFlight counts requests currently holding an engine slot;
+	// QueueDepth counts admitted requests waiting for one.
+	InFlight   int64 `json:"inFlight"`
+	QueueDepth int64 `json:"queueDepth"`
+	// Requests breaks down every POST /v1/segment seen.
+	Requests RequestCounters `json:"requests"`
+	// Coalesce reports content-hash request coalescing: hits joined an
+	// in-flight identical computation, misses led one.
+	Coalesce CoalesceCounters `json:"coalesce"`
+	// Engine reports the shared engine's artifact caches.
+	Engine EngineCounters `json:"engine"`
+	// Stages are per-pipeline-stage latency histograms fed by the
+	// engine's observer hook, in pipeline order.
+	Stages []StageHistogram `json:"stages,omitempty"`
+}
+
+// RequestCounters classifies completed requests.
+type RequestCounters struct {
+	Total int64 `json:"total"`
+	OK    int64 `json:"ok"`
+	// RateLimited, QueueFull and DrainRejected count admissions the
+	// daemon refused (429, 429, 503 respectively).
+	RateLimited   int64 `json:"rateLimited"`
+	QueueFull     int64 `json:"queueFull"`
+	DrainRejected int64 `json:"drainRejected"`
+	// ByCode counts error responses per wire code.
+	ByCode map[string]int64 `json:"byCode,omitempty"`
+}
+
+// CoalesceCounters reports request coalescing outcomes.
+type CoalesceCounters struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// InFlightKeys is the current size of the coalescing map (0 when
+	// idle — entries never outlive their computation).
+	InFlightKeys int64 `json:"inFlightKeys"`
+}
+
+// EngineCounters mirrors the engine's cache statistics.
+type EngineCounters struct {
+	TasksCompleted int64 `json:"tasksCompleted"`
+	TokenHits      int64 `json:"tokenHits"`
+	TokenMisses    int64 `json:"tokenMisses"`
+	TemplateHits   int64 `json:"templateHits"`
+	TemplateMisses int64 `json:"templateMisses"`
+	CachedSites    int64 `json:"cachedSites"`
+}
+
+// StageHistogram is one stage's latency distribution. Bounds are fixed
+// per server; Counts[i] tallies observations with latency <=
+// BoundsMillis[i], non-cumulatively between bounds, and Overflow
+// tallies the rest.
+type StageHistogram struct {
+	Stage        string    `json:"stage"`
+	Count        int64     `json:"count"`
+	TotalMillis  float64   `json:"totalMillis"`
+	BoundsMillis []float64 `json:"boundsMillis"`
+	Counts       []int64   `json:"counts"`
+	Overflow     int64     `json:"overflow"`
+}

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvOut := fs.Bool("csv", false, "emit the reconstructed table as CSV")
 	stats := fs.Bool("stats", false, "print per-stage timing and solver effort to stderr")
 	timeout := fs.Duration("timeout", 0, "abort the segmentation after this duration (0 = no limit)")
+	remote := fs.String("remote", "", "base URL of a tablesegd daemon (e.g. http://localhost:8844); segment there instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -108,6 +109,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	if *remote != "" {
+		return runRemote(ctx, remoteJob{
+			base:    *remote,
+			in:      in,
+			method:  *method,
+			timeout: *timeout,
+			jsonOut: *jsonOut,
+			csvOut:  *csvOut,
+			columns: *columns,
+			stats:   *stats,
+		}, stdout, stderr)
+	}
+
 	eng, err := tableseg.NewEngine(tableseg.EngineConfig{Options: tableseg.DefaultOptions(m)})
 	if err != nil {
 		fmt.Fprintln(stderr, "tableseg:", err)

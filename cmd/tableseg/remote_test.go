@@ -1,0 +1,85 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tableseg/internal/server"
+)
+
+// startDaemon serves a real internal/server instance for -remote tests.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestRemoteJSONMatchesLocal is the -remote contract: the daemon path
+// emits byte-identical -json output to the in-process path.
+func TestRemoteJSONMatchesLocal(t *testing.T) {
+	url := startDaemon(t)
+	for _, method := range []string{"prob", "csp"} {
+		base := append(writeTestSite(t), "-method", method, "-json")
+		codeL, localOut, stderrL := runCLI(t, base...)
+		if codeL != 0 {
+			t.Fatalf("local %s: exit %d: %s", method, codeL, stderrL)
+		}
+		codeR, remoteOut, stderrR := runCLI(t, append(base, "-remote", url)...)
+		if codeR != 0 {
+			t.Fatalf("remote %s: exit %d: %s", method, codeR, stderrR)
+		}
+		if localOut != remoteOut {
+			t.Errorf("%s: -remote -json differs from local:\nlocal:  %s\nremote: %s", method, localOut, remoteOut)
+		}
+	}
+}
+
+// TestRemoteCSVAndTextMatchLocal extends the contract to the CSV and
+// human-readable renderings.
+func TestRemoteCSVAndTextMatchLocal(t *testing.T) {
+	url := startDaemon(t)
+	for _, extra := range [][]string{{"-csv"}, {"-columns"}, {}} {
+		base := append(writeTestSite(t), extra...)
+		codeL, localOut, _ := runCLI(t, base...)
+		codeR, remoteOut, stderrR := runCLI(t, append(base, "-remote", url)...)
+		if codeL != 0 || codeR != 0 {
+			t.Fatalf("%v: exits local=%d remote=%d: %s", extra, codeL, codeR, stderrR)
+		}
+		if localOut != remoteOut {
+			t.Errorf("%v: remote output differs from local:\nlocal:  %q\nremote: %q", extra, localOut, remoteOut)
+		}
+	}
+}
+
+// TestRemoteServerError maps a daemon-side typed failure onto the CLI's
+// failure exit code and message.
+func TestRemoteServerError(t *testing.T) {
+	url := startDaemon(t)
+	args := append(writeTestSite(t), "-target", "9", "-remote", url)
+	code, _, stderr := runCLI(t, args...)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bad_target") {
+		t.Errorf("stderr does not surface the wire code: %q", stderr)
+	}
+}
+
+// TestRemoteConnectionRefused: an unreachable daemon is a clean
+// failure, not a hang or a panic.
+func TestRemoteConnectionRefused(t *testing.T) {
+	args := append(writeTestSite(t), "-remote", "http://127.0.0.1:1")
+	code, _, stderr := runCLI(t, args...)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "tableseg:") {
+		t.Errorf("no diagnostic on stderr: %q", stderr)
+	}
+}

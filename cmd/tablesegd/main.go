@@ -1,0 +1,125 @@
+// Command tablesegd serves table segmentation over HTTP/JSON:
+//
+//	tablesegd -addr :8844 -workers 4
+//
+// It exposes the api/v1 wire surface (POST /v1/segment) on top of the
+// concurrent engine, with request coalescing (identical concurrent
+// submissions share one computation), bounded admission (429 +
+// Retry-After beyond the queue), optional per-client rate limiting,
+// /healthz and /varz, and graceful drain on SIGTERM/SIGINT: in-flight
+// segmentations complete, queued-but-unadmitted requests get 503, and
+// the process exits once the last response is written (or the drain
+// timeout expires).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tableseg"
+	"tableseg/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main with its dependencies injected. It returns the process
+// exit code: 0 clean shutdown, 1 serve or drain failure, 2 usage
+// error.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tablesegd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8844", "listen address")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	method := fs.String("method", "prob", "default method for requests that name none: prob, csp or combined")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent segmentations admitted (0 = worker count)")
+	maxQueue := fs.Int("max-queue", 0, "requests waiting for admission before 429 (0 = 4x max-inflight)")
+	rate := fs.Float64("rate", 0, "per-client requests/sec (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-client burst size (0 = one second of -rate)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "segmentation deadline for requests that carry none (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 0, "clamp applied to request-supplied deadlines (0 = no clamp)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var m tableseg.Method
+	switch *method {
+	case "prob", "probabilistic":
+		m = tableseg.Probabilistic
+	case "csp":
+		m = tableseg.CSP
+	case "combined":
+		m = tableseg.Combined
+	default:
+		fmt.Fprintf(stderr, "tablesegd: unknown method %q (want prob, csp or combined)\n", *method)
+		return 2
+	}
+	opts, err := tableseg.NewOptions(tableseg.WithMethod(m))
+	if err != nil {
+		fmt.Fprintln(stderr, "tablesegd:", err)
+		return 2
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:         tableseg.EngineConfig{Options: opts, Concurrency: *workers},
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "tablesegd:", err)
+		return 2
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stderr, "tablesegd: listening on %s\n", *addr)
+		serveErr <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "tablesegd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stderr, "tablesegd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	// Drain first: /healthz flips to 503 and queued requests are
+	// released while their connections are still being served; only
+	// then is the listener shut down.
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "tablesegd: drain:", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "tablesegd: shutdown:", err)
+		code = 1
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "tablesegd:", err)
+		code = 1
+	}
+	fmt.Fprintln(stderr, "tablesegd: drained")
+	return code
+}

@@ -3,6 +3,7 @@ package tableseg
 import (
 	"tableseg/internal/core"
 	"tableseg/internal/engine"
+	"tableseg/internal/stage"
 )
 
 // Engine is a reusable, concurrent batch segmenter: tasks fan out over
@@ -18,6 +19,13 @@ import (
 //	    if res.Err != nil { ... }
 //	    use(res.Seg, res.Stats)
 //	}
+//
+// Three submission surfaces share the pool and caches: SegmentAll /
+// RunTasks for fixed batches, Stream for an order-independent,
+// backpressured pipe of tasks, and Submit/Close for long-running
+// services that admit independent one-off tasks (tablesegd is built on
+// it). All of them produce results byte-identical to serial Segment
+// calls.
 type Engine = engine.Engine
 
 // EngineConfig configures NewEngine; see engine.Config.
@@ -48,6 +56,18 @@ type StageTiming = core.StageTiming
 // Engine.CacheStats.
 type CacheStats = engine.CacheStats
 
+// Observer receives per-stage instrumentation callbacks; attach one
+// via EngineConfig.Observer to collect metrics (latency histograms,
+// tracing) without forking the engine. Implementations must be safe
+// for concurrent use — the engine runs tasks on many goroutines.
+type Observer = stage.Observer
+
 // NewEngine creates an Engine after validating the configuration
 // (ErrBadOptions on a bad one).
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// InputKey returns the hex content hash of a segmentation input (list
+// pages, target, detail pages) — the engine's coalescing key: two
+// inputs share a key exactly when the engine computes byte-identical
+// segmentations for them under equal options.
+func InputKey(in Input) string { return engine.InputKey(in) }

@@ -18,6 +18,8 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,8 +28,14 @@ import (
 
 	"tableseg/internal/clock"
 	"tableseg/internal/core"
+	"tableseg/internal/stage"
 	"tableseg/internal/token"
 )
+
+// ErrClosed is returned by Submit once Close has been called: the
+// engine no longer admits work, though results of tasks admitted
+// earlier still arrive on their channels.
+var ErrClosed = errors.New("engine: closed")
 
 // Config configures an Engine.
 type Config struct {
@@ -42,6 +50,13 @@ type Config struct {
 	// (each task then pays full tokenization and induction; useful for
 	// benchmarking the cache's contribution).
 	DisableCache bool
+	// Observer, when non-nil, receives a callback at every pipeline
+	// stage boundary of every task, in addition to the per-task Stats
+	// collection — the seam a server uses to feed latency histograms
+	// without forking the engine. Tasks run concurrently, so the
+	// observer must be safe for concurrent use; callbacks carry only
+	// diagnostics and never influence segmentation output.
+	Observer stage.Observer
 }
 
 // Validate rejects nonsensical engine configurations with typed errors
@@ -108,13 +123,22 @@ type Result struct {
 // concurrent use; the per-site cache is shared across batches for the
 // engine's lifetime.
 type Engine struct {
-	opts    core.Options
-	workers int
-	caching bool
+	opts     core.Options
+	workers  int
+	caching  bool
+	observer stage.Observer
 
 	mu     sync.Mutex
 	sites  map[string]*siteEntry
 	tokens *tokenCache
+
+	// Submission lifecycle: Submit admits work while closed is false,
+	// each admitted submission holds slots (capacity = workers) while
+	// it runs, and Close flips closed then joins inFlight.
+	lifeMu   sync.Mutex
+	closed   bool
+	inFlight sync.WaitGroup
+	slots    chan struct{}
 
 	cacheStats struct {
 		tokenHits, tokenMisses       atomic.Int64
@@ -210,11 +234,13 @@ func New(cfg Config) (*Engine, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		opts:    cfg.Options,
-		workers: workers,
-		caching: !cfg.DisableCache,
-		sites:   make(map[string]*siteEntry),
-		tokens:  &tokenCache{entries: make(map[[sha256.Size]byte]*tokenEntry)},
+		opts:     cfg.Options,
+		workers:  workers,
+		caching:  !cfg.DisableCache,
+		observer: cfg.Observer,
+		sites:    make(map[string]*siteEntry),
+		tokens:   &tokenCache{entries: make(map[[sha256.Size]byte]*tokenEntry)},
+		slots:    make(chan struct{}, workers),
 	}, nil
 }
 
@@ -243,6 +269,31 @@ func siteKey(lists []core.Page) string {
 		h.Write([]byte(p.HTML))
 	}
 	return string(h.Sum(nil))
+}
+
+// InputKey returns the hex content hash of a whole segmentation input
+// — sample list pages in order, the target index, and the detail pages
+// in order. Two inputs share a key exactly when the engine would
+// compute byte-identical segmentations for them under equal options,
+// which makes the key the natural unit for request coalescing in a
+// server: concurrent identical submissions can share one computation.
+func InputKey(in core.Input) string {
+	h := sha256.New()
+	var n [8]byte
+	writeBlock := func(pages []core.Page) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(pages)))
+		h.Write(n[:])
+		for _, p := range pages {
+			binary.LittleEndian.PutUint64(n[:], uint64(len(p.HTML)))
+			h.Write(n[:])
+			h.Write([]byte(p.HTML))
+		}
+	}
+	writeBlock(in.ListPages)
+	binary.LittleEndian.PutUint64(n[:], uint64(in.Target))
+	h.Write(n[:])
+	writeBlock(in.DetailPages)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // prepFor returns the site prep for a task's list pages, from cache
@@ -283,7 +334,7 @@ func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
 	if t.Options != nil {
 		opts = *t.Options
 	}
-	env := core.Env{Stats: &res.Stats.Stats}
+	env := core.Env{Stats: &res.Stats.Stats, Observer: e.observer}
 	var view *cacheView
 	if e.caching {
 		view = &cacheView{cache: e.tokens}
@@ -303,15 +354,18 @@ func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
 	return res
 }
 
-// Run consumes tasks until the channel closes, fanning them out over
-// the worker pool, and emits one Result per task on the returned
-// channel (closed once every task has been reported). Results arrive in
-// completion order; use Result.Index or ID to correlate. On context
-// cancellation in-flight solves abort at their next restart/iteration
-// boundary and every remaining task is reported with Err = ctx.Err(),
-// so the result stream always accounts for every submitted task. The
-// caller must drain the returned channel.
-func (e *Engine) Run(ctx context.Context, tasks <-chan Task) <-chan Result {
+// Stream consumes tasks until the channel closes, fanning them out
+// over the worker pool, and emits one Result per task on the returned
+// channel (closed once every task has been reported). Results arrive
+// in completion order — the stream is order-independent; use
+// Result.Index or ID to correlate — and the output buffer is bounded
+// by the worker count, so a slow consumer backpressures the pool
+// instead of accumulating results. On context cancellation in-flight
+// solves abort at their next restart/iteration boundary and every
+// remaining task is reported with Err = ctx.Err(), so the result
+// stream always accounts for every submitted task. The caller must
+// drain the returned channel.
+func (e *Engine) Stream(ctx context.Context, tasks <-chan Task) <-chan Result {
 	type indexed struct {
 		t   Task
 		idx int
@@ -352,6 +406,58 @@ func (e *Engine) Run(ctx context.Context, tasks <-chan Task) <-chan Result {
 	return out
 }
 
+// Run is a deprecated alias for Stream, kept for callers of the
+// original batch API.
+//
+// Deprecated: use Stream.
+func (e *Engine) Run(ctx context.Context, tasks <-chan Task) <-chan Result {
+	return e.Stream(ctx, tasks) //tableseglint:ignore chancontract deprecated delegating alias; Stream owns and closes the stream
+}
+
+// Submit admits one task into the engine's long-lived worker-slot pool
+// and returns a 1-buffered channel that receives the task's Result and
+// is then closed, so a caller may receive or range. Unlike Stream —
+// which owns a whole batch — Submit is the daemon-facing surface: many
+// independent callers share the pool, each bounded by the same
+// concurrency limit, and per-call contexts cancel waiting or running
+// work individually (a task cancelled while waiting for a slot reports
+// Err = ctx.Err()). After Close, Submit returns ErrClosed.
+func (e *Engine) Submit(ctx context.Context, t Task) (<-chan Result, error) {
+	e.lifeMu.Lock()
+	if e.closed {
+		e.lifeMu.Unlock()
+		return nil, ErrClosed
+	}
+	e.inFlight.Add(1)
+	e.lifeMu.Unlock()
+	out := make(chan Result, 1)
+	go func() {
+		defer e.inFlight.Done()
+		defer close(out)
+		select {
+		case e.slots <- struct{}{}:
+		case <-ctx.Done():
+			out <- Result{ID: t.ID, Err: ctx.Err()}
+			return
+		}
+		out <- e.runTask(ctx, t, 0)
+		<-e.slots
+	}()
+	return out, nil
+}
+
+// Close stops admitting Submit work and waits for every admitted
+// submission to deliver its result. It is idempotent and does not
+// affect Stream/RunTasks batches, whose lifetimes are bounded by their
+// own task channels and contexts. The caches stay valid after Close.
+func (e *Engine) Close() error {
+	e.lifeMu.Lock()
+	e.closed = true
+	e.lifeMu.Unlock()
+	e.inFlight.Wait()
+	return nil
+}
+
 // RunTasks fans a fixed batch out over the pool and returns the results
 // in submission order (results[i] corresponds to tasks[i]).
 func (e *Engine) RunTasks(ctx context.Context, tasks []Task) []Result {
@@ -361,7 +467,7 @@ func (e *Engine) RunTasks(ctx context.Context, tasks []Task) []Result {
 	}
 	close(in)
 	results := make([]Result, len(tasks))
-	for r := range e.Run(ctx, in) {
+	for r := range e.Stream(ctx, in) {
 		results[r.Index] = r
 	}
 	return results

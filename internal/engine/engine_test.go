@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -403,4 +404,226 @@ func settledGoroutines(base int) int {
 		n = runtime.NumGoroutine()
 	}
 	return n
+}
+
+// TestEngineSubmitMatchesSerial pins the Submit surface to the serial
+// contract: results delivered through the one-off submission channel
+// are deeply equal to serial core.Segment calls, and each channel is
+// closed after its single result.
+func TestEngineSubmitMatchesSerial(t *testing.T) {
+	inputs := corpusInputs(t)[:4]
+	opts := core.DefaultOptions(core.Probabilistic)
+	eng, err := engine.New(engine.Config{Options: opts, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i, in := range inputs {
+		serial, err := core.SegmentContext(context.Background(), in, opts)
+		if err != nil {
+			t.Fatalf("serial input %d: %v", i, err)
+		}
+		ch, err := eng.Submit(context.Background(), engine.Task{ID: fmt.Sprint(i), Input: in})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		r, ok := <-ch
+		if !ok {
+			t.Fatalf("submit %d: channel closed without a result", i)
+		}
+		if r.Err != nil {
+			t.Fatalf("submit %d: %v", i, r.Err)
+		}
+		if r.ID != fmt.Sprint(i) {
+			t.Errorf("submit %d: ID = %q", i, r.ID)
+		}
+		if !reflect.DeepEqual(r.Seg, serial) {
+			t.Errorf("submit %d: segmentation differs from serial", i)
+		}
+		if _, ok := <-ch; ok {
+			t.Errorf("submit %d: channel delivered a second value", i)
+		}
+	}
+}
+
+// TestEngineSubmitAfterClose verifies the lifecycle contract: Close
+// waits for admitted submissions, further Submits fail with ErrClosed,
+// and Close is idempotent.
+func TestEngineSubmitAfterClose(t *testing.T) {
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := eng.Submit(context.Background(), engine.Task{Input: siteInput(t, "allegheny", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close returned, so the admitted submission's result must already
+	// be buffered.
+	select {
+	case r := <-ch:
+		if r.Err != nil {
+			t.Fatalf("admitted submission failed: %v", r.Err)
+		}
+	default:
+		t.Fatal("Close returned before the admitted submission delivered")
+	}
+	if _, err := eng.Submit(context.Background(), engine.Task{Input: siteInput(t, "allegheny", 0)}); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestEngineSubmitCancelWhileQueued covers the slot-wait path: with one
+// worker slot held by a long submission, a second submission whose
+// context dies while queued reports ctx.Err() and frees its goroutine.
+func TestEngineSubmitCancelWhileQueued(t *testing.T) {
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.Probabilistic), Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	first, err := eng.Submit(context.Background(), engine.Task{Input: siteInput(t, "allegheny", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	second, err := eng.Submit(ctx, engine.Task{ID: "queued", Input: siteInput(t, "butler", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-second
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("queued submission: err = %v, want context.Canceled", r.Err)
+	}
+	if r.ID != "queued" {
+		t.Errorf("queued submission: ID = %q", r.ID)
+	}
+	if r := <-first; r.Err != nil {
+		t.Fatalf("running submission: %v", r.Err)
+	}
+}
+
+// TestEngineStreamNoGoroutineLeak extends the goroleak contract to the
+// redesigned surface: a drained Stream and a Closed engine with Submit
+// traffic both wind every goroutine down.
+func TestEngineStreamNoGoroutineLeak(t *testing.T) {
+	inputs := corpusInputs(t)[:6]
+	base := runtime.NumGoroutine()
+
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make(chan engine.Task, len(inputs))
+	for _, in := range inputs {
+		tasks <- engine.Task{Input: in}
+	}
+	close(tasks)
+	got := 0
+	for r := range eng.Stream(context.Background(), tasks) {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", r.Index, r.Err)
+		}
+		got++
+	}
+	if got != len(inputs) {
+		t.Fatalf("stream delivered %d results for %d tasks", got, len(inputs))
+	}
+	if n := settledGoroutines(base); n > base {
+		t.Errorf("drained Stream leaked goroutines: %d before, %d after settling", base, n)
+	}
+
+	var chans []<-chan engine.Result
+	for _, in := range inputs {
+		ch, err := eng.Submit(context.Background(), engine.Task{Input: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("submission %d: %v", i, r.Err)
+		}
+	}
+	if n := settledGoroutines(base); n > base {
+		t.Errorf("closed engine leaked goroutines: %d before, %d after settling", base, n)
+	}
+}
+
+// TestEngineObserver verifies the Config.Observer seam: every task
+// reports every pipeline stage to the configured observer, mirroring
+// its own Stats breakdown.
+func TestEngineObserver(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	obs := observerFunc{onEnd: func(name string, d time.Duration, err error) {
+		mu.Lock()
+		counts[name]++
+		mu.Unlock()
+	}}
+	eng, err := engine.New(engine.Config{
+		Options: core.DefaultOptions(core.Probabilistic), Concurrency: 2, Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := corpusInputs(t)[:4]
+	for _, r := range eng.SegmentAll(context.Background(), inputs) {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", r.Index, r.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, name := range []string{"Tokenize", "InduceTemplate", "SelectSlot", "Extract", "Observe", "Segment", "PostProcess"} {
+		if counts[name] < len(inputs) {
+			t.Errorf("observer saw %d %s ends for %d tasks", counts[name], name, len(inputs))
+		}
+	}
+}
+
+// observerFunc adapts a function to stage.Observer for tests.
+type observerFunc struct {
+	onEnd func(name string, d time.Duration, err error)
+}
+
+func (o observerFunc) OnStageStart(name string) {}
+func (o observerFunc) OnStageEnd(name string, d time.Duration, err error) {
+	if o.onEnd != nil {
+		o.onEnd(name, d, err)
+	}
+}
+
+// TestEngineInputKey pins the coalescing key: identical content shares
+// a key regardless of page names; any content, target or detail change
+// separates keys.
+func TestEngineInputKey(t *testing.T) {
+	in := siteInput(t, "allegheny", 0)
+	same := siteInput(t, "allegheny", 0)
+	for i := range same.ListPages {
+		same.ListPages[i].Name = fmt.Sprintf("renamed-%d", i)
+	}
+	if engine.InputKey(in) != engine.InputKey(same) {
+		t.Error("renaming pages changed the input key")
+	}
+	other := siteInput(t, "allegheny", 1)
+	if engine.InputKey(in) == engine.InputKey(other) {
+		t.Error("different target pages share an input key")
+	}
+	mutated := siteInput(t, "allegheny", 0)
+	mutated.DetailPages[0].HTML += " "
+	if engine.InputKey(in) == engine.InputKey(mutated) {
+		t.Error("detail-page edit did not change the input key")
+	}
 }

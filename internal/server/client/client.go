@@ -1,0 +1,112 @@
+// Package client is the Go client for tablesegd's api/v1 wire surface.
+// It shares the DTOs in tableseg/api/v1 with the server, so the two
+// cannot drift, and it rehydrates wire errors into apiv1.Error values
+// whose Unwrap restores the library sentinels — errors.Is(err,
+// tableseg.ErrNoDetailEvidence) works on a remote failure exactly as
+// it does on a local one.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	apiv1 "tableseg/api/v1"
+)
+
+// Client talks to one tablesegd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for the daemon at base (e.g.
+// "http://localhost:8844"). A nil httpClient selects
+// http.DefaultClient; deadlines are carried by the per-call contexts,
+// not the transport.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// Segment posts one segmentation request. A server-side failure is
+// returned as the decoded *apiv1.Error (with any partial diagnostics
+// discarded); transport failures are returned as wrapped errors.
+func (c *Client) Segment(ctx context.Context, req *apiv1.SegmentRequest) (*apiv1.SegmentResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+apiv1.PathSegment, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("client: POST %s: %w", apiv1.PathSegment, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope apiv1.ErrorResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&envelope); derr != nil || envelope.Error == nil {
+			return nil, fmt.Errorf("client: server returned status %d with undecodable body", resp.StatusCode)
+		}
+		return nil, envelope.Error
+	}
+	var out apiv1.SegmentResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// Healthz reports nil while the daemon serves traffic and an error
+// once it is down or draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	resp, err := c.get(ctx, apiv1.PathHealthz)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("client: healthz status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Varz fetches the daemon's metrics snapshot.
+func (c *Client) Varz(ctx context.Context) (*apiv1.Metrics, error) {
+	resp, err := c.get(ctx, apiv1.PathVarz)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: varz status %d", resp.StatusCode)
+	}
+	var m apiv1.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("client: decoding varz: %w", err)
+	}
+	return &m, nil
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	return resp, nil
+}

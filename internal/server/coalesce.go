@@ -1,0 +1,63 @@
+package server
+
+import "sync"
+
+// Request coalescing (singleflight over segmentations): identical
+// concurrent requests — same input content hash, same normalized
+// options fingerprint — share one engine computation. The first
+// arrival for a key leads the flight (runs the segmentation and
+// publishes the outcome); later arrivals for the same key wait on the
+// flight's done channel and read the shared outcome. Entries never
+// outlive their computation: the daemon coalesces concurrency, it does
+// not cache results.
+
+// flight is one in-flight computation.
+type flight struct {
+	// done is closed by the leader, strictly after out is set; waiters
+	// read out only after done, so the close is the publication fence.
+	done chan struct{}
+	out  outcome
+}
+
+// flightGroup is the coalescing map. All operations hold mu only for
+// map bookkeeping, never across the computation itself.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key and whether the caller leads it
+// (true when no identical computation was in flight).
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// complete publishes the leader's outcome and retires the flight. The
+// entry is removed before done is closed, so a request arriving after
+// completion always leads a fresh computation instead of reading a
+// stale one.
+func (g *flightGroup) complete(key string, f *flight, out outcome) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.out = out
+	close(f.done)
+}
+
+// size reports the number of in-flight keys (for /varz; 0 when idle).
+func (g *flightGroup) size() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return int64(len(g.m))
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	apiv1 "tableseg/api/v1"
+	"tableseg/internal/stage"
+)
+
+// metrics holds the daemon's cumulative counters. Hot-path counters
+// are atomics; the per-code error map and the stage histograms take a
+// short mutex on their own paths only.
+type metrics struct {
+	requests struct {
+		total, ok                             atomic.Int64
+		rateLimited, queueFull, drainRejected atomic.Int64
+	}
+	coalesceHits, coalesceMisses atomic.Int64
+	tasksCompleted               atomic.Int64
+
+	codeMu sync.Mutex
+	byCode map[string]int64
+
+	stages *stageObserver
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		byCode: make(map[string]int64),
+		stages: newStageObserver(),
+	}
+}
+
+func (m *metrics) countCode(c apiv1.Code) {
+	m.codeMu.Lock()
+	defer m.codeMu.Unlock()
+	m.byCode[string(c)]++
+}
+
+// snapshot converts the counters to their wire shape. The caller
+// (Server.Varz) fills in the gauges it owns.
+func (m *metrics) snapshot() *apiv1.Metrics {
+	out := &apiv1.Metrics{
+		Requests: apiv1.RequestCounters{
+			Total:         m.requests.total.Load(),
+			OK:            m.requests.ok.Load(),
+			RateLimited:   m.requests.rateLimited.Load(),
+			QueueFull:     m.requests.queueFull.Load(),
+			DrainRejected: m.requests.drainRejected.Load(),
+		},
+		Coalesce: apiv1.CoalesceCounters{
+			Hits:   m.coalesceHits.Load(),
+			Misses: m.coalesceMisses.Load(),
+		},
+		Engine: apiv1.EngineCounters{
+			TasksCompleted: m.tasksCompleted.Load(),
+		},
+		Stages: m.stages.snapshot(),
+	}
+	m.codeMu.Lock()
+	if len(m.byCode) > 0 {
+		out.Requests.ByCode = make(map[string]int64, len(m.byCode))
+		for k, v := range m.byCode {
+			out.Requests.ByCode[k] = v
+		}
+	}
+	m.codeMu.Unlock()
+	return out
+}
+
+// histBoundsMillis are the fixed latency bucket upper bounds served in
+// /varz stage histograms.
+var histBoundsMillis = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// stageObserver aggregates per-stage latency histograms. It implements
+// stage.Observer and is installed into the engine's observer chain, so
+// every pipeline stage of every task feeds it; OnStageEnd may be
+// called from many worker goroutines at once.
+type stageObserver struct {
+	mu sync.Mutex
+	m  map[string]*stageHist
+}
+
+type stageHist struct {
+	count    int64
+	total    time.Duration
+	buckets  []int64
+	overflow int64
+}
+
+func newStageObserver() *stageObserver {
+	return &stageObserver{m: make(map[string]*stageHist)}
+}
+
+func (o *stageObserver) OnStageStart(name string) {}
+
+func (o *stageObserver) OnStageEnd(name string, dur time.Duration, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h := o.m[name]
+	if h == nil {
+		h = &stageHist{buckets: make([]int64, len(histBoundsMillis))}
+		o.m[name] = h
+	}
+	h.count++
+	h.total += dur
+	ms := float64(dur.Microseconds()) / 1e3
+	for i, bound := range histBoundsMillis {
+		if ms <= bound {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.overflow++
+}
+
+// snapshot renders the histograms in pipeline order (canonical stages
+// first, any others sorted after), so /varz output is deterministic.
+func (o *stageObserver) snapshot() []apiv1.StageHistogram {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(o.m))
+	seen := make(map[string]bool, len(o.m))
+	for _, n := range stage.Names() {
+		if _, ok := o.m[n]; ok {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	extra := make([]string, 0)
+	for n := range o.m {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	out := make([]apiv1.StageHistogram, 0, len(names))
+	for _, n := range names {
+		h := o.m[n]
+		counts := make([]int64, len(h.buckets))
+		copy(counts, h.buckets)
+		out = append(out, apiv1.StageHistogram{
+			Stage:        n,
+			Count:        h.count,
+			TotalMillis:  float64(h.total.Microseconds()) / 1e3,
+			BoundsMillis: histBoundsMillis,
+			Counts:       counts,
+			Overflow:     h.overflow,
+		})
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter. Each client key
+// owns a bucket holding up to burst tokens, refilled continuously at
+// rate tokens per second; a request spends one token or is rejected.
+// Time is supplied by the caller (through the internal/clock seam), so
+// tests drive the refill deterministically.
+type limiter struct {
+	rate  float64 // tokens per second; <= 0 disables the limiter
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the client map; stale buckets (full again, so
+// indistinguishable from fresh ones) are evicted when it fills.
+const maxBuckets = 4096
+
+func newLimiter(ratePerSec float64, burst int) *limiter {
+	if ratePerSec <= 0 {
+		return &limiter{}
+	}
+	b := float64(burst)
+	if b < 1 {
+		// Default burst: one full second of rate, at least one token.
+		b = ratePerSec
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &limiter{
+		rate:    ratePerSec,
+		burst:   b,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow reports whether the client identified by key may proceed at
+// time now, spending one token if so.
+func (l *limiter) allow(key string, now time.Time) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.evictFull(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// evictFull drops buckets that, projected to now, have refilled
+// completely: a client whose bucket is full again behaves identically
+// to an unseen one, so the entry carries no information. Called with
+// mu held.
+func (l *limiter) evictFull(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,549 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	apiv1 "tableseg/api/v1"
+	"tableseg/internal/core"
+	"tableseg/internal/engine"
+	"tableseg/internal/experiments"
+	"tableseg/internal/sitegen"
+	"tableseg/internal/stage"
+)
+
+// siteInput builds one corpus Input for a named synthetic site.
+func siteInput(t testing.TB, slug string, pageIdx int) core.Input {
+	t.Helper()
+	p, err := sitegen.ProfileBySlug(slug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return experiments.BuildInput(sitegen.Generate(p, experiments.DefaultSeed), pageIdx)
+}
+
+// wireRequest converts a library Input into its wire shape.
+func wireRequest(in core.Input, method string) *apiv1.SegmentRequest {
+	req := &apiv1.SegmentRequest{Method: method, Target: in.Target}
+	for _, p := range in.ListPages {
+		req.ListPages = append(req.ListPages, apiv1.Page{Name: p.Name, HTML: p.HTML})
+	}
+	for _, p := range in.DetailPages {
+		req.DetailPages = append(req.DetailPages, apiv1.Page{Name: p.Name, HTML: p.HTML})
+	}
+	return req
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if reflect.DeepEqual(cfg.Engine.Options, core.Options{}) {
+		cfg.Engine.Options = core.DefaultOptions(core.Probabilistic)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// postSegment posts a request and decodes either envelope. Transport
+// and decoding failures panic (not t.Fatal) so the helper is safe to
+// call from the goroutines several tests spawn.
+func postSegment(t *testing.T, url string, req *apiv1.SegmentRequest, clientID string) (*http.Response, *apiv1.SegmentResponse, *apiv1.ErrorResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, url+apiv1.PathSegment, bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	if clientID != "" {
+		httpReq.Header.Set("X-Client-Id", clientID)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out apiv1.SegmentResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			panic(err)
+		}
+		return resp, &out, nil
+	}
+	var out apiv1.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		panic(fmt.Sprintf("status %d: decoding error envelope: %v", resp.StatusCode, err))
+	}
+	return resp, nil, &out
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// gateObserver blocks the first pipeline stage it sees until released,
+// making "a computation is in flight right now" a deterministic test
+// state instead of a race.
+type gateObserver struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGate() *gateObserver {
+	return &gateObserver{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateObserver) OnStageStart(name string) {
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.release
+	})
+}
+
+func (g *gateObserver) OnStageEnd(string, time.Duration, error) {}
+
+// TestServeMatchesLibrary: the daemon's response mirrors a direct
+// library segmentation of the same input — same records, table and
+// counters — so remote and local callers cannot drift apart.
+func TestServeMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := siteInput(t, "allegheny", 0)
+	seg, err := core.SegmentContext(context.Background(), in, core.DefaultOptions(core.Probabilistic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := wireRequest(in, "probabilistic")
+	req.WantStats = true
+	resp, got, _ := postSegment(t, ts.URL, req, "")
+	if got == nil {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	want := apiv1.ResponseFromSegmentation(seg, nil)
+	if !reflect.DeepEqual(got.Records, want.Records) {
+		t.Error("served records differ from library segmentation")
+	}
+	if !reflect.DeepEqual(got.Table, want.Table) {
+		t.Error("served table differs from library segmentation")
+	}
+	if got.AnalyzedExtracts != want.AnalyzedExtracts || got.TotalExtracts != want.TotalExtracts {
+		t.Error("extract counters differ")
+	}
+	if got.Coalesced {
+		t.Error("uncontended request reported coalesced")
+	}
+	if got.Stats == nil || len(got.Stats.Stages) == 0 {
+		t.Error("wantStats did not produce per-stage timings")
+	}
+}
+
+// TestCoalesceConcurrentIdentical is the tentpole acceptance check:
+// two concurrent identical submissions perform ONE segmentation, the
+// follower's response is marked coalesced, and /varz records exactly
+// one hit and one miss.
+func TestCoalesceConcurrentIdentical(t *testing.T) {
+	gate := newGate()
+	s, ts := newTestServer(t, Config{Engine: engineConfig(gate)})
+	req := wireRequest(siteInput(t, "allegheny", 0), "")
+
+	type reply struct {
+		ok  *apiv1.SegmentResponse
+		err *apiv1.ErrorResponse
+	}
+	results := make(chan reply, 2)
+	post := func() {
+		_, ok, werr := postSegment(t, ts.URL, req, "")
+		results <- reply{ok, werr}
+	}
+	go post()
+	<-gate.entered // leader is now inside the pipeline, holding the flight
+	go post()
+	waitUntil(t, "follower to join the flight", func() bool {
+		return s.metrics.coalesceHits.Load() == 1
+	})
+	close(gate.release)
+
+	var coalesced, fresh int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.ok == nil {
+			t.Fatalf("request failed: %+v", r.err)
+		}
+		if r.ok.Coalesced {
+			coalesced++
+		} else {
+			fresh++
+		}
+	}
+	if fresh != 1 || coalesced != 1 {
+		t.Errorf("fresh=%d coalesced=%d, want 1 and 1", fresh, coalesced)
+	}
+	if n := s.metrics.tasksCompleted.Load(); n != 1 {
+		t.Errorf("engine ran %d tasks, want 1", n)
+	}
+	m := s.Varz()
+	if m.Coalesce.Hits != 1 || m.Coalesce.Misses != 1 {
+		t.Errorf("varz coalesce = %+v, want hits=1 misses=1", m.Coalesce)
+	}
+	if m.Coalesce.InFlightKeys != 0 {
+		t.Errorf("coalescing map holds %d keys after completion, want 0", m.Coalesce.InFlightKeys)
+	}
+}
+
+func engineConfig(obs stage.Observer) engine.Config {
+	return engine.Config{
+		Options:  core.DefaultOptions(core.Probabilistic),
+		Observer: obs,
+	}
+}
+
+// TestRateLimit: a client that exhausts its bucket gets 429 with a
+// Retry-After hint; an independent client is unaffected.
+func TestRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{RatePerSec: 0.001, Burst: 1})
+	req := wireRequest(siteInput(t, "allegheny", 0), "")
+	if resp, ok, _ := postSegment(t, ts.URL, req, "alice"); ok == nil {
+		t.Fatalf("first request: status %d, want 200", resp.StatusCode)
+	}
+	resp, _, werr := postSegment(t, ts.URL, req, "alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp.StatusCode)
+	}
+	if werr.Error.Code != apiv1.CodeRateLimited {
+		t.Errorf("code = %q, want rate_limited", werr.Error.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if resp, ok, _ := postSegment(t, ts.URL, req, "bob"); ok == nil {
+		t.Errorf("independent client: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestAdmissionQueueFull: with one slot held and the wait queue at
+// capacity, the next non-identical request is rejected 429 queue_full.
+func TestAdmissionQueueFull(t *testing.T) {
+	gate := newGate()
+	s, ts := newTestServer(t, Config{Engine: engineConfig(gate), MaxInFlight: 1, MaxQueue: 1})
+	reqA := wireRequest(siteInput(t, "allegheny", 0), "")
+	reqB := wireRequest(siteInput(t, "allegheny", 1), "")
+	reqC := wireRequest(siteInput(t, "butler", 0), "")
+
+	done := make(chan struct{}, 2)
+	go func() {
+		postSegment(t, ts.URL, reqA, "")
+		done <- struct{}{}
+	}()
+	<-gate.entered
+	go func() {
+		postSegment(t, ts.URL, reqB, "")
+		done <- struct{}{}
+	}()
+	waitUntil(t, "request B to queue", func() bool { return s.queued.Load() == 1 })
+
+	resp, _, werr := postSegment(t, ts.URL, reqC, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-queue request: status %d, want 429", resp.StatusCode)
+	}
+	if werr.Error.Code != apiv1.CodeQueueFull {
+		t.Errorf("code = %q, want queue_full", werr.Error.Code)
+	}
+	close(gate.release)
+	<-done
+	<-done
+}
+
+// TestDeadlineWhileQueued: a request whose deadline expires while
+// waiting for an engine slot gets 504 deadline_exceeded.
+func TestDeadlineWhileQueued(t *testing.T) {
+	gate := newGate()
+	_, ts := newTestServer(t, Config{Engine: engineConfig(gate), MaxInFlight: 1})
+	go postSegment(t, ts.URL, wireRequest(siteInput(t, "allegheny", 0), ""), "")
+	<-gate.entered
+
+	req := wireRequest(siteInput(t, "butler", 0), "")
+	req.TimeoutMillis = 50
+	resp, _, werr := postSegment(t, ts.URL, req, "")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if werr.Error.Code != apiv1.CodeDeadlineExceeded {
+		t.Errorf("code = %q, want deadline_exceeded", werr.Error.Code)
+	}
+	close(gate.release)
+}
+
+// TestGracefulDrain: during drain an in-flight request completes
+// normally, a queued-but-unadmitted one is released with a clean 503,
+// new arrivals are rejected 503, and /healthz flips to 503.
+func TestGracefulDrain(t *testing.T) {
+	gate := newGate()
+	s, err := New(Config{Engine: engineConfig(gate), MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		code   apiv1.Code
+	}
+	results := make(chan result, 2)
+	post := func(req *apiv1.SegmentRequest) {
+		resp, ok, werr := postSegment(t, ts.URL, req, "")
+		r := result{status: resp.StatusCode}
+		if ok == nil && werr != nil {
+			r.code = werr.Error.Code
+		}
+		results <- r
+	}
+	go post(wireRequest(siteInput(t, "allegheny", 0), "")) // in-flight
+	<-gate.entered
+	go post(wireRequest(siteInput(t, "butler", 0), "")) // queued
+	waitUntil(t, "second request to queue", func() bool { return s.queued.Load() == 1 })
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// The queued request must be released promptly with 503.
+	r := <-results
+	if r.status != http.StatusServiceUnavailable || r.code != apiv1.CodeDraining {
+		t.Errorf("queued request during drain: status=%d code=%q, want 503 draining", r.status, r.code)
+	}
+	// A brand-new arrival is rejected outright.
+	resp, _, werr := postSegment(t, ts.URL, wireRequest(siteInput(t, "michigan", 0), ""), "")
+	if resp.StatusCode != http.StatusServiceUnavailable || werr.Error.Code != apiv1.CodeDraining {
+		t.Errorf("new request during drain: status=%d, want 503 draining", resp.StatusCode)
+	}
+	hz, err := http.Get(ts.URL + apiv1.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: %d, want 503", hz.StatusCode)
+	}
+	// The in-flight request runs to completion.
+	close(gate.release)
+	r = <-results
+	if r.status != http.StatusOK {
+		t.Errorf("in-flight request during drain: status=%d, want 200", r.status)
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	// Idempotent.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+// TestHealthzAndVarz: the operational endpoints serve liveness and a
+// parseable metrics snapshot with per-stage histograms.
+func TestHealthzAndVarz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	hz, err := http.Get(ts.URL + apiv1.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", hz.StatusCode)
+	}
+
+	if _, ok, _ := postSegment(t, ts.URL, wireRequest(siteInput(t, "allegheny", 0), ""), ""); ok == nil {
+		t.Fatal("segmentation request failed")
+	}
+	vz, err := http.Get(ts.URL + apiv1.PathVarz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vz.Body.Close()
+	var m apiv1.Metrics
+	if err := json.NewDecoder(vz.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests.Total != 1 || m.Requests.OK != 1 {
+		t.Errorf("request counters = %+v", m.Requests)
+	}
+	if m.Engine.TasksCompleted != 1 {
+		t.Errorf("tasksCompleted = %d", m.Engine.TasksCompleted)
+	}
+	if len(m.Stages) == 0 {
+		t.Fatal("varz has no stage histograms")
+	}
+	if m.Stages[0].Stage != stage.StageTokenize {
+		t.Errorf("first histogram is %q, want pipeline order", m.Stages[0].Stage)
+	}
+	for _, h := range m.Stages {
+		var sum int64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum+h.Overflow != h.Count {
+			t.Errorf("stage %s: bucket sum %d+%d != count %d", h.Stage, sum, h.Overflow, h.Count)
+		}
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Error("uptime not reported")
+	}
+}
+
+// TestRequestErrors: malformed and unsegmentable requests map to their
+// typed wire codes and statuses through the full HTTP stack.
+func TestRequestErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+apiv1.PathSegment, "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", resp.StatusCode)
+	}
+
+	get, err := http.Get(ts.URL + apiv1.PathSegment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d, want 405", get.StatusCode)
+	}
+
+	req := wireRequest(siteInput(t, "allegheny", 0), "quantum")
+	r2, _, werr := postSegment(t, ts.URL, req, "")
+	if r2.StatusCode != http.StatusBadRequest || werr.Error.Code != apiv1.CodeBadOptions {
+		t.Errorf("unknown method: status=%d code=%q", r2.StatusCode, werr.Error.Code)
+	}
+
+	short := &apiv1.SegmentRequest{
+		DetailPages: []apiv1.Page{{HTML: "<html><body>d</body></html>"}},
+	}
+	r3, _, werr3 := postSegment(t, ts.URL, short, "")
+	if r3.StatusCode != http.StatusBadRequest || werr3.Error.Code != apiv1.CodeTooFewListPages {
+		t.Errorf("no list pages: status=%d code=%q, want 400 too_few_list_pages", r3.StatusCode, werr3.Error.Code)
+	}
+}
+
+// TestServerNoGoroutineLeak: a burst of mixed traffic followed by
+// drain leaves no goroutines behind (and the coalescing map empty).
+func TestServerNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		s, err := New(Config{Engine: engineConfig(nil), MaxInFlight: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		var wg sync.WaitGroup
+		req := wireRequest(siteInput(t, "allegheny", 0), "")
+		for i := 0; i < 6; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				postSegment(t, ts.URL, req, "")
+			}()
+		}
+		wg.Wait()
+		if n := s.flights.size(); n != 0 {
+			t.Errorf("coalescing map holds %d keys after burst", n)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if n := settledGoroutines(base); n > base {
+		t.Errorf("goroutines: %d before, %d after drain", base, n)
+	}
+}
+
+func settledGoroutines(base int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 200 && n > base; i++ {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestEffectiveTimeout pins deadline resolution: request deadlines are
+// clamped to MaxTimeout and DefaultTimeout fills in absent ones.
+func TestEffectiveTimeout(t *testing.T) {
+	s := &Server{cfg: Config{DefaultTimeout: 2 * time.Second, MaxTimeout: 5 * time.Second}}
+	cases := []struct {
+		millis int64
+		want   time.Duration
+	}{
+		{0, 2 * time.Second},
+		{1000, time.Second},
+		{60000, 5 * time.Second},
+	}
+	for _, c := range cases {
+		if got := s.effectiveTimeout(c.millis); got != c.want {
+			t.Errorf("effectiveTimeout(%d) = %v, want %v", c.millis, got, c.want)
+		}
+	}
+	unclamped := &Server{cfg: Config{}}
+	if got := unclamped.effectiveTimeout(0); got != 0 {
+		t.Errorf("no default, no request deadline: %v, want 0", got)
+	}
+}
+
+// TestLimiterRefill drives the token bucket with synthetic clocks.
+func TestLimiterRefill(t *testing.T) {
+	start := time.Unix(1000, 0)
+	l := newLimiter(2, 2) // 2/s, burst 2
+	if !l.allow("c", start) || !l.allow("c", start) {
+		t.Fatal("burst tokens rejected")
+	}
+	if l.allow("c", start) {
+		t.Fatal("empty bucket allowed a request")
+	}
+	if !l.allow("c", start.Add(500*time.Millisecond)) {
+		t.Fatal("refilled token rejected")
+	}
+	if l.allow("c", start.Add(500*time.Millisecond)) {
+		t.Fatal("double spend after single refill")
+	}
+}

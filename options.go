@@ -1,0 +1,64 @@
+package tableseg
+
+// Option is one functional configuration step applied by NewOptions.
+// Options built this way are validated once, at construction, so a
+// typo'd solver name or an out-of-range parameter surfaces as
+// ErrBadOptions immediately instead of at the first Segment call.
+type Option func(*Options)
+
+// NewOptions builds a validated Options from the paper-reproduction
+// defaults plus the given functional options, applied in order. The
+// zero call NewOptions() is DefaultOptions(CSP); NewOptions(
+// WithMethod(Probabilistic)) is DefaultOptions(Probabilistic), and so
+// on — the helpers are the preferred replacement for the positional
+// DefaultOptions(m)-then-mutate configuration path.
+//
+//	opts, err := tableseg.NewOptions(
+//	    tableseg.WithMethod(tableseg.Probabilistic),
+//	    tableseg.WithSolver("combined"),
+//	)
+func NewOptions(opts ...Option) (Options, error) {
+	o := DefaultOptions(CSP)
+	for _, apply := range opts {
+		apply(&o)
+	}
+	if err := o.Validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+// WithMethod selects the segmentation method (CSP, Probabilistic or
+// Combined).
+func WithMethod(m Method) Option {
+	return func(o *Options) { o.Method = m }
+}
+
+// WithSolver names a registered solver to run, overriding the method's
+// default ("csp", "probabilistic", "combined", "exact", "greedy",
+// "uniform", or a caller's own registration). Unknown names are
+// rejected by NewOptions with ErrBadOptions.
+func WithSolver(name string) Option {
+	return func(o *Options) { o.Solver = name }
+}
+
+// WithCSPParams replaces the constraint-solver configuration.
+func WithCSPParams(p CSPParams) Option {
+	return func(o *Options) { o.CSPParams = p }
+}
+
+// WithPHMMParams replaces the probabilistic-model configuration.
+func WithPHMMParams(p PHMMParams) Option {
+	return func(o *Options) { o.PHMMParams = p }
+}
+
+// WithMinSlotQuality sets the table-slot quality threshold below which
+// the whole-page fallback fires (see Options.MinSlotQuality).
+func WithMinSlotQuality(q float64) Option {
+	return func(o *Options) { o.MinSlotQuality = q }
+}
+
+// WithMineLabels toggles §3.4 semantic column-label mining.
+func WithMineLabels(on bool) Option {
+	return func(o *Options) { o.MineLabels = on }
+}

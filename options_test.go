@@ -1,0 +1,84 @@
+package tableseg
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestNewOptionsEquivalence pins the functional-options path to the
+// positional one: NewOptions(WithMethod(m)) must be exactly
+// DefaultOptions(m) for every method, so callers can migrate without a
+// behavior change.
+func TestNewOptionsEquivalence(t *testing.T) {
+	for _, m := range []Method{CSP, Probabilistic, Combined} {
+		got, err := NewOptions(WithMethod(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, DefaultOptions(m)) {
+			t.Errorf("NewOptions(WithMethod(%v)) != DefaultOptions(%v)", m, m)
+		}
+	}
+	got, err := NewOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, DefaultOptions(CSP)) {
+		t.Error("NewOptions() != DefaultOptions(CSP)")
+	}
+}
+
+// TestNewOptionsApplies: helpers override their field and leave the
+// rest of the defaults untouched.
+func TestNewOptionsApplies(t *testing.T) {
+	opts, err := NewOptions(
+		WithMethod(Probabilistic),
+		WithSolver("greedy"),
+		WithMinSlotQuality(0.25),
+		WithMineLabels(false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Method != Probabilistic || opts.Solver != "greedy" {
+		t.Errorf("method/solver not applied: %+v", opts)
+	}
+	if opts.MinSlotQuality != 0.25 || opts.MineLabels {
+		t.Errorf("scalar options not applied: %+v", opts)
+	}
+	want := DefaultOptions(Probabilistic)
+	if !reflect.DeepEqual(opts.CSPParams, want.CSPParams) ||
+		!reflect.DeepEqual(opts.PHMMParams, want.PHMMParams) {
+		t.Error("untouched parameter blocks drifted from defaults")
+	}
+
+	cspParams := DefaultOptions(CSP).CSPParams
+	cspParams.WSAT.Restarts = 3
+	withParams, err := NewOptions(WithCSPParams(cspParams))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withParams.CSPParams.WSAT.Restarts != 3 {
+		t.Error("WithCSPParams not applied")
+	}
+	phmmParams := DefaultOptions(Probabilistic).PHMMParams
+	withPHMM, err := NewOptions(WithMethod(Probabilistic), WithPHMMParams(phmmParams))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withPHMM.PHMMParams, phmmParams) {
+		t.Error("WithPHMMParams not applied")
+	}
+}
+
+// TestNewOptionsValidates: construction-time validation rejects bad
+// configuration with the typed sentinel.
+func TestNewOptionsValidates(t *testing.T) {
+	if _, err := NewOptions(WithSolver("no-such-solver")); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("unknown solver: err = %v, want ErrBadOptions", err)
+	}
+	if _, err := NewOptions(WithMinSlotQuality(-2)); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("negative quality: err = %v, want ErrBadOptions", err)
+	}
+}

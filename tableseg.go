@@ -91,7 +91,10 @@ type CSPParams = csp.SolveParams
 type PHMMParams = phmm.Params
 
 // DefaultOptions returns the paper-reproduction configuration for a
-// method.
+// method. It remains fully supported, but new code should prefer the
+// functional-option path — NewOptions(WithMethod(m), ...) — which
+// yields the identical configuration and validates it at construction
+// instead of at the first Segment call.
 func DefaultOptions(m Method) Options { return core.DefaultOptions(m) }
 
 // SegmentContext runs the full pipeline with explicit options under a
@@ -139,7 +142,10 @@ func WriteCSV(w io.Writer, seg *Segmentation) error {
 			return err
 		}
 	}
-	width := 0
+	// Pad every row to the wider of the widest row and the header, so
+	// the CSV is rectangular even when some learned columns are empty
+	// in every record.
+	width := len(seg.ColumnLabels)
 	for _, row := range table {
 		if len(row) > width {
 			width = len(row)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"tableseg/internal/extract"
 	"tableseg/internal/sitegen"
 )
 
@@ -241,5 +242,47 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 				t.Errorf("%s: row %d = %q, want %q", name, i, rows[i], padded)
 			}
 		}
+	}
+}
+
+// TestWriteCSVPadsToHeader is a regression test: when label mining
+// produces more column labels than any record's widest assigned
+// column, data rows must still be padded to the header's width so the
+// CSV stays rectangular.
+func TestWriteCSVPadsToHeader(t *testing.T) {
+	seg := &Segmentation{
+		Method:       Probabilistic,
+		ColumnLabels: []string{"Name", "Address", "Phone"},
+		Records: []Record{
+			{
+				Index:    0,
+				Extracts: []extract.Extract{{Words: []string{"Ann"}}},
+				Columns:  []int{0},
+			},
+			{
+				Index:    1,
+				Extracts: []extract.Extract{{Words: []string{"Bob"}}, {Words: []string{"12 Elm St"}}},
+				Columns:  []int{0, 1},
+			},
+		},
+	}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, seg); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not rectangular CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want header + 2 records", len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != 3 {
+			t.Errorf("row %d has %d fields, want 3 (header width)", i, len(row))
+		}
+	}
+	if rows[1][2] != "" || rows[2][2] != "" {
+		t.Error("padding cells are not empty")
 	}
 }

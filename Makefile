@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json lint-sarif lint-self serve-smoke check bench bench-stages experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint lint-json lint-sarif lint-self serve-smoke check bench bench-stages bench-check experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -14,29 +14,35 @@ vet:
 
 # Project-specific static analysis: determinism, context discipline,
 # error wrapping, float equality, stage purity, the CFG-based
-# concurrency checks and the dataflow checks (rngflow, probflow,
-# aliasflow — see internal/analysis). Exits non-zero on any finding.
+# concurrency checks, the dataflow checks (rngflow, probflow,
+# aliasflow) and the interprocedural call-graph checks (ctxflow,
+# lockflow, httpresp — see internal/analysis). Exits non-zero on any
+# finding. LINTCACHE keys cached per-package results by content hash;
+# set LINTCACHE= to force a full re-analysis.
+LINTCACHE ?= .tableseglint-cache
+
 lint: vet
-	$(GO) run ./cmd/tableseglint
+	$(GO) run ./cmd/tableseglint -cache '$(LINTCACHE)'
 
 # Machine-readable variants of the same gate: a flat JSON array for
 # scripting, and a SARIF 2.1.0 log (written to tableseglint.sarif,
 # what the CI lint job uploads as an artifact). Both exit 1 on
 # findings, like lint.
 lint-json: vet
-	$(GO) run ./cmd/tableseglint -json
+	$(GO) run ./cmd/tableseglint -json -cache '$(LINTCACHE)'
 
 lint-sarif: vet
-	$(GO) run ./cmd/tableseglint -sarif > tableseglint.sarif
+	$(GO) run ./cmd/tableseglint -sarif -cache '$(LINTCACHE)' > tableseglint.sarif
 
-# Self-lint: run the full suite (all 11 analyzers) over the analysis
+# Self-lint: run the full suite (all 14 analyzers) over the analysis
 # machinery itself — so the linter is held to its own invariants — and
 # over the daemon stack (api/v1, internal/server and its client),
 # which was written to pass every concurrency analyzer without
-# exemptions. CI's selflint job runs this and uploads
-# tableseglint-self.sarif.
+# exemptions. -baseline-strict keeps the (currently empty) baseline
+# honest: a stale suppression fails the run. CI's selflint job runs
+# this and uploads tableseglint-self.sarif.
 lint-self:
-	$(GO) run ./cmd/tableseglint internal/analysis internal/analysis/cfg internal/analysis/dataflow cmd/tableseglint api/v1 internal/server internal/server/client
+	$(GO) run ./cmd/tableseglint -cache '$(LINTCACHE)' -baseline lint/selflint-baseline.json -baseline-strict internal/analysis internal/analysis/callgraph internal/analysis/cfg internal/analysis/dataflow cmd/tableseglint api/v1 internal/server internal/server/client
 
 # End-to-end daemon smoke test: start tablesegd, segment a synthetic
 # site through `tableseg -remote`, assert byte-identical output to the
@@ -79,6 +85,13 @@ bench:
 bench-stages:
 	$(GO) test -bench '^(BenchmarkStage|BenchmarkSolver)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -filter '^(Stage|Solver)' -out BENCH_stages.json
 
+# Re-run the stage/solver microbenchmarks and diff against the
+# committed BENCH_stages.json. Advisory: regressions beyond the
+# tolerance are printed, never fatal (CI runners jitter), and the
+# committed file is left untouched.
+bench-check:
+	$(GO) test -bench '^(BenchmarkStage|BenchmarkSolver)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -filter '^(Stage|Solver)' -baseline BENCH_stages.json -tolerance 30 -out /dev/null
+
 # Render the synthetic twelve-site corpus to ./corpus.
 corpus:
 	$(GO) run ./cmd/sitegen -out corpus
@@ -93,5 +106,5 @@ fuzz:
 	$(GO) test -fuzz=FuzzExtracts -fuzztime=30s ./internal/extract
 
 clean:
-	rm -rf corpus
+	rm -rf corpus .tableseglint-cache
 	rm -f tableseglint.sarif

@@ -1,0 +1,72 @@
+package main
+
+// Baseline comparison: `benchjson -baseline BENCH_stages.json` diffs
+// the freshly parsed report against a previously committed one and
+// prints a warning for every benchmark whose ns/op grew by more than
+// -tolerance percent. The comparison is advisory — microbenchmarks on
+// shared CI runners jitter too much for a hard gate — so regressions
+// never change the exit status; they are meant to be read, not to
+// block. `make bench-check` wires this up.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// loadReport reads a report previously written by benchjson -out.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: reading baseline: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compare writes one line per regressed, missing or new benchmark to w
+// and returns the number of regressions beyond the tolerance.
+func compare(w io.Writer, baseline, current *Report, tolerancePct float64) int {
+	old := make(map[string]Record, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		old[r.Name] = r
+	}
+	regressions := 0
+	seen := make(map[string]bool, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		seen[r.Name] = true
+		prev, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %s: new benchmark, no baseline\n", r.Name)
+			continue
+		}
+		if prev.NsPerOp <= 0 {
+			continue
+		}
+		deltaPct := (r.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100
+		if deltaPct > tolerancePct {
+			regressions++
+			fmt.Fprintf(w, "benchjson: %s: ns/op regressed %+.1f%% (%.0f -> %.0f), tolerance %.0f%%\n",
+				r.Name, deltaPct, prev.NsPerOp, r.NsPerOp, tolerancePct)
+		}
+	}
+	var gone []string
+	for name := range old {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "benchjson: %s: present in baseline but not in this run\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) beyond tolerance (advisory; not failing the run)\n", regressions)
+	}
+	return regressions
+}

@@ -86,7 +86,7 @@ func parseLine(line string) (Record, bool) {
 	return rec, seen
 }
 
-func run(filter *regexp.Regexp, out string) error {
+func run(filter *regexp.Regexp, out string) (*Report, error) {
 	var report Report
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -100,26 +100,28 @@ func run(filter *regexp.Regexp, out string) error {
 		report.Benchmarks = append(report.Benchmarks, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("benchjson: reading stdin: %w", err)
+		return nil, fmt.Errorf("benchjson: reading stdin: %w", err)
 	}
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
-		return fmt.Errorf("benchjson: %w", err)
+		return nil, fmt.Errorf("benchjson: %w", err)
 	}
 	data = append(data, '\n')
 	if out == "-" {
 		_, err := os.Stdout.Write(data)
-		return err
+		return &report, err
 	}
 	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return fmt.Errorf("benchjson: %w", err)
+		return nil, fmt.Errorf("benchjson: %w", err)
 	}
-	return nil
+	return &report, nil
 }
 
 func main() {
 	filterFlag := flag.String("filter", "", "regexp selecting benchmark names for the report (empty = all)")
 	out := flag.String("out", "-", "output file (- = stdout)")
+	baselinePath := flag.String("baseline", "", "prior report to diff against (warnings only, never fails the run)")
+	tolerance := flag.Float64("tolerance", 20, "ns/op growth beyond this percentage is reported as a regression")
 	flag.Parse()
 
 	filter, err := regexp.Compile(*filterFlag)
@@ -127,8 +129,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: bad -filter:", err)
 		os.Exit(2)
 	}
-	if err := run(filter, *out); err != nil {
+	report, err := run(filter, *out)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *baselinePath != "" {
+		baseline, err := loadReport(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		compare(os.Stderr, baseline, report, *tolerance)
 	}
 }

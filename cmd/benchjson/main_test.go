@@ -1,7 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -42,5 +46,65 @@ func TestParseLine(t *testing.T) {
 		if ok && !reflect.DeepEqual(got, c.want) {
 			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
 		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := &Report{Benchmarks: []Record{
+		{Name: "StageTokenize", NsPerOp: 1000},
+		{Name: "StageSegment", NsPerOp: 2000},
+		{Name: "SolverRemoved", NsPerOp: 500},
+	}}
+	current := &Report{Benchmarks: []Record{
+		{Name: "StageTokenize", NsPerOp: 1050}, // +5%: within tolerance
+		{Name: "StageSegment", NsPerOp: 2600},  // +30%: regression
+		{Name: "SolverAdded", NsPerOp: 100},    // new, no baseline
+	}}
+	var buf strings.Builder
+	got := compare(&buf, baseline, current, 20)
+	if got != 1 {
+		t.Fatalf("compare returned %d regressions, want 1\n%s", got, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"StageSegment: ns/op regressed +30.0% (2000 -> 2600)",
+		"SolverAdded: new benchmark, no baseline",
+		"SolverRemoved: present in baseline but not in this run",
+		"advisory",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "StageTokenize") {
+		t.Errorf("within-tolerance benchmark reported:\n%s", out)
+	}
+
+	buf.Reset()
+	if got := compare(&buf, baseline, baseline, 20); got != 0 || buf.Len() != 0 {
+		t.Errorf("identical reports: %d regressions, output %q", got, buf.String())
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	want := &Report{Benchmarks: []Record{{Name: "StageTokenize", Iterations: 10, NsPerOp: 42}}}
+	data, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("loadReport = %+v, want %+v", got, want)
+	}
+	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loadReport on a missing file returned no error")
 	}
 }

@@ -1,12 +1,14 @@
 // Command tableseglint runs the repository's static-analysis suite
 // (internal/analysis) over every package of the module and reports
 // violations of the determinism, context-discipline, error-wrapping,
-// float-equality, stage-purity and concurrency (goroutine-exit, lock
-// and channel-ownership) invariants with file:line positions.
+// float-equality, stage-purity, concurrency (goroutine-exit, lock and
+// channel-ownership), dataflow (RNG-provenance, probability,
+// aliasing) and interprocedural (context-flow, lock-flow,
+// handler-response) invariants with file:line positions.
 //
 // Usage:
 //
-//	tableseglint [-root dir] [-json | -sarif] [-analyzers list] [-baseline file] [packages...]
+//	tableseglint [-root dir] [-json | -sarif] [-analyzers list] [-baseline file [-baseline-strict]] [-cache dir] [-jobs n] [-timing] [packages...]
 //	tableseglint -list
 //
 // With no package arguments every package under the module root is
@@ -18,15 +20,27 @@
 // -analyzers runs only the named subset (comma-separated; unknown
 // names are a usage error). -baseline replays a previous `-json` run
 // and suppresses every finding already recorded there, so CI fails
-// only on findings introduced since the baseline was cut.
+// only on findings introduced since the baseline was cut;
+// -baseline-strict additionally fails the run when the baseline holds
+// stale entries that matched nothing.
+//
+// The interprocedural analyzers consume whole-module call-graph
+// summaries, so the driver loads packages once, builds the fact base,
+// and then analyzes packages in parallel (bounded by -jobs). -cache
+// names a directory holding per-package diagnostics keyed by a
+// content hash of the package, its transitive module-local imports,
+// go.mod and the analyzer selection; warm entries skip loading and
+// analysis entirely and the merged output is byte-identical either
+// way. -timing prints per-analyzer wall time per package to stderr.
 //
 // Output is plain file:line text by default; -json emits a flat JSON
 // array and -sarif a SARIF 2.1.0 log for CI code-scanning upload.
 // Whatever the format, diagnostics are ordered by file, line and
 // column across all packages, so output is diff-stable.
 //
-// Exit codes: 0 when the tree is clean, 1 when findings survive, 2 on
-// usage or load errors.
+// Exit codes: 0 when the tree is clean, 1 when findings survive (or
+// -baseline-strict finds stale suppressions), 2 on usage or load
+// errors.
 package main
 
 import (
@@ -36,8 +50,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"tableseg/internal/analysis"
 )
@@ -56,12 +72,20 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	asSARIF := flags.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	analyzerList := flags.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	baselinePath := flags.String("baseline", "", "JSON file from a previous -json run; findings recorded there are suppressed")
+	baselineStrict := flags.Bool("baseline-strict", false, "with -baseline: fail when the baseline holds stale entries that matched nothing")
+	cacheDir := flags.String("cache", "", "directory for the per-package diagnostic cache (empty: cache disabled)")
+	jobs := flags.Int("jobs", runtime.NumCPU(), "maximum packages analyzed concurrently")
+	timing := flags.Bool("timing", false, "print per-analyzer wall time per package to stderr")
 	list := flags.Bool("list", false, "print analyzer names and docs, then exit")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
 	if *asJSON && *asSARIF {
 		fmt.Fprintln(stderr, "tableseglint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *baselineStrict && *baselinePath == "" {
+		fmt.Fprintln(stderr, "tableseglint: -baseline-strict requires -baseline")
 		return 2
 	}
 
@@ -81,11 +105,20 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		suite = selected
 	}
 
-	diags, err := run(*root, flags.Args(), suite)
+	diags, err := run(runConfig{
+		root:     *root,
+		pkgDirs:  flags.Args(),
+		suite:    suite,
+		cacheDir: *cacheDir,
+		jobs:     *jobs,
+		timing:   *timing,
+		stderr:   stderr,
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "tableseglint:", err)
 		return 2
 	}
+	staleBaseline := false
 	if *baselinePath != "" {
 		baseline, err := analysis.LoadBaseline(*baselinePath)
 		if err != nil {
@@ -93,9 +126,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		var suppressed int
-		diags, suppressed = baseline.Filter(diags)
+		var stale []string
+		diags, suppressed, stale = baseline.FilterStrict(diags)
 		if suppressed > 0 {
 			fmt.Fprintf(stderr, "tableseglint: %d baseline finding(s) suppressed\n", suppressed)
+		}
+		if *baselineStrict && len(stale) > 0 {
+			staleBaseline = true
+			fmt.Fprintf(stderr, "tableseglint: %d stale baseline entr(ies) matched nothing; re-record the baseline:\n", len(stale))
+			for _, s := range stale {
+				fmt.Fprintf(stderr, "  stale: %s\n", s)
+			}
 		}
 	}
 
@@ -121,6 +162,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(stderr, "tableseglint: %d finding(s)\n", n)
+		return 1
+	}
+	if staleBaseline {
 		return 1
 	}
 	return 0
@@ -159,31 +203,149 @@ func selectAnalyzers(suite []*analysis.Analyzer, names string) ([]*analysis.Anal
 	return out, nil
 }
 
-func run(root string, pkgDirs []string, suite []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	modPath, err := analysis.ModulePathOf(root)
+// runConfig carries one lint invocation's settings into run.
+type runConfig struct {
+	root     string
+	pkgDirs  []string
+	suite    []*analysis.Analyzer
+	cacheDir string
+	jobs     int
+	timing   bool
+	stderr   io.Writer
+}
+
+// pkgResult is one package's outcome, keyed for deterministic
+// reporting whatever order the workers finish in.
+type pkgResult struct {
+	dir     string
+	cached  bool
+	diags   []analysis.Diagnostic
+	timings []analysis.AnalyzerTiming
+}
+
+func run(rc runConfig) ([]analysis.Diagnostic, error) {
+	modPath, err := analysis.ModulePathOf(rc.root)
 	if err != nil {
 		return nil, err
 	}
+	pkgDirs := rc.pkgDirs
 	if len(pkgDirs) == 0 {
-		pkgDirs, err = packageDirs(root)
+		pkgDirs, err = packageDirs(rc.root)
 		if err != nil {
 			return nil, err
 		}
 	}
-	loader := analysis.NewLoader(root, modPath)
-	cfg := analysis.DefaultConfig()
+
+	results := make(map[string]*pkgResult, len(pkgDirs))
+
+	// Warm-cache pass: decide hit or miss from content hashes alone,
+	// without loading anything.
+	var keys map[string]string
+	if rc.cacheDir != "" {
+		keyer := newCacheKeyer(rc.root, modPath, rc.suite)
+		keys = make(map[string]string, len(pkgDirs))
+		for _, dir := range pkgDirs {
+			key, err := keyer.key(dir)
+			if err != nil {
+				// Unkeyable (e.g. parse error): fall through to a real
+				// load, which reports the error properly.
+				continue
+			}
+			keys[dir] = key
+			if diags, ok := cacheLoad(rc.cacheDir, key); ok {
+				results[dir] = &pkgResult{dir: dir, cached: true, diags: diags}
+			}
+		}
+	}
+
+	// Load the misses (the loader pulls module-local dependencies in
+	// recursively, so the fact base sees every callee) and build the
+	// shared call-graph summaries.
+	var missDirs []string
+	for _, dir := range pkgDirs {
+		if results[dir] == nil {
+			missDirs = append(missDirs, dir)
+		}
+	}
+	if len(missDirs) > 0 {
+		loader := analysis.NewLoader(rc.root, modPath)
+		cfg := analysis.DefaultConfig()
+		missPkgs := make([]*analysis.Package, len(missDirs))
+		for i, dir := range missDirs {
+			pkg, err := loader.LoadDir(filepath.Join(rc.root, dir))
+			if err != nil {
+				return nil, err
+			}
+			missPkgs[i] = pkg
+		}
+		facts := analysis.BuildFacts(loader.Packages())
+
+		// The fact base and config are read-only now; analyze packages
+		// in parallel, bounded by -jobs.
+		jobs := rc.jobs
+		if jobs < 1 {
+			jobs = 1
+		}
+		sem := make(chan struct{}, jobs)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for i, dir := range missDirs {
+			wg.Add(1)
+			go func(dir string, pkg *analysis.Package) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				diags, timings := analysis.RunTimed(pkg, cfg, rc.suite, facts)
+				mu.Lock()
+				results[dir] = &pkgResult{dir: dir, diags: diags, timings: timings}
+				mu.Unlock()
+			}(dir, missPkgs[i])
+		}
+		wg.Wait()
+
+		if rc.cacheDir != "" {
+			for _, dir := range missDirs {
+				if key, ok := keys[dir]; ok {
+					cacheStore(rc.cacheDir, key, results[dir].diags)
+				}
+			}
+		}
+	}
+
+	if rc.timing {
+		printTimings(rc.stderr, pkgDirs, results)
+	}
+
+	// Merge and re-sort across packages so the combined stream is one
+	// deterministic file:line sequence, cache hits and misses alike.
 	var diags []analysis.Diagnostic
 	for _, dir := range pkgDirs {
-		pkg, err := loader.LoadDir(filepath.Join(root, dir))
-		if err != nil {
-			return nil, err
+		if r := results[dir]; r != nil {
+			diags = append(diags, r.diags...)
 		}
-		diags = append(diags, analysis.Run(pkg, cfg, suite)...)
 	}
-	// Run sorts per package; re-sort across packages so the combined
-	// stream is one deterministic file:line sequence.
 	analysis.SortDiagnostics(diags)
 	return diags, nil
+}
+
+// printTimings writes one line per package in deterministic order:
+// the package dir, then each analyzer's wall time in suite order.
+func printTimings(w io.Writer, pkgDirs []string, results map[string]*pkgResult) {
+	for _, dir := range pkgDirs {
+		r := results[dir]
+		if r == nil {
+			continue
+		}
+		if r.cached {
+			fmt.Fprintf(w, "timing %-28s (cached)\n", dir)
+			continue
+		}
+		parts := make([]string, 0, len(r.timings))
+		for _, tm := range r.timings {
+			parts = append(parts, fmt.Sprintf("%s=%s", tm.Analyzer, tm.Elapsed.Round(10_000)))
+		}
+		fmt.Fprintf(w, "timing %-28s %s\n", dir, strings.Join(parts, " "))
+	}
 }
 
 // packageDirs lists every directory under root holding at least one

@@ -152,8 +152,8 @@ func TestSARIFOutput(t *testing.T) {
 		t.Fatalf("not a single-run SARIF 2.1.0 log: version=%q runs=%d", log.Version, len(log.Runs))
 	}
 	run := log.Runs[0]
-	if run.Tool.Driver.Name != "tableseglint" || len(run.Tool.Driver.Rules) != 11 {
-		t.Errorf("driver = %q with %d rules, want tableseglint with 11", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	if run.Tool.Driver.Name != "tableseglint" || len(run.Tool.Driver.Rules) != 14 {
+		t.Errorf("driver = %q with %d rules, want tableseglint with 14", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
 	}
 	seen := map[string]bool{}
 	for _, r := range run.Results {
@@ -179,8 +179,8 @@ func TestListPrintsAllAnalyzers(t *testing.T) {
 		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 11 {
-		t.Fatalf("-list printed %d lines, want 11:\n%s", len(lines), stdout)
+	if len(lines) != 14 {
+		t.Fatalf("-list printed %d lines, want 14:\n%s", len(lines), stdout)
 	}
 	for _, name := range []string{"determinism", "rngflow", "probflow", "aliasflow"} {
 		if !strings.Contains(stdout, name) {
@@ -261,5 +261,150 @@ func TestBaselineUnreadableIsUsageError(t *testing.T) {
 	code, _, _ := runCLI(t, "-root", fixtureRoot, "-baseline", filepath.Join(t.TempDir(), "missing.json"), "internal/csp")
 	if code != 2 {
 		t.Errorf("missing baseline file: exit = %d, want 2", code)
+	}
+}
+
+// TestCacheWarmColdIdentical pins the acceptance contract of the
+// diagnostic cache: a cold run that fills the cache, a warm run served
+// from it, and an uncached run must produce byte-identical JSON.
+func TestCacheWarmColdIdentical(t *testing.T) {
+	cache := t.TempDir()
+	codeCold, outCold, _ := runCLI(t, "-root", fixtureRoot, "-json", "-cache", cache)
+	entries, err := os.ReadDir(cache)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cold run left no cache entries (err=%v)", err)
+	}
+	codeWarm, outWarm, stderrWarm := runCLI(t, "-root", fixtureRoot, "-json", "-cache", cache, "-timing")
+	codeOff, outOff, _ := runCLI(t, "-root", fixtureRoot, "-json")
+	if codeCold != codeWarm || codeWarm != codeOff {
+		t.Fatalf("exit codes differ: cold=%d warm=%d uncached=%d", codeCold, codeWarm, codeOff)
+	}
+	if outCold != outWarm {
+		t.Error("warm-cache output differs from cold-cache output")
+	}
+	if outCold != outOff {
+		t.Error("cached output differs from uncached output")
+	}
+	if !strings.Contains(stderrWarm, "(cached)") {
+		t.Errorf("warm -timing run reported no cache hits:\n%s", stderrWarm)
+	}
+}
+
+// TestCacheInvalidatedByDependencyEdit checks the Merkle keying: an
+// edit to a package re-keys its importers, not just itself.
+func TestCacheInvalidatedByDependencyEdit(t *testing.T) {
+	// Copy the fixture module so the edit does not touch the shared
+	// testdata tree.
+	root := t.TempDir()
+	if err := filepath.WalkDir(fixtureRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(fixtureRoot, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(root, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cache := t.TempDir()
+	runCLI(t, "-root", root, "-json", "-cache", cache)
+	before, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a comment to a leaf package: its key and every importer's
+	// key must change, producing new cache entries.
+	target := filepath.Join(root, "internal", "core", "fixture.go")
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(target, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, "-root", root, "-json", "-cache", cache)
+	after, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) {
+		t.Errorf("dependency edit added no cache entries: before=%d after=%d", len(before), len(after))
+	}
+}
+
+// TestTimingOutput checks -timing prints one line per package with
+// per-analyzer durations.
+func TestTimingOutput(t *testing.T) {
+	_, _, stderr := runCLI(t, "-root", fixtureRoot, "-timing", "util")
+	if !strings.Contains(stderr, "timing util") {
+		t.Fatalf("-timing printed no line for util:\n%s", stderr)
+	}
+	for _, name := range []string{"determinism=", "ctxflow=", "httpresp="} {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("-timing line missing %s:\n%s", name, stderr)
+		}
+	}
+}
+
+// TestBaselineStrict: a fully matching baseline passes, a stale entry
+// fails the run (exit 1) with the entry listed, and the flag without
+// -baseline is a usage error.
+func TestBaselineStrict(t *testing.T) {
+	_, recorded, _ := runCLI(t, "-root", fixtureRoot, "-json", "internal/csp")
+	dir := t.TempDir()
+
+	exact := filepath.Join(dir, "exact.json")
+	if err := os.WriteFile(exact, []byte(recorded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-root", fixtureRoot, "-baseline", exact, "-baseline-strict", "internal/csp")
+	if code != 0 {
+		t.Fatalf("exact baseline with -baseline-strict: exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+
+	var entries []map[string]any
+	if err := json.Unmarshal([]byte(recorded), &entries); err != nil {
+		t.Fatal(err)
+	}
+	entries = append(entries, map[string]any{
+		"analyzer": "floateq",
+		"file":     "internal/csp/fixture.go",
+		"line":     1,
+		"column":   1,
+		"message":  "a finding that no longer occurs",
+	})
+	staleData, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "stale.json")
+	if err := os.WriteFile(stale, staleData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(t, "-root", fixtureRoot, "-baseline", stale, "-baseline-strict", "internal/csp")
+	if code != 1 {
+		t.Fatalf("stale baseline with -baseline-strict: exit = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale:") || !strings.Contains(stderr, "no longer occurs") {
+		t.Errorf("stderr does not list the stale entry:\n%s", stderr)
+	}
+	// Without -baseline-strict the stale entry is tolerated.
+	code, _, _ = runCLI(t, "-root", fixtureRoot, "-baseline", stale, "internal/csp")
+	if code != 0 {
+		t.Fatalf("stale baseline without strict: exit = %d, want 0", code)
+	}
+
+	if code, _, _ := runCLI(t, "-baseline-strict"); code != 2 {
+		t.Errorf("-baseline-strict without -baseline: exit = %d, want 2", code)
 	}
 }

@@ -5,19 +5,24 @@
 // randomness in solver paths, no map-iteration order leaking into
 // results, contexts threaded rather than minted, errors wrapped so
 // sentinel classification survives, goroutines and locks that provably
-// wind down) that ordinary Go tooling does not enforce. The eleven
+// wind down) that ordinary Go tooling does not enforce. The fourteen
 // analyzers in this package check them mechanically over the parsed
 // and type-checked source of every package, using only the standard
 // library (go/parser, go/ast, go/types). Five are expression-level;
 // the three concurrency analyzers (goroleak, lockdiscipline,
 // chancontract) run over the intra-procedural control-flow graphs of
 // internal/analysis/cfg, so "on every path" facts — a channel closed,
-// a mutex released — are proved rather than pattern-matched; and the
+// a mutex released — are proved rather than pattern-matched; the
 // three dataflow analyzers (rngflow, probflow, aliasflow) run the
 // worklist solver of internal/analysis/dataflow over those same
 // graphs, so "where did this value come from?" facts — RNG
 // provenance, probability taint, input aliasing — are answered by
-// reaching definitions and taint propagation rather than syntax.
+// reaching definitions and taint propagation rather than syntax; and
+// the three interprocedural analyzers (ctxflow, lockflow, httpresp)
+// consume the whole-module call graph and per-function summaries of
+// internal/analysis/callgraph, so a context dropped one call deep, a
+// lock held across a helper that blocks, or a handler that forgets to
+// respond on an error path are caught across function boundaries.
 //
 // The analyzers are:
 //
@@ -66,6 +71,19 @@
 //     input parameter — slice, map or pointer storage must be copied,
 //     not retained — making stagepurity's import-level purity hold at
 //     the value level.
+//   - ctxflow: interprocedural context threading — in the serving and
+//     solver packages, a function holding a context.Context must pass
+//     a context derived from it into every call whose summary says
+//     the callee may park indefinitely (and may not time.Sleep, which
+//     no context interrupts).
+//   - lockflow: interprocedural lock discipline — a mutex may not be
+//     held across a call to a module-local helper whose summary is
+//     may-block, closing the helper-function blind spot of
+//     lockdiscipline's intra-procedural check.
+//   - httpresp: the handler contract — a handler-shaped function must
+//     respond on every path (each error branch writes or delegates to
+//     something that provably writes), sets the status at most once
+//     per path, and does not mutate headers after the body starts.
 //
 // A diagnostic can be suppressed by a "//tableseglint:ignore <name>
 // <reason>" comment on the same line or the line above. The reason is
@@ -82,6 +100,9 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
+
+	"tableseg/internal/analysis/callgraph"
 )
 
 // Diagnostic is one finding, positioned for file:line reporting.
@@ -108,7 +129,12 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	Cfg      Config
-	diags    []Diagnostic
+	// Facts is the summarized whole-module call graph. The
+	// interprocedural analyzers require it; Run builds a single-package
+	// graph when the caller supplies none, so the fixture-driven tests
+	// and single-package embedding keep working.
+	Facts *callgraph.Graph
+	diags []Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
@@ -173,6 +199,10 @@ type Config struct {
 	// (context first, error last) may not return artifacts aliasing
 	// their mutable inputs.
 	AliasPkgs []string
+	// CtxFlowPkgs are the packages where ctxflow requires a held
+	// context.Context to reach every call whose callee may park
+	// indefinitely — the serving path and the solver pipeline.
+	CtxFlowPkgs []string
 }
 
 // DefaultConfig is the project policy enforced by cmd/tableseglint.
@@ -212,6 +242,10 @@ func DefaultConfig() Config {
 		},
 		ProbSanitizers: []string{"zeroProb", "maxf"},
 		AliasPkgs:      []string{"internal/stage", "internal/solvers"},
+		CtxFlowPkgs: []string{
+			"internal/server", "internal/server/client", "internal/engine",
+			"internal/core", "internal/solvers", "internal/stage",
+		},
 	}
 }
 
@@ -242,9 +276,10 @@ func isInternal(pkgPath string) bool {
 		pkgPath == "internal"
 }
 
-// Suite returns the eleven analyzers: the five expression-level
-// checks, the three CFG-based concurrency checks, and the three
-// dataflow checks built on internal/analysis/dataflow.
+// Suite returns the fourteen analyzers: the five expression-level
+// checks, the three CFG-based concurrency checks, the three dataflow
+// checks built on internal/analysis/dataflow, and the three
+// interprocedural checks built on internal/analysis/callgraph.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
@@ -258,21 +293,67 @@ func Suite() []*Analyzer {
 		RNGFlow(),
 		ProbFlow(),
 		AliasFlow(),
+		CtxFlow(),
+		LockFlow(),
+		HTTPResp(),
 	}
 }
 
+// BuildFacts constructs and summarizes the call graph over pkgs — the
+// shared fact base the interprocedural analyzers consume. Handing it
+// every loaded package of the module yields whole-module resolution;
+// the graph is read-only after this returns, so concurrent passes may
+// share it.
+func BuildFacts(pkgs []*Package) *callgraph.Graph {
+	srcs := make([]callgraph.Source, 0, len(pkgs))
+	for _, p := range pkgs {
+		srcs = append(srcs, callgraph.Source{
+			Path:  p.Path,
+			Files: p.Files,
+			Info:  p.Info,
+			Types: p.Types,
+		})
+	}
+	g := callgraph.Build(srcs)
+	g.Summarize()
+	return g
+}
+
 // Run executes every analyzer in the suite over pkg and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// surviving (non-suppressed) diagnostics sorted by position. The fact
+// base is built from pkg alone; multi-package callers should
+// BuildFacts over the whole module and use RunWithFacts.
 func Run(pkg *Package, cfg Config, analyzers []*Analyzer) []Diagnostic {
+	return RunWithFacts(pkg, cfg, analyzers, BuildFacts([]*Package{pkg}))
+}
+
+// RunWithFacts is Run with a caller-supplied fact base.
+func RunWithFacts(pkg *Package, cfg Config, analyzers []*Analyzer, facts *callgraph.Graph) []Diagnostic {
+	diags, _ := RunTimed(pkg, cfg, analyzers, facts)
+	return diags
+}
+
+// AnalyzerTiming is the wall time one analyzer spent on one package.
+type AnalyzerTiming struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// RunTimed is RunWithFacts, additionally reporting per-analyzer wall
+// time in suite order.
+func RunTimed(pkg *Package, cfg Config, analyzers []*Analyzer, facts *callgraph.Graph) ([]Diagnostic, []AnalyzerTiming) {
 	var out []Diagnostic
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg, Facts: facts}
+		start := time.Now()
 		a.Run(pass)
+		timings = append(timings, AnalyzerTiming{Analyzer: a.Name, Elapsed: time.Since(start)})
 		out = append(out, pass.diags...)
 	}
 	out = filterSuppressed(pkg, out)
 	SortDiagnostics(out)
-	return out
+	return out, timings
 }
 
 // SortDiagnostics orders diagnostics by file, line, column and

@@ -14,7 +14,7 @@ import (
 // relative to testdata/lintmod.
 var fixtureDirs = []string{
 	"internal/core", "internal/csp", "internal/engine", "internal/phmm",
-	"internal/solvers", "internal/stage", "util",
+	"internal/server", "internal/solvers", "internal/stage", "util",
 }
 
 // wantRe matches a golden-diagnostic expectation trailing a fixture
@@ -79,7 +79,7 @@ func parseExpectations(t *testing.T) []expectation {
 	return out
 }
 
-// TestFixtureDiagnostics is the golden test for all eleven analyzers:
+// TestFixtureDiagnostics is the golden test for all fourteen analyzers:
 // every `// want` annotation in the fixture module must be matched by
 // exactly one diagnostic at that file and line, and no diagnostic may
 // appear without an annotation (this also proves the suppression

@@ -4,12 +4,16 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"tableseg/internal/analysis/callgraph"
 )
 
 // entryPointPrefixes are the verb prefixes that mark an exported
 // function or method as a pipeline/solver entry point: work that can
 // be long-running and therefore must be cancelable from the caller.
-var entryPointPrefixes = []string{"Segment", "Solve", "Fit", "Run", "Train"}
+// The canonical list lives in the callgraph package, which shares it
+// with the interprocedural summaries.
+var entryPointPrefixes = callgraph.EntryPointPrefixes
 
 // CtxDiscipline returns the analyzer enforcing context hygiene:
 // internal packages may not mint contexts with context.Background or

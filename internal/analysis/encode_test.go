@@ -206,3 +206,61 @@ func TestSortDiagnosticsGlobal(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeSARIFInterprocAnalyzers pins the SARIF shape of the three
+// interprocedural analyzers: each is a registered rule (so viewers can
+// show its doc string) and a diagnostic from each maps ruleId and
+// ruleIndex consistently.
+func TestEncodeSARIFInterprocAnalyzers(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "ctxflow",
+			Pos:      token.Position{Filename: "internal/engine/engine.go", Line: 10, Column: 2},
+			Message:  "Run holds a context but calls engine.join, which may block (sync.WaitGroup.Wait) and accepts no context; cancellation cannot reach it",
+		},
+		{
+			Analyzer: "httpresp",
+			Pos:      token.Position{Filename: "internal/server/server.go", Line: 20, Column: 6},
+			Message:  "handler handleSegment does not respond on every path: some branch returns without writing a response or delegating to something that does",
+		},
+		{
+			Analyzer: "lockflow",
+			Pos:      token.Position{Filename: "internal/engine/engine.go", Line: 30, Column: 2},
+			Message:  "e.mu held across call to engine.(*Engine).drain, which may block (channel receive); release the lock before the call",
+		},
+	}
+	out, err := EncodeSARIF(diags, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	byID := map[string]int{}
+	for i, r := range rules {
+		byID[r.ID] = i
+	}
+	for _, name := range []string{"ctxflow", "lockflow", "httpresp"} {
+		idx, ok := byID[name]
+		if !ok {
+			t.Errorf("rule %q missing from driver rules", name)
+			continue
+		}
+		if rules[idx].ShortDescription.Text == "" {
+			t.Errorf("rule %q has no short description", name)
+		}
+	}
+	if len(log.Runs[0].Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(log.Runs[0].Results), len(diags))
+	}
+	for i, res := range log.Runs[0].Results {
+		if res.RuleIndex < 0 || res.RuleIndex >= len(rules) {
+			t.Fatalf("results[%d]: ruleIndex %d out of range", i, res.RuleIndex)
+		}
+		if rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("results[%d]: ruleIndex resolves to %q, ruleId %q", i, rules[res.RuleIndex].ID, res.RuleID)
+		}
+	}
+}

@@ -53,6 +53,22 @@ func NewLoader(dir, modulePath string) *Loader {
 	}
 }
 
+// Packages returns every module-local package loaded so far, sorted
+// by import path — the input BuildFacts wants after the driver has
+// loaded the tree.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
+}
+
 // ModulePathOf reads the module path out of dir's go.mod.
 func ModulePathOf(dir string) (string, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tableseg/internal/analysis/callgraph"
+	"tableseg/internal/analysis/cfg"
+)
+
+// LockFlow returns the interprocedural lock-discipline analyzer: a
+// mutex may not be held across a call to a module-local function whose
+// call-graph summary says it may block. This closes lockdiscipline's
+// blind spot — that analyzer sees a blocking operation only when it
+// appears literally between Lock and Unlock, so hiding a channel
+// receive or a WaitGroup join one helper call deep silenced it. The
+// summary makes the helper's transitive behavior visible at the call
+// site.
+//
+// Call sites the intra-procedural classifier already flags (direct
+// sync-method calls, solver invocations by name) are skipped here, so
+// the two analyzers never double-report one operation.
+func LockFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "lockflow",
+		Doc:  "forbid holding a mutex across a call whose interprocedural summary is may-block",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Facts == nil {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						if fn, _ := pass.Pkg.Info.Defs[n.Name].(*types.Func); fn != nil {
+							checkLockFlow(pass, pass.Facts.NodeOf(fn), n.Body)
+						}
+					}
+				case *ast.FuncLit:
+					checkLockFlow(pass, pass.Facts.LitNode(n), n.Body)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkLockFlow walks every path from each lock acquisition in body to
+// its release and reports calls to may-block module-local callees made
+// while the lock is held. The path walk mirrors lockdiscipline's
+// checkHeldAcross: a deferred release never clears the held state.
+func checkLockFlow(pass *Pass, node *callgraph.Node, body *ast.BlockStmt) {
+	if node == nil {
+		return
+	}
+	graph := cfg.New(body)
+
+	var locks []lockEvent
+	for _, blk := range graph.Blocks {
+		for i, stmt := range blk.Nodes {
+			if _, isDefer := stmt.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			inspectShallow(stmt, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if key, method := mutexCall(pass, call); key != "" && (method == "Lock" || method == "RLock") {
+					locks = append(locks, lockEvent{
+						call: call, key: key, read: method == "RLock",
+						block: blk, idx: i,
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	for _, lk := range locks {
+		unlockName := "Unlock"
+		if lk.read {
+			unlockName = "RUnlock"
+		}
+		releasedBy := func(n ast.Node) bool {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				return false
+			}
+			released := false
+			inspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if key, method := mutexCall(pass, call); key == lk.key && method == unlockName {
+						released = true
+					}
+				}
+				return !released
+			})
+			return released
+		}
+
+		reported := map[ast.Node]bool{}
+		report := func(stmt ast.Node) {
+			inspectShallow(stmt, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// The intrinsic classifier owns direct blocking calls.
+				if what := pass.blockingCall(call); what != "" {
+					return true
+				}
+				callee := node.ResolvedCallee(call)
+				if callee == nil || callee.Summary.Blocks == 0 || reported[call] {
+					return true
+				}
+				reported[call] = true
+				pass.Reportf(call.Pos(),
+					"%s held across call to %s, which may block (%s); release the lock before the call",
+					lk.key, callee.Name(), callee.Summary.BlockWhat)
+				return true
+			})
+		}
+
+		seen := map[*cfg.Block]bool{}
+		var walk func(b *cfg.Block, start int)
+		walk = func(b *cfg.Block, start int) {
+			for i := start; i < len(b.Nodes); i++ {
+				n := b.Nodes[i]
+				if releasedBy(n) {
+					return
+				}
+				report(n)
+			}
+			if seen[b] {
+				return
+			}
+			seen[b] = true
+			for _, s := range b.Succs {
+				walk(s, 0)
+			}
+		}
+		walk(lk.block, lk.idx+1)
+	}
+}

@@ -2,25 +2,19 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
-	"go/types"
-	"strings"
+
+	"tableseg/internal/analysis/callgraph"
 )
 
-// This file implements the may-block call classifier shared by the
-// concurrency analyzers (goroleak, lockdiscipline, chancontract): the
-// set of operations after which a goroutine may park indefinitely —
-// channel sends and receives, selects without a ready branch,
-// sync.WaitGroup.Wait, sync.Once.Do (the loser of a concurrent first
-// call parks until the winner finishes), acquiring another mutex, and
-// solver invocations (exported Segment/Solve/Fit/Run/Train entry
-// points, which by project contract can run for a long time).
-//
-// Classification is syntactic plus types: it inspects the node's own
-// expressions but never descends into nested function literals (their
-// bodies execute elsewhere) and treats go/defer statements as
-// non-blocking at the point of registration (only their argument
-// expressions are evaluated there).
+// This file adapts the shared may-block call classifier — which now
+// lives in internal/analysis/callgraph so the interprocedural summary
+// computation can use the same definition — to the Pass-method shape
+// the intra-procedural concurrency analyzers (goroleak,
+// lockdiscipline, chancontract) were written against. The
+// classification itself (channel operations, selects without a ready
+// branch, sync.WaitGroup.Wait, sync.Once.Do, mutex acquisition,
+// time.Sleep, solver invocations) is documented on the callgraph
+// package.
 
 // blockingOp is one potentially-blocking operation found in a node.
 type blockingOp struct {
@@ -33,40 +27,7 @@ type blockingOp struct {
 // those sends and receives only run when already ready, so they never
 // block.
 func nonBlockingComms(body ast.Node) map[ast.Node]bool {
-	out := map[ast.Node]bool{}
-	if body == nil {
-		return out
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectStmt)
-		if !ok {
-			return true
-		}
-		hasDefault := false
-		for _, c := range sel.Body.List {
-			if c.(*ast.CommClause).Comm == nil {
-				hasDefault = true
-			}
-		}
-		if !hasDefault {
-			return true
-		}
-		for _, c := range sel.Body.List {
-			if comm := c.(*ast.CommClause).Comm; comm != nil {
-				out[comm] = true
-				// The receive expression inside an assignment or
-				// expression statement is what deeper walks encounter.
-				ast.Inspect(comm, func(m ast.Node) bool {
-					if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
-						out[u] = true
-					}
-					return true
-				})
-			}
-		}
-		return true
-	})
-	return out
+	return callgraph.NonBlockingComms(body)
 }
 
 // collectBlocking returns every potentially-blocking operation in n,
@@ -74,76 +35,12 @@ func nonBlockingComms(body ast.Node) map[ast.Node]bool {
 // (communications of selects with a default). The walk skips nested
 // function literals and the calls of go/defer statements.
 func (p *Pass) collectBlocking(n ast.Node, exempt map[ast.Node]bool) []blockingOp {
-	var found []blockingOp
-	var visitExpr func(e ast.Expr)
-	var visit func(n ast.Node) bool
-
-	mark := func(node ast.Node, what string) {
-		found = append(found, blockingOp{node: node, what: what})
+	ops := callgraph.CollectBlocking(p.Pkg.Info, n, exempt)
+	out := make([]blockingOp, len(ops))
+	for i, op := range ops {
+		out[i] = blockingOp{node: op.Node, what: op.What}
 	}
-	chanTyped := func(e ast.Expr) bool {
-		if t := p.Pkg.Info.TypeOf(e); t != nil {
-			_, ok := t.Underlying().(*types.Chan)
-			return ok
-		}
-		return false
-	}
-	visitExpr = func(e ast.Expr) {
-		if e != nil {
-			ast.Inspect(e, visit)
-		}
-	}
-	visit = func(n ast.Node) bool {
-		if n == nil || exempt[n] {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.GoStmt:
-			for _, a := range n.Call.Args {
-				visitExpr(a)
-			}
-			return false
-		case *ast.DeferStmt:
-			for _, a := range n.Call.Args {
-				visitExpr(a)
-			}
-			return false
-		case *ast.SendStmt:
-			mark(n, "channel send")
-			visitExpr(n.Value)
-			return false
-		case *ast.RangeStmt:
-			// Ranging a channel blocks on every receive until the
-			// channel is closed.
-			if chanTyped(n.X) {
-				mark(n, "channel-range receive")
-			}
-			return true
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				mark(n, "channel receive")
-				return false
-			}
-		case *ast.CallExpr:
-			if what := p.blockingCall(n); what != "" {
-				mark(n, what)
-				return false
-			}
-		}
-		return true
-	}
-	if n != nil {
-		// A CFG loop head for `for range ch` is the ranged operand
-		// itself; a channel-typed root expression therefore marks the
-		// per-iteration blocking receive.
-		if e, ok := n.(ast.Expr); ok && chanTyped(e) {
-			mark(n, "channel-range receive")
-		}
-		ast.Inspect(n, visit)
-	}
-	return found
+	return out
 }
 
 // firstBlocking returns the first potentially-blocking operation in n,
@@ -158,74 +55,19 @@ func (p *Pass) firstBlocking(n ast.Node, exempt map[ast.Node]bool) *blockingOp {
 // blockingCall classifies a call expression: "" when it is not a
 // known potentially-blocking call.
 func (p *Pass) blockingCall(call *ast.CallExpr) string {
-	if recv, method := p.syncSelector(call); recv != "" {
-		switch {
-		case method == "Wait" && recv == "WaitGroup":
-			return "sync.WaitGroup.Wait"
-		case method == "Do" && recv == "Once":
-			return "sync.Once.Do"
-		case (method == "Lock" || method == "RLock") && (recv == "Mutex" || recv == "RWMutex"):
-			return "sync." + recv + "." + method
-		}
-	}
-	// time.Sleep parks the goroutine.
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		if id, ok := sel.X.(*ast.Ident); ok && p.pkgNameOf(id) == "time" && sel.Sel.Name == "Sleep" {
-			return "time.Sleep"
-		}
-	}
-	// Solver invocations: exported entry points named with the
-	// project's long-running verb prefixes (Segment/Solve/Fit/Run/
-	// Train) can run until their context cancels.
-	var nameID *ast.Ident
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		nameID = fun
-	case *ast.SelectorExpr:
-		nameID = fun.Sel
-	}
-	if nameID != nil && ast.IsExported(nameID.Name) && hasEntryPrefix(nameID.Name) {
-		if _, isFunc := p.Pkg.Info.Uses[nameID].(*types.Func); isFunc {
-			return "solver invocation " + nameID.Name
-		}
-	}
-	return ""
+	what, _ := callgraph.BlockingCall(p.Pkg.Info, call)
+	return what
 }
 
 // syncSelector resolves a method call's receiver to a type declared in
 // package sync, returning the type and method names ("" when the call
 // is not a sync-type method).
 func (p *Pass) syncSelector(call *ast.CallExpr) (recvType, method string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", ""
-	}
-	selection, ok := p.Pkg.Info.Selections[sel]
-	if !ok {
-		return "", ""
-	}
-	t := selection.Recv()
-	if ptr, ok := t.Underlying().(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return "", ""
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
-		return "", ""
-	}
-	return obj.Name(), sel.Sel.Name
+	return callgraph.SyncSelector(p.Pkg.Info, call)
 }
 
 // hasEntryPrefix reports whether name carries one of the long-running
 // entry-point verb prefixes shared with ctxdiscipline.
 func hasEntryPrefix(name string) bool {
-	for _, p := range entryPointPrefixes {
-		if strings.HasPrefix(name, p) {
-			return true
-		}
-	}
-	return false
+	return callgraph.HasEntryPrefix(name)
 }

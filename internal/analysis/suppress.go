@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // This file implements baseline suppression: `tableseglint -baseline
@@ -47,6 +48,16 @@ func LoadBaseline(path string) (*Baseline, error) {
 // original order, plus the number suppressed. Each baseline entry
 // suppresses at most one diagnostic.
 func (b *Baseline) Filter(diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	kept, suppressed, _ = b.FilterStrict(diags)
+	return kept, suppressed
+}
+
+// FilterStrict is Filter, additionally reporting the stale baseline
+// entries: recorded findings that matched nothing in this run, one
+// "analyzer file message" line per unmatched count, sorted. A baseline
+// accumulating stale entries quietly widens what future regressions it
+// can mask, so -baseline-strict turns any staleness into a failure.
+func (b *Baseline) FilterStrict(diags []Diagnostic) (kept []Diagnostic, suppressed int, stale []string) {
 	remaining := make(map[baselineKey]int, len(b.counts))
 	for k, n := range b.counts {
 		remaining[k] = n
@@ -61,5 +72,11 @@ func (b *Baseline) Filter(diags []Diagnostic) (kept []Diagnostic, suppressed int
 		}
 		kept = append(kept, d)
 	}
-	return kept, suppressed
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, fmt.Sprintf("%s %s: %s", k.Analyzer, k.File, k.Message))
+		}
+	}
+	sort.Strings(stale)
+	return kept, suppressed, stale
 }

@@ -1,0 +1,62 @@
+// Package server exercises the httpresp analyzer: handler-shaped
+// functions must respond on every path, write the status at most once
+// per path, and never mutate headers after the response has started.
+// The writeJSON helper shows the analyzer seeing through module-local
+// delegation via the call-graph summaries.
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func writeJSON(w http.ResponseWriter, status int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintln(w, body)
+}
+
+// upgrade stands in for a hijacking upgrader: it responds through the
+// raw connection, invisibly to the analyzer. It is not handler-shaped
+// (no *http.Request), so the must-respond rule does not bind it.
+func upgrade(w http.ResponseWriter) {
+	_ = w
+}
+
+func handleMissingBranch(w http.ResponseWriter, r *http.Request) { // want httpresp "does not respond on every path"
+	if r.Method != http.MethodPost {
+		return
+	}
+	writeJSON(w, http.StatusOK, `{}`)
+}
+
+func handleDoubleStatus(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	if r.ContentLength == 0 {
+		http.Error(w, "empty", http.StatusBadRequest) // want httpresp "status written twice"
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func handleLateHeader(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, `{}`)
+	w.Header().Set("X-Late", "1") // want httpresp "header mutated after the response started"
+}
+
+func handleClean(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, `{}`)
+}
+
+//tableseglint:ignore httpresp the upgrader responds through the hijacked connection after this handler returns
+func handleUpgrade(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Upgrade") == "" {
+		http.Error(w, "not an upgrade", http.StatusBadRequest)
+		return
+	}
+	upgrade(w)
+}

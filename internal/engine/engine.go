@@ -341,6 +341,10 @@ func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
 		env.Tokens = view
 	}
 	if len(t.Input.ListPages) > 0 {
+		// Concurrent tasks for the same site share one template
+		// induction through a Once; the losers wait out the winner's
+		// bounded induction rather than redo it under cancellation.
+		//tableseglint:ignore ctxflow template induction is deduplicated via Once and bounded; cancellation applies to the segmentation that follows
 		env.Prep, res.Stats.TemplateCacheHit = e.prepFor(t.Input.ListPages, view)
 	}
 	res.Seg, res.Err = core.SegmentEnv(ctx, t.Input, opts, env)

@@ -52,9 +52,11 @@ func Tokenize(ctx context.Context, in TokenizeIn) (TokenizeOut, error) {
 			out.Lists[i] = TokenizedPage{Name: p.Name, Tokens: in.PreparedLists[i]}
 			continue
 		}
+		//tableseglint:ignore ctxflow the token cache joins duplicate tokenization via Once; the wait is bounded by one page's tokenize
 		out.Lists[i] = TokenizedPage{Name: p.Name, Tokens: lex(p)}
 	}
 	for i, p := range in.DetailPages {
+		//tableseglint:ignore ctxflow the token cache joins duplicate tokenization via Once; the wait is bounded by one page's tokenize
 		out.Details[i] = TokenizedPage{Name: p.Name, Tokens: lex(p)}
 	}
 	// PreparedLists (and cache-returned token slices) are shared by

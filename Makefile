@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json lint-sarif lint-self serve-smoke check bench bench-stages bench-check experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint lint-json lint-sarif lint-self serve-smoke resume-smoke check bench bench-stages bench-check experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -13,11 +13,12 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: determinism, context discipline,
-# error wrapping, float equality, stage purity, the CFG-based
-# concurrency checks, the dataflow checks (rngflow, probflow,
-# aliasflow) and the interprocedural call-graph checks (ctxflow,
-# lockflow, httpresp — see internal/analysis). Exits non-zero on any
-# finding. LINTCACHE keys cached per-package results by content hash;
+# error wrapping, float equality, stage purity, deprecated-API calls,
+# the CFG-based concurrency checks, the dataflow checks (rngflow,
+# probflow, aliasflow) and the interprocedural call-graph checks
+# (ctxflow, lockflow, httpresp — see internal/analysis). Exits
+# non-zero on any finding. LINTCACHE keys cached per-package results
+# by content hash;
 # set LINTCACHE= to force a full re-analysis.
 LINTCACHE ?= .tableseglint-cache
 
@@ -34,7 +35,7 @@ lint-json: vet
 lint-sarif: vet
 	$(GO) run ./cmd/tableseglint -sarif -cache '$(LINTCACHE)' > tableseglint.sarif
 
-# Self-lint: run the full suite (all 14 analyzers) over the analysis
+# Self-lint: run the full suite (all 15 analyzers) over the analysis
 # machinery itself — so the linter is held to its own invariants — and
 # over the daemon stack (api/v1, internal/server and its client),
 # which was written to pass every concurrency analyzer without
@@ -49,6 +50,13 @@ lint-self:
 # in-process path, check /healthz and /varz, drain via SIGTERM.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# End-to-end checkpoint/resume smoke test: run a batch over the
+# synthetic corpus, kill -9 it mid-run, resume over the half-written
+# cache with -resume, and assert the -json and -csv outputs are
+# byte-identical to an uninterrupted reference run.
+resume-smoke:
+	./scripts/resume-smoke.sh
 
 test: vet
 	$(GO) test ./...
@@ -99,11 +107,13 @@ corpus:
 cover:
 	$(GO) test -cover ./...
 
-# Short exploratory fuzzing of the HTML lexer and the extraction
-# front end.
+# Short exploratory fuzzing of the HTML lexer, the extraction front
+# end and the artifact codec (decode of arbitrary bytes must error,
+# never panic; decodable artifacts must round-trip).
 fuzz:
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=30s ./internal/htmlx
 	$(GO) test -fuzz=FuzzExtracts -fuzztime=30s ./internal/extract
+	$(GO) test -fuzz=FuzzArtifactCodec -fuzztime=30s ./internal/stage
 
 clean:
 	rm -rf corpus .tableseglint-cache

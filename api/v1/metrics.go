@@ -46,7 +46,8 @@ type CoalesceCounters struct {
 	InFlightKeys int64 `json:"inFlightKeys"`
 }
 
-// EngineCounters mirrors the engine's cache statistics.
+// EngineCounters mirrors the engine's cache statistics. Fields are
+// append-only: existing names and meanings never change within v1.
 type EngineCounters struct {
 	TasksCompleted int64 `json:"tasksCompleted"`
 	TokenHits      int64 `json:"tokenHits"`
@@ -54,6 +55,31 @@ type EngineCounters struct {
 	TemplateHits   int64 `json:"templateHits"`
 	TemplateMisses int64 `json:"templateMisses"`
 	CachedSites    int64 `json:"cachedSites"`
+	// ResultHits and ResultMisses count result-journal lookups (always
+	// zero unless the daemon runs with resume enabled).
+	ResultHits   int64 `json:"resultHits"`
+	ResultMisses int64 `json:"resultMisses"`
+	// Tiers reports the artifact store's per-tier counters, fast tier
+	// first (absent when caching is disabled).
+	Tiers []CacheTier `json:"tiers,omitempty"`
+}
+
+// CacheTier is one artifact-store tier's counter snapshot.
+type CacheTier struct {
+	// Tier names the tier ("memory", "disk").
+	Tier string `json:"tier"`
+	// Hits and Misses count lookups; Puts counts stores.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+	// Evictions counts entries dropped to stay within the tier's byte
+	// budget; Errors counts absorbed backend failures (corrupt or
+	// unwritable artifacts), each surfaced to callers as a miss.
+	Evictions int64 `json:"evictions"`
+	Errors    int64 `json:"errors"`
+	// Entries and Bytes are the tier's current residency.
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
 }
 
 // StageHistogram is one stage's latency distribution. Bounds are fixed

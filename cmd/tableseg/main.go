@@ -11,6 +11,12 @@
 // table (probabilistic method only). -timeout bounds the run (the
 // solvers abort at their next restart/iteration boundary) and -stats
 // reports per-stage timing and solver effort on stderr.
+//
+// -batch runs a JSON manifest of many such tasks through the engine's
+// worker pool, emitting results in manifest order. -cache-dir adds a
+// persistent artifact cache (tokenized pages, induced templates, and a
+// result journal); -resume replays journaled results so an interrupted
+// batch continues where it stopped with byte-identical output.
 package main
 
 import (
@@ -58,11 +64,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print per-stage timing and solver effort to stderr")
 	timeout := fs.Duration("timeout", 0, "abort the segmentation after this duration (0 = no limit)")
 	remote := fs.String("remote", "", "base URL of a tablesegd daemon (e.g. http://localhost:8844); segment there instead of in-process")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact-cache directory (adds a disk tier behind the in-memory cache)")
+	cacheMem := fs.Int64("cache-mem", 0, "in-memory artifact-cache budget in bytes (0 = default)")
+	resume := fs.Bool("resume", false, "replay journaled results from -cache-dir instead of recomputing finished tasks")
+	batch := fs.String("batch", "", "JSON task manifest; segment every task through the engine pool")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	if len(lists) == 0 || len(details) == 0 {
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(stderr, "tableseg: -resume requires -cache-dir (the result journal lives in the disk cache)")
+		fs.Usage()
+		return 2
+	}
+	if *batch != "" {
+		if len(lists) > 0 || len(details) > 0 || *remote != "" {
+			fmt.Fprintln(stderr, "tableseg: -batch conflicts with -list/-detail/-remote")
+			fs.Usage()
+			return 2
+		}
+	} else if len(lists) == 0 || len(details) == 0 {
 		fmt.Fprintln(stderr, "tableseg: need at least one -list and one -detail file")
 		fs.Usage()
 		return 2
@@ -123,11 +144,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}, stdout, stderr)
 	}
 
-	eng, err := tableseg.NewEngine(tableseg.EngineConfig{Options: tableseg.DefaultOptions(m)})
+	engOpts := []tableseg.EngineOption{
+		tableseg.WithEngineOptions(tableseg.DefaultOptions(m)),
+	}
+	if *cacheDir != "" {
+		engOpts = append(engOpts, tableseg.WithCacheDir(*cacheDir))
+	}
+	if *cacheMem != 0 {
+		engOpts = append(engOpts, tableseg.WithCacheMemoryBudget(*cacheMem))
+	}
+	if *resume {
+		engOpts = append(engOpts, tableseg.WithResume(true))
+	}
+	cfg, err := tableseg.NewEngineConfig(engOpts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "tableseg:", err)
 		return 2
 	}
+	eng, err := tableseg.NewEngine(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "tableseg:", err)
+		return 2
+	}
+
+	if *batch != "" {
+		return runBatch(ctx, eng, batchJob{
+			manifest: *batch,
+			method:   m,
+			jsonOut:  *jsonOut,
+			csvOut:   *csvOut,
+			columns:  *columns,
+			stats:    *stats,
+		}, stdout, stderr)
+	}
+
 	res := eng.Segment(ctx, in)
 	if *stats {
 		printStats(stderr, res.Stats, eng.CacheStats())
@@ -157,34 +207,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	fmt.Fprintf(stdout, "method=%s analyzed=%d/%d extracts", m, seg.Analyzed, seg.TotalExtracts)
+	printSegText(stdout, seg, m, *columns)
+	return 0
+}
+
+// printSegText writes the human-readable segmentation report shared by
+// the single-site and -batch text modes.
+func printSegText(w io.Writer, seg *tableseg.Segmentation, m tableseg.Method, columns bool) {
+	fmt.Fprintf(w, "method=%s analyzed=%d/%d extracts", m, seg.Analyzed, seg.TotalExtracts)
 	if seg.UsedWholePage {
-		fmt.Fprintf(stdout, " (page template problem: entire page used)")
+		fmt.Fprintf(w, " (page template problem: entire page used)")
 	}
 	if m == tableseg.CSP {
-		fmt.Fprintf(stdout, " csp=%s", seg.CSPStatus)
+		fmt.Fprintf(w, " csp=%s", seg.CSPStatus)
 	}
-	fmt.Fprintln(stdout)
+	fmt.Fprintln(w)
 	for _, rec := range seg.Records {
-		fmt.Fprintf(stdout, "record %d (detail page %d):\n", rec.Index+1, rec.Index+1)
+		fmt.Fprintf(w, "record %d (detail page %d):\n", rec.Index+1, rec.Index+1)
 		for i, ex := range rec.Extracts {
 			col := ""
 			if rec.Columns[i] >= 0 {
 				col = fmt.Sprintf("  [L%d]", rec.Columns[i]+1)
 			}
-			fmt.Fprintf(stdout, "  %s%s\n", ex.Text(), col)
+			fmt.Fprintf(w, "  %s%s\n", ex.Text(), col)
 		}
 	}
-	if *columns {
-		fmt.Fprintln(stdout, "\nreconstructed table:")
+	if columns {
+		fmt.Fprintln(w, "\nreconstructed table:")
 		if len(seg.ColumnLabels) > 0 {
-			fmt.Fprintf(stdout, "     | %s\n", strings.Join(seg.ColumnLabels, " | "))
+			fmt.Fprintf(w, "     | %s\n", strings.Join(seg.ColumnLabels, " | "))
 		}
 		for i, row := range tableseg.ReconstructTable(seg) {
-			fmt.Fprintf(stdout, "  %2d | %s\n", i+1, strings.Join(row, " | "))
+			fmt.Fprintf(w, "  %2d | %s\n", i+1, strings.Join(row, " | "))
 		}
 	}
-	return 0
 }
 
 // jsonRecord is the JSON shape of one segmented record.
@@ -206,7 +262,9 @@ type jsonOutput struct {
 	Table         [][]string   `json:"table"`
 }
 
-func emitJSON(w io.Writer, seg *tableseg.Segmentation, m tableseg.Method) error {
+// buildJSONOutput assembles the JSON shape shared by the single-site
+// (indented) and -batch (JSONL) modes.
+func buildJSONOutput(seg *tableseg.Segmentation, m tableseg.Method) jsonOutput {
 	out := jsonOutput{
 		Method:        m.String(),
 		Analyzed:      seg.Analyzed,
@@ -225,9 +283,13 @@ func emitJSON(w io.Writer, seg *tableseg.Segmentation, m tableseg.Method) error 
 			Columns:  rec.Columns,
 		})
 	}
+	return out
+}
+
+func emitJSON(w io.Writer, seg *tableseg.Segmentation, m tableseg.Method) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(buildJSONOutput(seg, m))
 }
 
 // printStats reports the engine's per-stage instrumentation and cache
@@ -243,8 +305,21 @@ func printStats(w io.Writer, st tableseg.TaskStats, cs tableseg.CacheStats) {
 	}
 	fmt.Fprintf(w, "stats: wsat restarts=%d flips=%d cutRounds=%d emIters=%d\n",
 		st.WSATRestarts, st.WSATFlips, st.CutRounds, st.EMIters)
+	printCacheStats(w, cs)
+}
+
+// printCacheStats reports the engine-level cache counters plus one line
+// per artifact-store tier. The token/template line shape is load-bearing
+// (tests and smoke scripts match it); new counters go on their own
+// lines.
+func printCacheStats(w io.Writer, cs tableseg.CacheStats) {
 	fmt.Fprintf(w, "stats: cache tokenHits=%d tokenMisses=%d templateHits=%d templateMisses=%d\n",
 		cs.TokenHits, cs.TokenMisses, cs.TemplateHits, cs.TemplateMisses)
+	fmt.Fprintf(w, "stats: cache resultHits=%d resultMisses=%d\n", cs.ResultHits, cs.ResultMisses)
+	for _, t := range cs.Tiers {
+		fmt.Fprintf(w, "stats: cache tier=%s hits=%d misses=%d puts=%d evictions=%d errors=%d entries=%d bytes=%d\n",
+			t.Tier, t.Hits, t.Misses, t.Puts, t.Evictions, t.Errors, t.Entries, t.Bytes)
+	}
 }
 
 func readPage(path string) (tableseg.Page, error) {

@@ -125,6 +125,144 @@ func TestStatsOutputShape(t *testing.T) {
 	}
 }
 
+func TestResumeRequiresCacheDir(t *testing.T) {
+	args := append(writeTestSite(t), "-resume")
+	code, _, stderr := runCLI(t, args...)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-resume requires -cache-dir") {
+		t.Errorf("stderr %q does not explain the -resume/-cache-dir coupling", stderr)
+	}
+}
+
+func TestBatchConflictsWithSingleSiteFlags(t *testing.T) {
+	args := append(writeTestSite(t), "-batch", "manifest.json")
+	code, _, stderr := runCLI(t, args...)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-batch conflicts") {
+		t.Errorf("stderr %q does not explain the -batch conflict", stderr)
+	}
+}
+
+func TestBatchRejectsBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-batch", path)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "bad -batch manifest") {
+		t.Errorf("stderr %q does not name the bad manifest", stderr)
+	}
+}
+
+// writeTestManifest writes the example site to disk twice (two tasks)
+// and returns the manifest path.
+func writeTestManifest(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	list := filepath.Join(dir, "list.html")
+	if err := os.WriteFile(list, []byte(testList), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var detailPaths []string
+	for i, d := range testDetails {
+		p := filepath.Join(dir, "d"+string(rune('1'+i))+".html")
+		if err := os.WriteFile(p, []byte(d), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		detailPaths = append(detailPaths, p)
+	}
+	type mtask struct {
+		ID      string   `json:"id"`
+		Lists   []string `json:"lists"`
+		Target  int      `json:"target"`
+		Details []string `json:"details"`
+	}
+	manifest := []mtask{
+		{ID: "alpha", Lists: []string{list}, Details: detailPaths},
+		{ID: "beta", Lists: []string{list}, Details: detailPaths[:2]},
+	}
+	data, err := json.Marshal(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBatchJSONOutputAndResume(t *testing.T) {
+	manifest := writeTestManifest(t)
+	cache := t.TempDir()
+
+	code, cold, stderr := runCLI(t, "-batch", manifest, "-json", "-cache-dir", cache)
+	if code != 0 {
+		t.Fatalf("cold run exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	lines := strings.Split(strings.TrimRight(cold, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("cold run emitted %d JSONL lines, want 2:\n%s", len(lines), cold)
+	}
+	for i, line := range lines {
+		var out struct {
+			Index  int             `json:"index"`
+			ID     string          `json:"id"`
+			Output json.RawMessage `json:"output"`
+			Error  string          `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &out); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if out.Index != i || out.Error != "" || len(out.Output) == 0 {
+			t.Errorf("line %d = %+v, want index %d with output and no error", i, out, i)
+		}
+	}
+	if !strings.Contains(lines[0], `"id":"alpha"`) || !strings.Contains(lines[1], `"id":"beta"`) {
+		t.Errorf("JSONL lines are not in manifest order:\n%s", cold)
+	}
+
+	code, warm, stderr := runCLI(t, "-batch", manifest, "-json", "-cache-dir", cache, "-resume", "-stats")
+	if code != 0 {
+		t.Fatalf("resumed run exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if warm != cold {
+		t.Errorf("resumed output differs from the cold run:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	if !strings.Contains(stderr, "stats: batch tasks=2 errors=0 resumed=2") {
+		t.Errorf("resumed run stderr missing the batch summary:\n%s", stderr)
+	}
+}
+
+// TestWarmDiskCacheStats pins the warm-cache acceptance at the CLI: a
+// second process over the same -cache-dir re-tokenizes nothing.
+func TestWarmDiskCacheStats(t *testing.T) {
+	cache := t.TempDir()
+	args := append(writeTestSite(t), "-stats", "-cache-dir", cache)
+	code, _, _ := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("cold run exit code = %d, want 0", code)
+	}
+	code, _, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("warm run exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "stats: cache tokenHits=4 tokenMisses=0 templateHits=1 templateMisses=0") {
+		t.Errorf("warm run stderr missing the all-hits cache line:\n%s", stderr)
+	}
+	if !regexp.MustCompile(`(?m)^stats: cache tier=disk hits=\d+ misses=\d+ puts=\d+ evictions=\d+ errors=\d+ entries=\d+ bytes=\d+$`).MatchString(stderr) {
+		t.Errorf("warm run stderr missing the disk-tier line:\n%s", stderr)
+	}
+}
+
 func TestJSONOutputShape(t *testing.T) {
 	args := append(writeTestSite(t), "-json")
 	code, stdout, stderr := runCLI(t, args...)

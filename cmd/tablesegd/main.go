@@ -9,7 +9,10 @@
 // /healthz and /varz, and graceful drain on SIGTERM/SIGINT: in-flight
 // segmentations complete, queued-but-unadmitted requests get 503, and
 // the process exits once the last response is written (or the drain
-// timeout expires).
+// timeout expires). -cache-dir persists the artifact cache (tokenized
+// pages, induced templates, journaled results) across restarts;
+// -resume additionally answers repeated requests straight from the
+// journal. Per-tier cache counters are exported on /varz.
 package main
 
 import (
@@ -48,7 +51,17 @@ func run(args []string, stderr io.Writer) int {
 	defaultTimeout := fs.Duration("default-timeout", 0, "segmentation deadline for requests that carry none (0 = none)")
 	maxTimeout := fs.Duration("max-timeout", 0, "clamp applied to request-supplied deadlines (0 = no clamp)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact-cache directory (adds a disk tier behind the in-memory cache)")
+	cacheMem := fs.Int64("cache-mem", 0, "in-memory artifact-cache budget in bytes (0 = default)")
+	cacheDisk := fs.Int64("cache-disk", 0, "disk artifact-cache budget in bytes (0 = default; needs -cache-dir)")
+	resume := fs.Bool("resume", false, "answer repeated requests from the -cache-dir result journal")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(stderr, "tablesegd: -resume requires -cache-dir (the result journal lives in the disk cache)")
+		fs.Usage()
 		return 2
 	}
 
@@ -71,7 +84,14 @@ func run(args []string, stderr io.Writer) int {
 	}
 
 	srv, err := server.New(server.Config{
-		Engine:         tableseg.EngineConfig{Options: opts, Concurrency: *workers},
+		Engine: tableseg.EngineConfig{
+			Options:          opts,
+			Concurrency:      *workers,
+			CacheDir:         *cacheDir,
+			CacheMemoryBytes: *cacheMem,
+			CacheDiskBytes:   *cacheDisk,
+			Resume:           *resume,
+		},
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		RatePerSec:     *rate,

@@ -1,6 +1,7 @@
 package tableseg
 
 import (
+	"tableseg/internal/artifact"
 	"tableseg/internal/core"
 	"tableseg/internal/engine"
 	"tableseg/internal/stage"
@@ -51,10 +52,16 @@ type Stats = core.Stats
 // Stats collection (Stats.Stages lists them in pipeline order).
 type StageTiming = core.StageTiming
 
-// CacheStats is an Engine's aggregate artifact-cache counters
-// (content-addressed tokenization and per-site template preps); see
+// CacheStats is an Engine's aggregate artifact-cache counters:
+// content-addressed tokenization, per-site template preps, resumed-
+// batch journal lookups, and per-tier store counters; see
 // Engine.CacheStats.
 type CacheStats = engine.CacheStats
+
+// CacheTierStats is one cache tier's counter snapshot (hits, misses,
+// puts, evictions, absorbed errors, resident entries/bytes), reported
+// in CacheStats.Tiers with the fast tier first.
+type CacheTierStats = artifact.Stats
 
 // Observer receives per-stage instrumentation callbacks; attach one
 // via EngineConfig.Observer to collect metrics (latency histograms,

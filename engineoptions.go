@@ -1,0 +1,78 @@
+package tableseg
+
+// EngineOption is one functional configuration step applied by
+// NewEngineConfig — the engine-level counterpart of Option, covering
+// the worker pool and the artifact-cache tiers.
+type EngineOption func(*EngineConfig)
+
+// NewEngineConfig builds a validated EngineConfig from defaults (CSP
+// options, GOMAXPROCS workers, bounded in-memory cache) plus the given
+// functional options, applied in order. Invalid combinations — negative
+// budgets, Resume without caching, bad pipeline options — surface as
+// ErrBadOptions here instead of at NewEngine.
+//
+//	cfg, err := tableseg.NewEngineConfig(
+//	    tableseg.WithEngineOptions(opts),
+//	    tableseg.WithCacheDir("/var/cache/tableseg"),
+//	    tableseg.WithResume(true),
+//	)
+//	eng, err := tableseg.NewEngine(cfg)
+func NewEngineConfig(opts ...EngineOption) (EngineConfig, error) {
+	cfg := EngineConfig{Options: DefaultOptions(CSP)}
+	for _, apply := range opts {
+		apply(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return EngineConfig{}, err
+	}
+	return cfg, nil
+}
+
+// WithEngineOptions sets the pipeline options applied to every task
+// without a per-task override.
+func WithEngineOptions(o Options) EngineOption {
+	return func(c *EngineConfig) { c.Options = o }
+}
+
+// WithConcurrency bounds the engine's worker pool (0 selects
+// GOMAXPROCS).
+func WithConcurrency(n int) EngineOption {
+	return func(c *EngineConfig) { c.Concurrency = n }
+}
+
+// WithObserver attaches a per-stage instrumentation observer.
+func WithObserver(o Observer) EngineOption {
+	return func(c *EngineConfig) { c.Observer = o }
+}
+
+// WithCacheDir adds a persistent disk tier rooted at dir behind the
+// in-memory cache: artifacts survive restarts (enabling WithResume
+// across process death) and may be shared by several processes.
+func WithCacheDir(dir string) EngineOption {
+	return func(c *EngineConfig) { c.CacheDir = dir }
+}
+
+// WithCacheMemoryBudget bounds the in-memory cache tier in bytes
+// (0 selects the default budget).
+func WithCacheMemoryBudget(bytes int64) EngineOption {
+	return func(c *EngineConfig) { c.CacheMemoryBytes = bytes }
+}
+
+// WithCacheDiskBudget caps the disk cache tier in bytes (0 selects the
+// default budget; only meaningful with WithCacheDir).
+func WithCacheDiskBudget(bytes int64) EngineOption {
+	return func(c *EngineConfig) { c.CacheDiskBytes = bytes }
+}
+
+// WithResume makes the engine consult its result journal before
+// computing a task, so a batch re-run over a warm store skips every
+// already-finished task and reproduces its results byte-identically.
+func WithResume(on bool) EngineOption {
+	return func(c *EngineConfig) { c.Resume = on }
+}
+
+// WithoutCache disables the artifact store entirely (benchmarking the
+// cache's contribution; incompatible with WithResume).
+func WithoutCache() EngineOption {
+	return func(c *EngineConfig) { c.DisableCache = true }
+}

@@ -79,7 +79,7 @@ func parseExpectations(t *testing.T) []expectation {
 	return out
 }
 
-// TestFixtureDiagnostics is the golden test for all fourteen analyzers:
+// TestFixtureDiagnostics is the golden test for all fifteen analyzers:
 // every `// want` annotation in the fixture module must be matched by
 // exactly one diagnostic at that file and line, and no diagnostic may
 // appear without an annotation (this also proves the suppression

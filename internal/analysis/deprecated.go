@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Deprecated returns the analyzer that forbids calls to retired in-repo
+// APIs. Go's deprecation story is a doc-comment convention that nothing
+// in the standard toolchain enforces, so a "// Deprecated:" alias kept
+// for compatibility tends to re-accumulate callers until it can never
+// be deleted. This analyzer makes the migration one-way: each entry in
+// Config.DeprecatedAPIs names a retired function or method and its
+// replacement, call sites are resolved through the type checker (so
+// calls through package aliases and embedded receivers are caught, and
+// same-named methods on unrelated types are not), and any surviving
+// call fails the lint run with a pointer at the replacement.
+func Deprecated() *Analyzer {
+	a := &Analyzer{
+		Name: "deprecated",
+		Doc:  "forbid calls to retired in-repo APIs that have a designated replacement",
+	}
+	a.Run = func(pass *Pass) {
+		if len(pass.Cfg.DeprecatedAPIs) == 0 {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass, call)
+				if fn == nil {
+					return true
+				}
+				for _, dep := range pass.Cfg.DeprecatedAPIs {
+					if dep.matches(fn) {
+						pass.Reportf(call.Pos(), "call to deprecated %s: use %s", dep.describe(), dep.Use)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// calleeFunc resolves a call expression to the function or method it
+// invokes, or nil when the callee is not a declared function (a
+// conversion, a function-typed variable, a builtin).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// matches reports whether fn is the API this entry retires: same name,
+// defining package matching the suffix, and — for methods — the same
+// receiver type (pointer receivers are dereferenced, so both e.Run and
+// (&e).Run match a Type of "Engine").
+func (dep DeprecatedAPI) matches(fn *types.Func) bool {
+	if fn.Name() != dep.Name || fn.Pkg() == nil || !pathMatches(fn.Pkg().Path(), dep.PkgSuffix) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	recv := sig.Recv()
+	if dep.Type == "" {
+		return recv == nil
+	}
+	if recv == nil {
+		return false
+	}
+	return receiverTypeName(recv.Type()) == dep.Type
+}
+
+// describe renders the retired API for diagnostics:
+// "internal/engine.Engine.Run".
+func (dep DeprecatedAPI) describe() string {
+	if dep.Type == "" {
+		return dep.PkgSuffix + "." + dep.Name
+	}
+	return dep.PkgSuffix + "." + dep.Type + "." + dep.Name
+}
+
+// receiverTypeName names a receiver's defined type, dereferencing one
+// pointer level, or "" for receivers that are not defined types.
+func receiverTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,94 @@
+// Package artifact implements a content-addressed store for serialized
+// pipeline artifacts: token streams, induced page templates, and
+// journaled task results. Artifacts are addressed by a Key — artifact
+// kind, codec version, and the SHA-256 hash of the content the artifact
+// was derived from — so a store never returns a stale or mistyped
+// payload: a codec-version bump changes the key and silently invalidates
+// everything encoded under the old version.
+//
+// Three backends compose into the engine's cache hierarchy: a bounded
+// in-memory LRU (Memory), a crash-tolerant disk store (Disk), and a
+// Tiered front that promotes disk hits into memory. All backends are
+// safe for concurrent use and absorb backend failures as misses — a
+// corrupt or unreadable entry is evicted and counted in Stats.Errors,
+// never surfaced to the pipeline.
+package artifact
+
+import "crypto/sha256"
+
+// Kind tags what an artifact is. It participates in the store key, so
+// two artifacts derived from the same content but of different kinds
+// (a page's token stream vs. a task result keyed by the same input)
+// never collide.
+type Kind uint8
+
+const (
+	// KindTokens is a serialized token stream ([]token.Token), keyed by
+	// the source page's HTML hash.
+	KindTokens Kind = 1
+	// KindTemplate is a serialized induced page template, keyed by the
+	// site's ordered list-page content hash.
+	KindTemplate Kind = 2
+	// KindResult is a journaled task result (segmentation or typed
+	// diagnostic error), keyed by the input hash plus an options
+	// fingerprint.
+	KindResult Kind = 3
+)
+
+// String names the kind for disk layout and diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindTokens:
+		return "tokens"
+	case KindTemplate:
+		return "template"
+	case KindResult:
+		return "result"
+	default:
+		return "unknown"
+	}
+}
+
+// Key addresses one artifact: content hash, artifact kind, and the
+// codec version the payload was encoded under.
+type Key struct {
+	// Kind tags the artifact type.
+	Kind Kind
+	// Version is the codec version of the payload. Bumping the codec
+	// version changes every key, so old payloads become unreachable
+	// (and eventually GC'd) instead of misread.
+	Version uint16
+	// Hash is the SHA-256 of the content the artifact derives from.
+	Hash [sha256.Size]byte
+}
+
+// Stats is one tier's counter snapshot.
+type Stats struct {
+	// Tier names the backend ("memory", "disk").
+	Tier string
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Puts counts Put calls (including idempotent re-puts of a key the
+	// tier already holds).
+	Puts int64
+	// Evictions counts entries dropped to respect the tier's size cap.
+	Evictions int64
+	// Errors counts absorbed backend failures: corrupt payloads,
+	// unreadable or unwritable files. Each is also a miss.
+	Errors int64
+	// Entries and Bytes describe the tier's current contents.
+	Entries, Bytes int64
+}
+
+// Store is a content-addressed artifact store. Implementations must be
+// safe for concurrent use. Get returns the payload and true on a hit;
+// backend failures are absorbed as misses (counted in Stats.Errors).
+// Put is best-effort: a failed or over-budget write drops the payload
+// silently — the store is a cache, and the caller always holds the
+// computed artifact. Callers must treat payloads returned by Get as
+// immutable, and must not mutate a payload after passing it to Put.
+type Store interface {
+	Get(k Key) ([]byte, bool)
+	Put(k Key, payload []byte)
+	Stats() []Stats
+}

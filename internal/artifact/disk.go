@@ -1,0 +1,283 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultDiskBudget caps the disk tier when the caller does not set a
+// budget: 1 GiB, enough for millions of journaled results or hundreds
+// of thousands of tokenized pages.
+const DefaultDiskBudget = 1 << 30
+
+// diskMagic opens every artifact file; a file without it is treated as
+// corrupt and deleted on read.
+const diskMagic = "TSAF"
+
+// diskHeaderLen is magic (4) + crc32 (4) + payload length (8).
+const diskHeaderLen = 16
+
+// diskExt suffixes every artifact file, so GC and the usage scan never
+// touch foreign files in a shared directory.
+const diskExt = ".art"
+
+// Disk is a crash-tolerant on-disk store. Entries live at
+//
+//	<dir>/<kind>/v<version>/<hh>/<hash><ext>
+//
+// where <hh> is the first hash byte (256-way fan-out keeps directories
+// small at corpus scale). Writes go to a temp file in the final
+// directory and are renamed into place, so a killed process leaves
+// either the old entry, the new entry, or a stray temp file — never a
+// half-written payload under a valid name. Reads verify a CRC-32 and
+// length header; a corrupt file is deleted and absorbed as a miss.
+// When the store exceeds its byte budget the oldest-written entries
+// are collected first.
+type Disk struct {
+	dir    string
+	budget int64
+
+	// mu guards the usage accounting and serializes GC.
+	mu      sync.Mutex
+	bytes   int64
+	entries int64
+
+	hits, misses, puts, evictions, errors atomic.Int64
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir,
+// capped at budget bytes (0 selects DefaultDiskBudget). Stray temp
+// files from a previous crash are removed and existing usage is
+// scanned, so budgets hold across restarts.
+func OpenDisk(dir string, budget int64) (*Disk, error) {
+	if budget <= 0 {
+		budget = DefaultDiskBudget
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open disk store: %w", err)
+	}
+	d := &Disk{dir: dir, budget: budget}
+	ents := d.scan(true)
+	for _, e := range ents {
+		d.bytes += e.size
+		d.entries++
+	}
+	return d, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// path maps a key to its file path.
+func (d *Disk) path(k Key) string {
+	h := hex.EncodeToString(k.Hash[:])
+	return filepath.Join(d.dir, k.Kind.String(), fmt.Sprintf("v%d", k.Version), h[:2], h+diskExt)
+}
+
+// Get implements Store.
+func (d *Disk) Get(k Key) ([]byte, bool) {
+	path := d.path(k)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			d.errors.Add(1)
+		}
+		d.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decodeDiskFile(raw)
+	if !ok {
+		// Corrupt (truncated write, bit rot): evict the file so the next
+		// Put can repopulate it, and absorb the failure as a miss.
+		d.removeEntry(path, int64(len(raw)))
+		d.errors.Add(1)
+		d.misses.Add(1)
+		return nil, false
+	}
+	d.hits.Add(1)
+	return payload, true
+}
+
+// decodeDiskFile validates a raw artifact file and returns its payload.
+func decodeDiskFile(raw []byte) ([]byte, bool) {
+	if len(raw) < diskHeaderLen || string(raw[:4]) != diskMagic {
+		return nil, false
+	}
+	crc := binary.LittleEndian.Uint32(raw[4:8])
+	n := binary.LittleEndian.Uint64(raw[8:16])
+	payload := raw[diskHeaderLen:]
+	if uint64(len(payload)) != n || crc32.ChecksumIEEE(payload) != crc {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put implements Store.
+func (d *Disk) Put(k Key, payload []byte) {
+	d.puts.Add(1)
+	path := d.path(k)
+	if _, err := os.Stat(path); err == nil {
+		// Content-addressed: the entry already holds this payload.
+		return
+	}
+	size, ok := d.writeFile(path, payload)
+	if !ok {
+		d.errors.Add(1)
+		return
+	}
+	d.mu.Lock()
+	d.bytes += size
+	d.entries++
+	if d.bytes > d.budget {
+		d.gcLocked(path)
+	}
+	d.mu.Unlock()
+}
+
+// writeFile writes header+payload to a temp file in path's directory
+// and renames it into place. It reports the file's total size.
+func (d *Disk) writeFile(path string, payload []byte) (int64, bool) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, false
+	}
+	f, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return 0, false
+	}
+	tmp := f.Name()
+	var hdr [diskHeaderLen]byte
+	copy(hdr[:4], diskMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	_, werr := f.Write(hdr[:])
+	if werr == nil {
+		_, werr = f.Write(payload)
+	}
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp)
+		return 0, false
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, false
+	}
+	return int64(diskHeaderLen + len(payload)), true
+}
+
+// removeEntry deletes a corrupt file and adjusts the accounting.
+func (d *Disk) removeEntry(path string, size int64) {
+	if os.Remove(path) != nil {
+		return
+	}
+	d.mu.Lock()
+	d.bytes -= size
+	d.entries--
+	if d.bytes < 0 {
+		d.bytes = 0
+	}
+	if d.entries < 0 {
+		d.entries = 0
+	}
+	d.mu.Unlock()
+}
+
+// diskEntry is one on-disk artifact seen by a scan.
+type diskEntry struct {
+	path  string
+	size  int64
+	mtime int64 // unix nanoseconds
+}
+
+// scan walks the store and returns every artifact file. When
+// removeTemps is set, stray temp files from a crashed writer are
+// deleted along the way.
+func (d *Disk) scan(removeTemps bool) []diskEntry {
+	var out []diskEntry
+	filepath.WalkDir(d.dir, func(path string, ent fs.DirEntry, err error) error {
+		if err != nil || ent.IsDir() {
+			return nil
+		}
+		if removeTemps && strings.HasPrefix(ent.Name(), "tmp-") {
+			os.Remove(path)
+			return nil
+		}
+		if !strings.HasSuffix(ent.Name(), diskExt) {
+			return nil
+		}
+		info, err := ent.Info()
+		if err != nil {
+			return nil
+		}
+		out = append(out, diskEntry{path: path, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	return out
+}
+
+// gcLocked re-walks the store (self-healing the accounting when other
+// processes share the directory) and deletes the oldest-written
+// entries until usage fits the budget. The just-written file is
+// spared, so a single oversized artifact cannot evict itself. Callers
+// hold d.mu.
+func (d *Disk) gcLocked(spare string) {
+	ents := d.scan(false)
+	var total int64
+	for _, e := range ents {
+		total += e.size
+	}
+	count := int64(len(ents))
+	if total > d.budget {
+		sort.Slice(ents, func(i, j int) bool {
+			if ents[i].mtime != ents[j].mtime {
+				return ents[i].mtime < ents[j].mtime
+			}
+			return ents[i].path < ents[j].path
+		})
+		for _, e := range ents {
+			if total <= d.budget {
+				break
+			}
+			if e.path == spare {
+				continue
+			}
+			if os.Remove(e.path) != nil {
+				d.errors.Add(1)
+				continue
+			}
+			total -= e.size
+			count--
+			d.evictions.Add(1)
+		}
+	}
+	d.bytes = total
+	d.entries = count
+}
+
+// Stats implements Store.
+func (d *Disk) Stats() []Stats {
+	d.mu.Lock()
+	entries := d.entries
+	bytes := d.bytes
+	d.mu.Unlock()
+	return []Stats{{
+		Tier:      "disk",
+		Hits:      d.hits.Load(),
+		Misses:    d.misses.Load(),
+		Puts:      d.puts.Load(),
+		Evictions: d.evictions.Load(),
+		Errors:    d.errors.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}}
+}

@@ -1,0 +1,40 @@
+package artifact
+
+// Tiered fronts a slow store with a fast one: Gets try the fast tier
+// first and promote slow-tier hits into it; Puts write through to
+// both. The canonical composition is Memory over Disk — warm lookups
+// stay in process, while the disk tier persists artifacts across
+// restarts and shares them between processes pointed at one cache
+// directory.
+type Tiered struct {
+	fast, slow Store
+}
+
+// NewTiered composes fast over slow.
+func NewTiered(fast, slow Store) *Tiered {
+	return &Tiered{fast: fast, slow: slow}
+}
+
+// Get implements Store.
+func (t *Tiered) Get(k Key) ([]byte, bool) {
+	if payload, ok := t.fast.Get(k); ok {
+		return payload, true
+	}
+	payload, ok := t.slow.Get(k)
+	if ok {
+		t.fast.Put(k, payload)
+	}
+	return payload, ok
+}
+
+// Put implements Store.
+func (t *Tiered) Put(k Key, payload []byte) {
+	t.fast.Put(k, payload)
+	t.slow.Put(k, payload)
+}
+
+// Stats implements Store: the fast tier's snapshot followed by the
+// slow tier's.
+func (t *Tiered) Stats() []Stats {
+	return append(t.fast.Stats(), t.slow.Stats()...)
+}

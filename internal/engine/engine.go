@@ -1,9 +1,9 @@
 // Package engine implements a reusable, concurrent batch-segmentation
 // engine over the core pipeline: tasks stream through a bounded worker
-// pool, per-site artifacts (tokenized sample list pages and the induced
-// page template) are cached by list-page content hash so repeated tasks
-// from one site skip re-induction, and every task returns structured
-// per-stage instrumentation alongside its segmentation or typed error.
+// pool, per-site artifacts (tokenized pages, induced page templates,
+// and completed task results) live in a content-addressed artifact
+// store, and every task returns structured per-stage instrumentation
+// alongside its segmentation or typed error.
 //
 // The engine exists for the paper's natural unit of work — a corpus of
 // list pages across many sites (§6 runs 24 pages over 12 sites) — where
@@ -12,6 +12,14 @@
 // what a serial core.Segment call would, regardless of worker count or
 // scheduling, because the cached artifacts are immutable and every
 // solver seed is task-local.
+//
+// Artifacts are serialized (internal/stage codec) into a tiered store
+// (internal/artifact): a bounded in-memory LRU, optionally fronting a
+// disk tier that persists across restarts and can be shared between
+// processes pointed at one cache directory. Completed task results are
+// journaled to the same store, so a batch interrupted mid-run and
+// restarted with Resume skips finished tasks and produces byte-identical
+// output to an uninterrupted run.
 package engine
 
 import (
@@ -26,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tableseg/internal/artifact"
 	"tableseg/internal/clock"
 	"tableseg/internal/core"
 	"tableseg/internal/stage"
@@ -46,9 +55,9 @@ type Config struct {
 	// Concurrency bounds the worker pool. Zero selects
 	// runtime.GOMAXPROCS(0); negative values are rejected by Validate.
 	Concurrency int
-	// DisableCache turns off the per-site template/token cache
-	// (each task then pays full tokenization and induction; useful for
-	// benchmarking the cache's contribution).
+	// DisableCache turns off the artifact store entirely (each task
+	// then pays full tokenization and induction, and nothing is
+	// journaled; useful for benchmarking the cache's contribution).
 	DisableCache bool
 	// Observer, when non-nil, receives a callback at every pipeline
 	// stage boundary of every task, in addition to the per-task Stats
@@ -57,6 +66,26 @@ type Config struct {
 	// observer must be safe for concurrent use; callbacks carry only
 	// diagnostics and never influence segmentation output.
 	Observer stage.Observer
+	// Store, when non-nil, replaces the engine-built artifact store
+	// (ignored when DisableCache is set). Most callers leave it nil and
+	// configure the built-in tiers via CacheDir and the budgets below.
+	Store artifact.Store
+	// CacheDir, when non-empty, adds a disk tier rooted there behind
+	// the in-memory LRU. The directory persists artifacts across
+	// restarts — it is what makes a killed batch resumable — and may be
+	// shared by several processes.
+	CacheDir string
+	// CacheMemoryBytes bounds the in-memory tier. Zero selects
+	// artifact.DefaultMemoryBudget; negatives are rejected.
+	CacheMemoryBytes int64
+	// CacheDiskBytes caps the disk tier (with CacheDir). Zero selects
+	// artifact.DefaultDiskBudget; negatives are rejected.
+	CacheDiskBytes int64
+	// Resume makes every task consult the result journal before
+	// computing: a task whose (input content, options) pair already has
+	// a journaled result returns it without recomputation. Requires
+	// caching; pair it with CacheDir to survive process death.
+	Resume bool
 }
 
 // Validate rejects nonsensical engine configurations with typed errors
@@ -64,6 +93,15 @@ type Config struct {
 func (c Config) Validate() error {
 	if c.Concurrency < 0 {
 		return fmt.Errorf("%w: negative Concurrency %d", core.ErrBadOptions, c.Concurrency)
+	}
+	if c.CacheMemoryBytes < 0 {
+		return fmt.Errorf("%w: negative CacheMemoryBytes %d", core.ErrBadOptions, c.CacheMemoryBytes)
+	}
+	if c.CacheDiskBytes < 0 {
+		return fmt.Errorf("%w: negative CacheDiskBytes %d", core.ErrBadOptions, c.CacheDiskBytes)
+	}
+	if c.Resume && c.DisableCache {
+		return fmt.Errorf("%w: Resume requires caching (DisableCache is set)", core.ErrBadOptions)
 	}
 	return c.Options.Validate()
 }
@@ -78,7 +116,8 @@ type Task struct {
 	Input core.Input
 	// Options, when non-nil, overrides the engine's configured options
 	// for this task only. The per-site cache is shared across options —
-	// tokenization and template induction are method-independent.
+	// tokenization and template induction are method-independent — while
+	// the result journal keys on the (input, options) pair.
 	Options *core.Options
 }
 
@@ -99,6 +138,9 @@ type TaskStats struct {
 	// segmented under several methods, or one site's pages reappearing
 	// as targets — hit instead of re-tokenizing.
 	TokenCacheHits, TokenCacheMisses int
+	// ResultCacheHit is true when the whole task was answered from the
+	// result journal (Resume): no pipeline stage ran.
+	ResultCacheHit bool
 }
 
 // Result is the outcome of one task.
@@ -120,17 +162,27 @@ type Result struct {
 }
 
 // Engine is a reusable concurrent batch segmenter. It is safe for
-// concurrent use; the per-site cache is shared across batches for the
-// engine's lifetime.
+// concurrent use; the artifact store is shared across batches for the
+// engine's lifetime (and, with a disk tier, across engine lifetimes).
 type Engine struct {
 	opts     core.Options
 	workers  int
 	caching  bool
+	resume   bool
 	observer stage.Observer
+	// store holds serialized artifacts; nil exactly when caching is
+	// disabled.
+	store artifact.Store
 
-	mu     sync.Mutex
-	sites  map[string]*siteEntry
-	tokens *tokenCache
+	// mu guards sitesSeen: the distinct site keys prepared so far.
+	mu        sync.Mutex
+	sitesSeen map[artifact.Key]struct{}
+
+	// flightMu guards flights: in-process deduplication of concurrent
+	// artifact computation (the store itself deduplicates storage, not
+	// work).
+	flightMu sync.Mutex
+	flights  map[artifact.Key]*flight
 
 	// Submission lifecycle: Submit admits work while closed is false,
 	// each admitted submission holds slots (capacity = workers) while
@@ -143,64 +195,74 @@ type Engine struct {
 	cacheStats struct {
 		tokenHits, tokenMisses       atomic.Int64
 		templateHits, templateMisses atomic.Int64
+		resultHits, resultMisses     atomic.Int64
 	}
 }
 
-// siteEntry guards one site's prep so concurrent first tasks for the
-// same site compute it exactly once.
-type siteEntry struct {
-	once sync.Once
-	prep *core.SitePrep
+// flight is one in-progress artifact computation; concurrent callers
+// for the same key wait on done and share val.
+type flight struct {
+	done chan struct{}
+	val  any
 }
 
-// tokenCache is the engine's content-addressed tokenization cache:
-// byte-identical pages (keyed by HTML hash, not name) tokenize once for
-// the engine's lifetime. Entries are once-guarded so concurrent first
-// lookups compute exactly once, and the cached streams are shared and
-// therefore treated as immutable by every consumer.
-type tokenCache struct {
-	mu      sync.Mutex
-	entries map[[sha256.Size]byte]*tokenEntry
-}
-
-type tokenEntry struct {
-	once sync.Once
-	toks []token.Token
-}
-
-// lookup returns the page's token stream and whether the entry already
-// existed (a hit). On a miss the calling goroutine tokenizes; a
-// concurrent hit on a fresh entry blocks until that work finishes.
-func (c *tokenCache) lookup(p core.Page) ([]token.Token, bool) {
-	key := sha256.Sum256([]byte(p.HTML))
-	c.mu.Lock()
-	ent, hit := c.entries[key]
-	if !hit {
-		ent = &tokenEntry{}
-		c.entries[key] = ent
+// doOnce computes the artifact for k exactly once across concurrent
+// callers: the first caller runs compute, the rest block until it
+// finishes and share its value. joined reports whether the value came
+// from another goroutine's in-flight computation (a cache hit from the
+// caller's perspective). Entries are dropped once done, so repeated
+// misses (e.g. after eviction) recompute rather than pinning every
+// artifact forever.
+func (e *Engine) doOnce(k artifact.Key, compute func() any) (val any, joined bool) {
+	e.flightMu.Lock()
+	if f, ok := e.flights[k]; ok {
+		e.flightMu.Unlock()
+		//tableseglint:ignore ctxflow the wait is bounded by one artifact computation (a page tokenize or site induction), deliberately shared across tasks
+		<-f.done
+		return f.val, true
 	}
-	c.mu.Unlock()
-	ent.once.Do(func() { ent.toks = token.Tokenize(p.HTML) })
-	return ent.toks, hit
+	f := &flight{done: make(chan struct{})}
+	e.flights[k] = f
+	e.flightMu.Unlock()
+	f.val = compute()
+	close(f.done)
+	e.flightMu.Lock()
+	delete(e.flights, k)
+	e.flightMu.Unlock()
+	return f.val, false
 }
 
-// cacheView is one task's window onto the engine's token cache: it
+// cacheView is one task's window onto the engine's artifact store: it
 // implements stage.TokenCache and counts the task's hits and misses
-// (the cache itself is engine-global and unaware of tasks).
+// (the store is engine-global and unaware of tasks). Not safe for
+// concurrent use; each task owns one.
 type cacheView struct {
-	cache        *tokenCache
+	eng          *Engine
 	hits, misses int
 }
 
-// Tokens implements stage.TokenCache.
+// Tokens implements stage.TokenCache: serve the page's token stream
+// from the store, or tokenize once (deduplicated across concurrent
+// tasks) and store the encoded stream.
 func (v *cacheView) Tokens(p core.Page) []token.Token {
-	toks, hit := v.cache.lookup(p)
-	if hit {
+	k := tokenKey(p.HTML)
+	if data, ok := v.eng.store.Get(k); ok {
+		if toks, err := stage.DecodeTokens(data); err == nil {
+			v.hits++
+			return toks
+		}
+	}
+	val, joined := v.eng.doOnce(k, func() any {
+		toks := token.Tokenize(p.HTML)
+		v.eng.store.Put(k, stage.EncodeTokens(toks))
+		return toks
+	})
+	if joined {
 		v.hits++
 	} else {
 		v.misses++
 	}
-	return toks
+	return val.([]token.Token)
 }
 
 // CacheStats is a snapshot of the engine's artifact-cache counters,
@@ -212,19 +274,37 @@ type CacheStats struct {
 	// TemplateHits and TemplateMisses count per-site prep lookups
 	// (tokenized sample lists + induced template).
 	TemplateHits, TemplateMisses int64
+	// ResultHits and ResultMisses count result-journal lookups on
+	// resumed batches (both zero unless Resume is configured).
+	ResultHits, ResultMisses int64
+	// Tiers snapshots the store's per-tier counters (hits, misses,
+	// puts, evictions, absorbed errors, resident entries/bytes), fast
+	// tier first. Nil when caching is disabled.
+	Tiers []artifact.Stats
 }
 
 // CacheStats returns the engine's aggregate cache counters.
 func (e *Engine) CacheStats() CacheStats {
-	return CacheStats{
+	cs := CacheStats{
 		TokenHits:      e.cacheStats.tokenHits.Load(),
 		TokenMisses:    e.cacheStats.tokenMisses.Load(),
 		TemplateHits:   e.cacheStats.templateHits.Load(),
 		TemplateMisses: e.cacheStats.templateMisses.Load(),
+		ResultHits:     e.cacheStats.resultHits.Load(),
+		ResultMisses:   e.cacheStats.resultMisses.Load(),
 	}
+	if e.store != nil {
+		cs.Tiers = e.store.Stats()
+	}
+	return cs
 }
 
-// New creates an Engine after validating the configuration.
+// New creates an Engine after validating the configuration. With
+// caching enabled the engine builds its store from the config — a
+// bounded in-memory LRU, fronting a disk tier when CacheDir is set —
+// unless cfg.Store supplies one. Opening the disk tier can fail (e.g.
+// an unwritable directory); that error is returned rather than
+// silently degrading to memory-only.
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -233,32 +313,60 @@ func New(cfg Config) (*Engine, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
-		opts:     cfg.Options,
-		workers:  workers,
-		caching:  !cfg.DisableCache,
-		observer: cfg.Observer,
-		sites:    make(map[string]*siteEntry),
-		tokens:   &tokenCache{entries: make(map[[sha256.Size]byte]*tokenEntry)},
-		slots:    make(chan struct{}, workers),
-	}, nil
+	e := &Engine{
+		opts:      cfg.Options,
+		workers:   workers,
+		caching:   !cfg.DisableCache,
+		resume:    cfg.Resume,
+		observer:  cfg.Observer,
+		sitesSeen: make(map[artifact.Key]struct{}),
+		flights:   make(map[artifact.Key]*flight),
+		slots:     make(chan struct{}, workers),
+	}
+	if e.caching {
+		e.store = cfg.Store
+		if e.store == nil {
+			mem := artifact.NewMemory(cfg.CacheMemoryBytes)
+			if cfg.CacheDir != "" {
+				disk, err := artifact.OpenDisk(cfg.CacheDir, cfg.CacheDiskBytes)
+				if err != nil {
+					return nil, err
+				}
+				e.store = artifact.NewTiered(mem, disk)
+			} else {
+				e.store = mem
+			}
+		}
+	}
+	return e, nil
 }
 
 // Concurrency returns the engine's worker count.
 func (e *Engine) Concurrency() int { return e.workers }
 
-// CachedSites returns the number of distinct sites currently prepared
-// in the cache.
+// CachedSites returns the number of distinct sites (by list-page
+// content hash) the engine has prepared since creation.
 func (e *Engine) CachedSites() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.sites)
+	return len(e.sitesSeen)
 }
 
-// siteKey hashes the list pages' contents (not their names): two tasks
-// share a prep exactly when their sample list pages are byte-identical
+// tokenKey addresses a page's serialized token stream by its HTML
+// content hash.
+func tokenKey(html string) artifact.Key {
+	return artifact.Key{
+		Kind:    artifact.KindTokens,
+		Version: stage.CodecVersion,
+		Hash:    sha256.Sum256([]byte(html)),
+	}
+}
+
+// templateKey addresses a site's induced template by the content hash
+// of its ordered sample list pages (not their names): two tasks share
+// a template exactly when their sample list pages are byte-identical
 // in order.
-func siteKey(lists []core.Page) string {
+func templateKey(lists []core.Page) artifact.Key {
 	h := sha256.New()
 	var n [8]byte
 	binary.LittleEndian.PutUint64(n[:], uint64(len(lists)))
@@ -268,7 +376,9 @@ func siteKey(lists []core.Page) string {
 		h.Write(n[:])
 		h.Write([]byte(p.HTML))
 	}
-	return string(h.Sum(nil))
+	k := artifact.Key{Kind: artifact.KindTemplate, Version: stage.CodecVersion}
+	h.Sum(k.Hash[:0])
+	return k
 }
 
 // InputKey returns the hex content hash of a whole segmentation input
@@ -276,7 +386,8 @@ func siteKey(lists []core.Page) string {
 // in order. Two inputs share a key exactly when the engine would
 // compute byte-identical segmentations for them under equal options,
 // which makes the key the natural unit for request coalescing in a
-// server: concurrent identical submissions can share one computation.
+// server — concurrent identical submissions can share one computation —
+// and, combined with an options fingerprint, for the result journal.
 func InputKey(in core.Input) string {
 	h := sha256.New()
 	var n [8]byte
@@ -296,30 +407,41 @@ func InputKey(in core.Input) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// prepFor returns the site prep for a task's list pages, from cache
-// when possible, and reports whether the prep was reused. The view
-// (nil when caching is off) routes the prep's tokenization through the
-// token cache, so a site's list pages also serve later detail-page
-// lookups.
+// prepFor returns the site prep for a task's list pages — decoded from
+// the store when the template was cached (possibly by an earlier
+// process), computed and stored otherwise — and reports whether the
+// prep was reused. The view (nil only when caching is off) routes all
+// tokenization through the artifact store, so a site's list pages also
+// serve later detail-page lookups.
 func (e *Engine) prepFor(lists []core.Page, view *cacheView) (*core.SitePrep, bool) {
 	if !e.caching {
 		return core.PrepareSite(lists, nil), false
 	}
-	key := siteKey(lists)
+	k := templateKey(lists)
 	e.mu.Lock()
-	ent, hit := e.sites[key]
-	if !hit {
-		ent = &siteEntry{}
-		e.sites[key] = ent
-	}
+	e.sitesSeen[k] = struct{}{}
 	e.mu.Unlock()
-	ent.once.Do(func() { ent.prep = core.PrepareSite(lists, view) })
-	if hit {
+	if data, ok := e.store.Get(k); ok {
+		if tpl, err := stage.DecodeTemplate(data); err == nil {
+			prep := &core.SitePrep{ListToks: make([][]token.Token, len(lists)), Tpl: tpl.Tpl}
+			for i := range lists {
+				prep.ListToks[i] = view.Tokens(lists[i])
+			}
+			e.cacheStats.templateHits.Add(1)
+			return prep, true
+		}
+	}
+	val, joined := e.doOnce(k, func() any {
+		prep := core.PrepareSite(lists, view)
+		e.store.Put(k, stage.EncodeTemplate(stage.Template{Tpl: prep.Tpl}))
+		return prep
+	})
+	if joined {
 		e.cacheStats.templateHits.Add(1)
 	} else {
 		e.cacheStats.templateMisses.Add(1)
 	}
-	return ent.prep, hit
+	return val.(*core.SitePrep), joined
 }
 
 // runTask executes one task end to end on the calling worker.
@@ -334,17 +456,31 @@ func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
 	if t.Options != nil {
 		opts = *t.Options
 	}
+	var rkey artifact.Key
+	if e.caching {
+		rkey = resultKey(t.Input, opts)
+		if e.resume {
+			if cached, ok := e.lookupResult(rkey); ok {
+				cached.Index, cached.ID = idx, t.ID
+				cached.Stats.ResultCacheHit = true
+				cached.Stats.Wall = clock.Since(start)
+				e.cacheStats.resultHits.Add(1)
+				return cached
+			}
+			e.cacheStats.resultMisses.Add(1)
+		}
+	}
 	env := core.Env{Stats: &res.Stats.Stats, Observer: e.observer}
 	var view *cacheView
 	if e.caching {
-		view = &cacheView{cache: e.tokens}
+		view = &cacheView{eng: e}
 		env.Tokens = view
 	}
 	if len(t.Input.ListPages) > 0 {
 		// Concurrent tasks for the same site share one template
-		// induction through a Once; the losers wait out the winner's
+		// induction through doOnce; the losers wait out the winner's
 		// bounded induction rather than redo it under cancellation.
-		//tableseglint:ignore ctxflow template induction is deduplicated via Once and bounded; cancellation applies to the segmentation that follows
+		//tableseglint:ignore ctxflow template induction is deduplicated via doOnce and bounded; cancellation applies to the segmentation that follows
 		env.Prep, res.Stats.TemplateCacheHit = e.prepFor(t.Input.ListPages, view)
 	}
 	res.Seg, res.Err = core.SegmentEnv(ctx, t.Input, opts, env)
@@ -354,8 +490,26 @@ func (e *Engine) runTask(ctx context.Context, t Task, idx int) Result {
 		e.cacheStats.tokenHits.Add(int64(view.hits))
 		e.cacheStats.tokenMisses.Add(int64(view.misses))
 	}
+	if e.caching {
+		// Journal the completed task — success or typed diagnostic
+		// error, never a cancellation — so a later Resume run skips it.
+		if payload, ok := encodeResult(res); ok {
+			e.store.Put(rkey, payload)
+		}
+	}
 	res.Stats.Wall = clock.Since(start)
 	return res
+}
+
+// lookupResult fetches and decodes a journaled result. Undecodable
+// payloads (foreign versions, corruption that survived the store's own
+// checks) are absorbed as misses.
+func (e *Engine) lookupResult(k artifact.Key) (Result, bool) {
+	data, ok := e.store.Get(k)
+	if !ok {
+		return Result{}, false
+	}
+	return decodeResult(data)
 }
 
 // Stream consumes tasks until the channel closes, fanning them out
@@ -415,6 +569,7 @@ func (e *Engine) Stream(ctx context.Context, tasks <-chan Task) <-chan Result {
 //
 // Deprecated: use Stream.
 func (e *Engine) Run(ctx context.Context, tasks <-chan Task) <-chan Result {
+	//tableseglint:ignore deprecated the deprecated alias must delegate to its own replacement
 	return e.Stream(ctx, tasks) //tableseglint:ignore chancontract deprecated delegating alias; Stream owns and closes the stream
 }
 

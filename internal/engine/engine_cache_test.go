@@ -1,0 +1,340 @@
+// Tests for the content-addressed artifact store behind the engine:
+// tier configuration, per-tier counters, and batch checkpoint/resume.
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"tableseg/internal/artifact"
+	"tableseg/internal/core"
+	"tableseg/internal/engine"
+)
+
+// tierByName extracts one tier's snapshot from a CacheStats.
+func tierByName(t *testing.T, cs engine.CacheStats, name string) artifact.Stats {
+	t.Helper()
+	for _, tier := range cs.Tiers {
+		if tier.Tier == name {
+			return tier
+		}
+	}
+	t.Fatalf("no %q tier in %+v", name, cs.Tiers)
+	return artifact.Stats{}
+}
+
+// TestEngineCacheConfigValidation covers the new Config fields' typed
+// rejection.
+func TestEngineCacheConfigValidation(t *testing.T) {
+	cases := map[string]engine.Config{
+		"negative-memory": {CacheMemoryBytes: -1},
+		"negative-disk":   {CacheDiskBytes: -1},
+		"resume-no-cache": {Resume: true, DisableCache: true},
+	}
+	for name, cfg := range cases {
+		cfg.Options = core.DefaultOptions(core.CSP)
+		if _, err := engine.New(cfg); !errors.Is(err, core.ErrBadOptions) {
+			t.Errorf("%s: err = %v, want ErrBadOptions", name, err)
+		}
+	}
+	// An unusable cache directory must fail loudly, not degrade.
+	cfg := engine.Config{Options: core.DefaultOptions(core.CSP), CacheDir: "/dev/null/not-a-dir"}
+	if _, err := engine.New(cfg); err == nil {
+		t.Error("unusable CacheDir did not error")
+	}
+}
+
+// TestEngineMemoryTierBounded verifies the no-disk default: the token
+// cache is a bounded LRU, and evictions surface in CacheStats.Tiers.
+func TestEngineMemoryTierBounded(t *testing.T) {
+	inputs := corpusInputs(t)
+	// A budget far smaller than the corpus's token streams forces
+	// evictions while the batch still completes correctly.
+	eng, err := engine.New(engine.Config{
+		Options:          core.DefaultOptions(core.CSP),
+		Concurrency:      2,
+		CacheMemoryBytes: 32 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range eng.RunTasks(context.Background(), tasksFor(inputs)) {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", r.Index, r.Err)
+		}
+	}
+	mem := tierByName(t, eng.CacheStats(), "memory")
+	if mem.Evictions == 0 {
+		t.Errorf("no evictions under a %d-byte budget: %+v", 32<<10, mem)
+	}
+	if mem.Bytes > 32<<10 {
+		t.Errorf("memory tier holds %d bytes, budget %d", mem.Bytes, 32<<10)
+	}
+}
+
+func tasksFor(inputs []core.Input) []engine.Task {
+	tasks := make([]engine.Task, len(inputs))
+	for i := range inputs {
+		tasks[i] = engine.Task{Input: inputs[i]}
+	}
+	return tasks
+}
+
+// TestEngineWarmDiskCache is the warm-start contract: a second engine
+// over the same cache directory re-tokenizes zero byte-identical pages
+// — every lookup is served by the disk tier — and produces a deeply
+// equal segmentation.
+func TestEngineWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	in := siteInput(t, "allegheny", 0)
+
+	cold, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := cold.Segment(context.Background(), in)
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if cs := cold.CacheStats(); cs.TokenMisses == 0 {
+		t.Fatalf("cold run tokenized nothing: %+v", cs)
+	}
+
+	warm, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := warm.Segment(context.Background(), in)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if !reflect.DeepEqual(r2.Seg, r1.Seg) {
+		t.Error("warm-cache segmentation differs from cold run")
+	}
+	cs := warm.CacheStats()
+	if cs.TokenMisses != 0 {
+		t.Errorf("warm run re-tokenized %d pages, want 0", cs.TokenMisses)
+	}
+	wantLookups := int64(len(in.ListPages) + len(in.DetailPages))
+	if cs.TokenHits != wantLookups {
+		t.Errorf("warm run TokenHits = %d, want %d", cs.TokenHits, wantLookups)
+	}
+	if cs.TemplateHits != 1 || cs.TemplateMisses != 0 {
+		t.Errorf("warm run template = %d/%d hits/misses, want 1/0", cs.TemplateHits, cs.TemplateMisses)
+	}
+	// Per-tier: the fresh memory tier misses everything; the disk tier
+	// serves every lookup (tokens + template) without a single miss.
+	mem := tierByName(t, cs, "memory")
+	disk := tierByName(t, cs, "disk")
+	if disk.Misses != 0 || disk.Hits != wantLookups+1 {
+		t.Errorf("disk tier = %d/%d hits/misses, want %d/0", disk.Hits, disk.Misses, wantLookups+1)
+	}
+	if mem.Hits != 0 || mem.Misses != wantLookups+1 {
+		t.Errorf("memory tier = %d/%d hits/misses, want 0/%d", mem.Hits, mem.Misses, wantLookups+1)
+	}
+}
+
+// TestEngineResumeSkipsFinishedTasks is the checkpoint contract: a
+// second engine over the same store with Resume answers every already-
+// journaled task from the journal — no pipeline stage runs — with
+// results deeply equal to the first run's.
+func TestEngineResumeSkipsFinishedTasks(t *testing.T) {
+	dir := t.TempDir()
+	inputs := corpusInputs(t)[:6]
+
+	first, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := first.RunTasks(context.Background(), tasksFor(inputs))
+
+	second, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 2, CacheDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := second.RunTasks(context.Background(), tasksFor(inputs))
+	for i := range res2 {
+		if res1[i].Err != nil || res2[i].Err != nil {
+			t.Fatalf("task %d: errs %v / %v", i, res1[i].Err, res2[i].Err)
+		}
+		if !res2[i].Stats.ResultCacheHit {
+			t.Errorf("task %d: not answered from the journal", i)
+		}
+		if !reflect.DeepEqual(res2[i].Seg, res1[i].Seg) {
+			t.Errorf("task %d: resumed segmentation differs", i)
+		}
+	}
+	cs := second.CacheStats()
+	if cs.ResultHits != int64(len(inputs)) || cs.ResultMisses != 0 {
+		t.Errorf("resume journal = %d/%d hits/misses, want %d/0", cs.ResultHits, cs.ResultMisses, len(inputs))
+	}
+	if cs.TokenHits+cs.TokenMisses != 0 {
+		t.Errorf("resumed batch touched the token cache %d times, want 0", cs.TokenHits+cs.TokenMisses)
+	}
+}
+
+// TestEngineResumeProbabilistic pins the documented PHMM exclusion:
+// resumed probabilistic results drop the diagnostic model but match
+// every output-bearing field.
+func TestEngineResumeProbabilistic(t *testing.T) {
+	dir := t.TempDir()
+	in := siteInput(t, "allegheny", 0)
+	opts := core.DefaultOptions(core.Probabilistic)
+
+	first, err := engine.New(engine.Config{Options: opts, Concurrency: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := first.Segment(context.Background(), in)
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if r1.Seg.PHMM == nil {
+		t.Fatal("fresh probabilistic run carries no PHMM diagnostic")
+	}
+
+	second, err := engine.New(engine.Config{Options: opts, Concurrency: 1, CacheDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := second.Segment(context.Background(), in)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if !r2.Stats.ResultCacheHit {
+		t.Fatal("second run did not resume from the journal")
+	}
+	if r2.Seg.PHMM != nil {
+		t.Error("resumed result carries a PHMM diagnostic (not journaled)")
+	}
+	want := *r1.Seg
+	want.PHMM = nil
+	if !reflect.DeepEqual(*r2.Seg, want) {
+		t.Error("resumed segmentation differs beyond the PHMM field")
+	}
+}
+
+// TestEngineResumeReplaysTypedErrors verifies that deterministic
+// diagnostic failures are journaled and replayed with the identical
+// message and sentinel, while the journal never captures cancellations.
+func TestEngineResumeReplaysTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := siteInput(t, "allegheny", 0)
+	in.DetailPages = nil // no detail pages: typed diagnostic error
+
+	first, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := first.Segment(context.Background(), in)
+	if !errors.Is(r1.Err, core.ErrNoDetailPages) {
+		t.Fatalf("err = %v, want ErrNoDetailPages", r1.Err)
+	}
+
+	second, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1, CacheDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := second.Segment(context.Background(), in)
+	if !r2.Stats.ResultCacheHit {
+		t.Fatal("typed error was not journaled")
+	}
+	if !errors.Is(r2.Err, core.ErrNoDetailPages) {
+		t.Errorf("resumed err = %v, does not unwrap to the sentinel", r2.Err)
+	}
+	if r2.Err.Error() != r1.Err.Error() {
+		t.Errorf("resumed message %q != original %q", r2.Err, r1.Err)
+	}
+
+	// A cancelled task must not be journaled: resuming after a
+	// cancellation recomputes.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	good := siteInput(t, "butler", 0)
+	if r := second.Segment(ctx, good); !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("cancelled task err = %v", r.Err)
+	}
+	if r := second.Segment(context.Background(), good); r.Err != nil {
+		t.Fatalf("recompute after cancellation: %v", r.Err)
+	} else if r.Stats.ResultCacheHit {
+		t.Error("cancellation was journaled as a result")
+	}
+}
+
+// TestEngineResumeKeysOnOptions verifies the journal key covers the
+// effective options: the same input under different options is a
+// journal miss, never a cross-method replay.
+func TestEngineResumeKeysOnOptions(t *testing.T) {
+	dir := t.TempDir()
+	in := siteInput(t, "allegheny", 0)
+
+	first, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := first.Segment(context.Background(), in); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+
+	second, err := engine.New(engine.Config{Options: core.DefaultOptions(core.Probabilistic), Concurrency: 1, CacheDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := second.Segment(context.Background(), in)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Stats.ResultCacheHit {
+		t.Error("journal replayed a result across differing options")
+	}
+	if r.Seg.Method != core.Probabilistic {
+		t.Errorf("method = %v, want Probabilistic", r.Seg.Method)
+	}
+}
+
+// TestEngineCacheStatsConcurrentAccuracy is the counter-accuracy
+// contract under contention: with many workers racing over shared
+// pages, the aggregate counters equal the sum of per-task counters,
+// and every engine-level lookup maps to exactly one store-tier lookup
+// (hits + misses sum to lookups). Run under -race in CI.
+func TestEngineCacheStatsConcurrentAccuracy(t *testing.T) {
+	inputs := corpusInputs(t)
+	eng, err := engine.New(engine.Config{Options: core.DefaultOptions(core.CSP), Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three interleaved copies of the corpus maximize cross-task
+	// sharing of sites and detail pages.
+	var tasks []engine.Task
+	for round := 0; round < 3; round++ {
+		tasks = append(tasks, tasksFor(inputs)...)
+	}
+	results := eng.RunTasks(context.Background(), tasks)
+	var taskHits, taskMisses int64
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", r.Index, r.Err)
+		}
+		taskHits += int64(r.Stats.TokenCacheHits)
+		taskMisses += int64(r.Stats.TokenCacheMisses)
+	}
+	cs := eng.CacheStats()
+	if cs.TokenHits != taskHits || cs.TokenMisses != taskMisses {
+		t.Errorf("aggregate token counters %d/%d != per-task sums %d/%d",
+			cs.TokenHits, cs.TokenMisses, taskHits, taskMisses)
+	}
+	if cs.TemplateHits+cs.TemplateMisses != int64(len(tasks)) {
+		t.Errorf("template lookups = %d, want one per task (%d)",
+			cs.TemplateHits+cs.TemplateMisses, len(tasks))
+	}
+	// Every engine-level lookup performs exactly one store Get, so the
+	// single memory tier's hits+misses must equal the engine totals.
+	lookups := cs.TokenHits + cs.TokenMisses + cs.TemplateHits + cs.TemplateMisses +
+		cs.ResultHits + cs.ResultMisses
+	mem := tierByName(t, cs, "memory")
+	if mem.Hits+mem.Misses != lookups {
+		t.Errorf("memory tier saw %d lookups, engine counted %d", mem.Hits+mem.Misses, lookups)
+	}
+}

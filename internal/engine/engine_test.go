@@ -199,7 +199,7 @@ func TestEngineStream(t *testing.T) {
 		}
 	}()
 	seen := make(map[int]string)
-	for r := range eng.Run(context.Background(), tasks) {
+	for r := range eng.Stream(context.Background(), tasks) {
 		if r.Err != nil {
 			t.Fatalf("task %s: %v", r.ID, r.Err)
 		}
@@ -235,7 +235,7 @@ func TestEngineCancellation(t *testing.T) {
 			tasks <- engine.Task{Input: in}
 		}
 	}()
-	out := eng.Run(ctx, tasks)
+	out := eng.Stream(ctx, tasks)
 	first := <-out // let the batch get under way, then pull the plug
 	if first.Err != nil && !errors.Is(first.Err, context.Canceled) {
 		t.Fatalf("first result: %v", first.Err)
@@ -307,13 +307,14 @@ func TestEngineTokenCache(t *testing.T) {
 	if first.TokenCacheHits != 0 {
 		t.Errorf("first task: TokenCacheHits = %d, want 0 on a cold cache", first.TokenCacheHits)
 	}
-	// The second task shares the prep (list pages) and re-reads each
-	// detail page from cache.
+	// The second task re-reads every page from the store: the template
+	// hit rebuilds the prep from the cached list-page streams, and each
+	// detail page is re-read from cache.
 	if second.TokenCacheMisses != 0 {
 		t.Errorf("second task: TokenCacheMisses = %d, want 0", second.TokenCacheMisses)
 	}
-	if second.TokenCacheHits != len(in.DetailPages) {
-		t.Errorf("second task: TokenCacheHits = %d, want %d detail pages", second.TokenCacheHits, len(in.DetailPages))
+	if want := len(in.ListPages) + len(in.DetailPages); second.TokenCacheHits != want {
+		t.Errorf("second task: TokenCacheHits = %d, want %d (lists+details)", second.TokenCacheHits, want)
 	}
 	cs := eng.CacheStats()
 	wantHits := int64(first.TokenCacheHits + second.TokenCacheHits)
@@ -337,7 +338,9 @@ func TestEngineTokenCache(t *testing.T) {
 			t.Errorf("DisableCache task counted token lookups: %d/%d", r.Stats.TokenCacheHits, r.Stats.TokenCacheMisses)
 		}
 	}
-	if cs := off.CacheStats(); cs != (engine.CacheStats{}) {
+	if cs := off.CacheStats(); cs.TokenHits != 0 || cs.TokenMisses != 0 ||
+		cs.TemplateHits != 0 || cs.TemplateMisses != 0 ||
+		cs.ResultHits != 0 || cs.ResultMisses != 0 || cs.Tiers != nil {
 		t.Errorf("DisableCache CacheStats = %+v, want zero", cs)
 	}
 }
@@ -380,7 +383,7 @@ func TestEngineNoGoroutineLeak(t *testing.T) {
 			tasks <- engine.Task{Input: in}
 		}
 	}()
-	out := eng.Run(ctx, tasks)
+	out := eng.Stream(ctx, tasks)
 	<-out // let the batch get under way, then pull the plug
 	cancel()
 	got := 1

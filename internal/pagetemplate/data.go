@@ -1,0 +1,29 @@
+package pagetemplate
+
+// TemplateData is the serializable projection of a Template: every
+// field an induced template carries, exported so a codec outside this
+// package can persist and reconstruct templates without reflection.
+type TemplateData struct {
+	// Skeleton is the ordered list of invariant token texts.
+	Skeleton []string
+	// Positions holds, per sample page, the position of each skeleton
+	// token in that page's token stream (parallel to Skeleton).
+	Positions [][]int
+	// NumPages is the number of sample pages the template was induced
+	// from.
+	NumPages int
+}
+
+// Data exports the template's full state. The returned slices alias
+// the template's internals and must be treated as read-only — codecs
+// copy them into an encoded form rather than mutate them.
+func (t *Template) Data() TemplateData {
+	return TemplateData{Skeleton: t.Skeleton, Positions: t.positions, NumPages: t.numPages}
+}
+
+// FromData reconstructs a Template from its serialized projection.
+// The data's slices are retained by reference, so a decoder must hand
+// over freshly allocated slices.
+func FromData(d TemplateData) *Template {
+	return &Template{Skeleton: d.Skeleton, positions: d.Positions, numPages: d.NumPages}
+}

@@ -390,6 +390,20 @@ func (s *Server) Varz() *apiv1.Metrics {
 	m.Engine.TemplateHits = cs.TemplateHits
 	m.Engine.TemplateMisses = cs.TemplateMisses
 	m.Engine.CachedSites = int64(s.eng.CachedSites())
+	m.Engine.ResultHits = cs.ResultHits
+	m.Engine.ResultMisses = cs.ResultMisses
+	for _, t := range cs.Tiers {
+		m.Engine.Tiers = append(m.Engine.Tiers, apiv1.CacheTier{
+			Tier:      t.Tier,
+			Hits:      t.Hits,
+			Misses:    t.Misses,
+			Puts:      t.Puts,
+			Evictions: t.Evictions,
+			Errors:    t.Errors,
+			Entries:   t.Entries,
+			Bytes:     t.Bytes,
+		})
+	}
 	return m
 }
 

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of batch checkpoint/resume (CI's resume-smoke
+# job, also runnable locally via `make resume-smoke`):
+#
+#   1. build tableseg and render the synthetic corpus;
+#   2. build a -batch manifest covering every site;
+#   3. reference run: the whole batch, cold cache, -json;
+#   4. interrupted run: a fresh cache dir, kill -9 as soon as the first
+#      result has been flushed;
+#   5. resume over the half-written cache with -resume and assert the
+#      JSONL output is byte-identical to the reference (and that at
+#      least one task was actually replayed from the journal);
+#   6. repeat the diff for -csv output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+run_pid=""
+cleanup() {
+    [ -n "$run_pid" ] && kill -9 "$run_pid" 2>/dev/null
+    rm -rf "$tmp"
+    return 0
+}
+trap cleanup EXIT
+
+echo "resume-smoke: building"
+go build -o "$tmp/tableseg" ./cmd/tableseg
+go run ./cmd/sitegen -out "$tmp/corpus" >/dev/null
+
+echo "resume-smoke: writing batch manifest"
+manifest="$tmp/batch.json"
+{
+    printf '['
+    first=1
+    for site in "$tmp/corpus"/*/; do
+        name="$(basename "$site")"
+        lists=""
+        for f in "$site"list*.html; do
+            case "$f" in *_detail*) continue ;; esac
+            lists="$lists\"$f\","
+        done
+        details=""
+        i=1
+        while [ -f "${site}list1_detail$i.html" ]; do
+            details="$details\"${site}list1_detail$i.html\","
+            i=$((i + 1))
+        done
+        [ -n "$lists" ] && [ -n "$details" ] || continue
+        [ "$first" -eq 1 ] || printf ','
+        first=0
+        printf '{"id":"%s","lists":[%s],"target":0,"details":[%s]}' \
+            "$name" "${lists%,}" "${details%,}"
+    done
+    printf ']\n'
+} >"$manifest"
+tasks=$(grep -o '"id"' "$manifest" | wc -l)
+echo "resume-smoke: manifest has $tasks tasks"
+if [ "$tasks" -lt 2 ]; then
+    echo "resume-smoke: FAIL need at least 2 tasks to interrupt between" >&2
+    exit 1
+fi
+
+echo "resume-smoke: reference batch run (cold cache)"
+"$tmp/tableseg" -batch "$manifest" -json -cache-dir "$tmp/cache-ref" >"$tmp/ref.jsonl"
+
+echo "resume-smoke: interrupted batch run"
+"$tmp/tableseg" -batch "$manifest" -json -cache-dir "$tmp/cache" \
+    >"$tmp/partial.jsonl" 2>"$tmp/partial.log" &
+run_pid=$!
+for _ in $(seq 1 600); do
+    [ -s "$tmp/partial.jsonl" ] && break
+    kill -0 "$run_pid" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$run_pid" 2>/dev/null || true
+wait "$run_pid" 2>/dev/null || true
+run_pid=""
+echo "resume-smoke: killed after $(wc -l <"$tmp/partial.jsonl") of $tasks results"
+
+echo "resume-smoke: resuming over the interrupted cache"
+"$tmp/tableseg" -batch "$manifest" -json -cache-dir "$tmp/cache" -resume -stats \
+    >"$tmp/resumed.jsonl" 2>"$tmp/resumed.log"
+if ! diff -u "$tmp/ref.jsonl" "$tmp/resumed.jsonl"; then
+    echo "resume-smoke: FAIL resumed -json output differs from the reference" >&2
+    exit 1
+fi
+echo "resume-smoke: resumed -json output byte-identical to the reference"
+if ! grep -Eq 'stats: batch tasks=[0-9]+ errors=0 resumed=[1-9]' "$tmp/resumed.log"; then
+    echo "resume-smoke: FAIL no task was replayed from the journal" >&2
+    cat "$tmp/resumed.log" >&2
+    exit 1
+fi
+grep '^stats: batch' "$tmp/resumed.log" | sed 's/^/resume-smoke: /'
+
+echo "resume-smoke: -csv diff"
+"$tmp/tableseg" -batch "$manifest" -csv -cache-dir "$tmp/cache-ref" >"$tmp/ref.csv"
+"$tmp/tableseg" -batch "$manifest" -csv -cache-dir "$tmp/cache" -resume >"$tmp/resumed.csv"
+if ! diff -u "$tmp/ref.csv" "$tmp/resumed.csv"; then
+    echo "resume-smoke: FAIL resumed -csv output differs from the reference" >&2
+    exit 1
+fi
+echo "resume-smoke: resumed -csv output byte-identical to the reference"
+
+echo "resume-smoke: PASS"

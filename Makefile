@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json lint-sarif lint-self serve-smoke resume-smoke check bench bench-stages bench-check experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint lint-json lint-sarif lint-self update-locks serve-smoke resume-smoke check bench bench-stages bench-check experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -15,11 +15,11 @@ vet:
 # Project-specific static analysis: determinism, context discipline,
 # error wrapping, float equality, stage purity, deprecated-API calls,
 # the CFG-based concurrency checks, the dataflow checks (rngflow,
-# probflow, aliasflow) and the interprocedural call-graph checks
-# (ctxflow, lockflow, httpresp — see internal/analysis). Exits
-# non-zero on any finding. LINTCACHE keys cached per-package results
-# by content hash;
-# set LINTCACHE= to force a full re-analysis.
+# probflow, aliasflow), the interprocedural call-graph checks
+# (ctxflow, lockflow, httpresp) and the schema-lock drift checks
+# (wiredrift, codecdrift — see internal/analysis). Exits non-zero on
+# any finding. LINTCACHE keys cached per-package results by content
+# hash; set LINTCACHE= to force a full re-analysis.
 LINTCACHE ?= .tableseglint-cache
 
 lint: vet
@@ -35,15 +35,24 @@ lint-json: vet
 lint-sarif: vet
 	$(GO) run ./cmd/tableseglint -sarif -cache '$(LINTCACHE)' > tableseglint.sarif
 
-# Self-lint: run the full suite (all 15 analyzers) over the analysis
+# Self-lint: run the full suite (all 17 analyzers) over the analysis
 # machinery itself — so the linter is held to its own invariants — and
 # over the daemon stack (api/v1, internal/server and its client),
 # which was written to pass every concurrency analyzer without
-# exemptions. -baseline-strict keeps the (currently empty) baseline
-# honest: a stale suppression fails the run. CI's selflint job runs
-# this and uploads tableseglint-self.sarif.
+# exemptions. Including api/v1 also makes wiredrift gate the committed
+# wire lock here. -baseline-strict keeps the (currently empty)
+# baseline honest: a stale suppression fails the run. CI's selflint
+# job runs this and uploads tableseglint-self.sarif.
 lint-self:
-	$(GO) run ./cmd/tableseglint -cache '$(LINTCACHE)' -baseline lint/selflint-baseline.json -baseline-strict internal/analysis internal/analysis/callgraph internal/analysis/cfg internal/analysis/dataflow cmd/tableseglint api/v1 internal/server internal/server/client
+	$(GO) run ./cmd/tableseglint -cache '$(LINTCACHE)' -baseline lint/selflint-baseline.json -baseline-strict internal/analysis internal/analysis/schema internal/analysis/callgraph internal/analysis/cfg internal/analysis/dataflow cmd/tableseglint api/v1 internal/server internal/server/client
+
+# Regenerate the two committed schema locks (lint/schema-apiv1.lock,
+# lint/schema-artifacts.lock) from the live tree. Deterministic: a
+# second run is a byte-identical no-op, which CI's lock-drift job
+# checks with git diff. Refuses to rewrite breaking drift — restore
+# the shape, start api/v2, or bump the codec version instead.
+update-locks:
+	$(GO) run ./cmd/tableseglint -update-locks
 
 # End-to-end daemon smoke test: start tablesegd, segment a synthetic
 # site through `tableseg -remote`, assert byte-identical output to the

@@ -1,0 +1,203 @@
+package apiv1_test
+
+// The append-only contract of this package, held as a test rather than
+// a doc comment: every exported wire type is pinned, field by field, in
+// the committed lint/schema-apiv1.lock, and what actually marshals to
+// JSON is exactly the locked tag set. The wiredrift analyzer enforces
+// the same contract statically at lint time; this test enforces it
+// dynamically through encoding/json, so a drift that somehow slipped
+// the analyzer (a build tag, a generated file) still fails `go test`.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	apiv1 "tableseg/api/v1"
+	"tableseg/internal/analysis/schema"
+)
+
+// wireSurface is the package's exported wire types, by name. Adding an
+// exported type to the package without adding it here fails
+// TestWireSurfaceMatchesLock via the lock (which -update-locks
+// regenerates from the real package scope), so the map cannot rot
+// silently.
+var wireSurface = map[string]any{
+	"CacheTier":        apiv1.CacheTier{},
+	"CoalesceCounters": apiv1.CoalesceCounters{},
+	"Code":             apiv1.Code(""),
+	"EngineCounters":   apiv1.EngineCounters{},
+	"Error":            apiv1.Error{},
+	"ErrorResponse":    apiv1.ErrorResponse{},
+	"Metrics":          apiv1.Metrics{},
+	"Page":             apiv1.Page{},
+	"Record":           apiv1.Record{},
+	"RequestCounters":  apiv1.RequestCounters{},
+	"SegmentRequest":   apiv1.SegmentRequest{},
+	"SegmentResponse":  apiv1.SegmentResponse{},
+	"StageHistogram":   apiv1.StageHistogram{},
+	"StageTime":        apiv1.StageTime{},
+	"TaskStats":        apiv1.TaskStats{},
+}
+
+func loadWireLock(t *testing.T) *schema.Lock {
+	t.Helper()
+	lock, err := schema.LoadFile(filepath.Join("..", "..", "lint", "schema-apiv1.lock"))
+	if err != nil {
+		t.Fatalf("loading wire lock: %v", err)
+	}
+	if lock == nil {
+		t.Fatal("lint/schema-apiv1.lock missing; regenerate with tableseglint -update-locks")
+	}
+	return lock
+}
+
+// TestWireSurfaceMatchesLock checks coverage in both directions and,
+// for struct types, that the live field names, json tags and order
+// match the locked entry exactly.
+func TestWireSurfaceMatchesLock(t *testing.T) {
+	lock := loadWireLock(t)
+	const prefix = "tableseg/api/v1."
+
+	locked := map[string]*schema.Entry{}
+	for i := range lock.Types {
+		name, ok := strings.CutPrefix(lock.Types[i].Type, prefix)
+		if !ok {
+			t.Errorf("lock entry %q is not an api/v1 type", lock.Types[i].Type)
+			continue
+		}
+		locked[name] = &lock.Types[i]
+	}
+	for name := range locked {
+		if _, ok := wireSurface[name]; !ok {
+			t.Errorf("locked type %s missing from the wireSurface map — update this test", name)
+		}
+	}
+	for name, zero := range wireSurface {
+		entry, ok := locked[name]
+		if !ok {
+			t.Errorf("exported type %s has no lock entry; regenerate with tableseglint -update-locks", name)
+			continue
+		}
+		rt := reflect.TypeOf(zero)
+		if rt.Kind() != reflect.Struct {
+			if entry.Underlying == "" {
+				t.Errorf("%s: non-struct type locked without an underlying shape", name)
+			}
+			continue
+		}
+		var live []schema.Field
+		for i := 0; i < rt.NumField(); i++ {
+			f := rt.Field(i)
+			if !f.IsExported() || f.Tag.Get("json") == "-" {
+				continue
+			}
+			live = append(live, schema.Field{Name: f.Name, Tag: f.Tag.Get("json")})
+		}
+		if len(live) != len(entry.Fields) {
+			t.Errorf("%s: %d live wire fields vs %d locked — v1 is append-only and additions must be re-locked", name, len(live), len(entry.Fields))
+			continue
+		}
+		for i, lf := range entry.Fields {
+			if live[i].Name != lf.Name || live[i].Tag != lf.Tag {
+				t.Errorf("%s field %d: live %s (json %q) vs locked %s (json %q)",
+					name, i, live[i].Name, live[i].Tag, lf.Name, lf.Tag)
+			}
+		}
+	}
+}
+
+// TestWireJSONRoundTrip fills each struct type with non-zero values,
+// marshals it, and asserts the emitted key set is exactly the locked
+// tag set — the dynamic half of the contract: what encoding/json
+// actually puts on the wire is what the lock says.
+func TestWireJSONRoundTrip(t *testing.T) {
+	lock := loadWireLock(t)
+	for name, zero := range wireSurface {
+		rt := reflect.TypeOf(zero)
+		if rt.Kind() != reflect.Struct {
+			continue
+		}
+		entry := lock.Entry("tableseg/api/v1." + name)
+		if entry == nil {
+			continue // reported by TestWireSurfaceMatchesLock
+		}
+		v := reflect.New(rt).Elem()
+		fillValue(v)
+		data, err := json.Marshal(v.Interface())
+		if err != nil {
+			t.Errorf("%s: marshal: %v", name, err)
+			continue
+		}
+		var keys map[string]json.RawMessage
+		if err := json.Unmarshal(data, &keys); err != nil {
+			t.Errorf("%s: round trip: %v", name, err)
+			continue
+		}
+		want := map[string]bool{}
+		for _, f := range entry.Fields {
+			want[jsonKey(f)] = true
+		}
+		for k := range keys {
+			if !want[k] {
+				t.Errorf("%s marshals unlocked key %q", name, k)
+			}
+		}
+		for k := range want {
+			if _, ok := keys[k]; !ok {
+				t.Errorf("%s did not marshal locked key %q (filled value still omitted?)", name, k)
+			}
+		}
+	}
+}
+
+// jsonKey is the key encoding/json emits for a locked field: the tag
+// name before any option, or the Go name when untagged.
+func jsonKey(f schema.Field) string {
+	tag, _, _ := strings.Cut(f.Tag, ",")
+	if tag == "" {
+		return f.Name
+	}
+	return tag
+}
+
+// fillValue sets v to a non-zero value recursively, so omitempty
+// cannot hide any field from the round trip.
+func fillValue(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString("x")
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(1)
+	case reflect.Pointer:
+		p := reflect.New(v.Type().Elem())
+		fillValue(p.Elem())
+		v.Set(p)
+	case reflect.Slice:
+		elem := reflect.New(v.Type().Elem()).Elem()
+		fillValue(elem)
+		v.Set(reflect.Append(reflect.MakeSlice(v.Type(), 0, 1), elem))
+	case reflect.Map:
+		m := reflect.MakeMap(v.Type())
+		key := reflect.New(v.Type().Key()).Elem()
+		val := reflect.New(v.Type().Elem()).Elem()
+		fillValue(key)
+		fillValue(val)
+		m.SetMapIndex(key, val)
+		v.Set(m)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).IsExported() {
+				fillValue(v.Field(i))
+			}
+		}
+	}
+}

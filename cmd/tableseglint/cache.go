@@ -27,20 +27,22 @@ import (
 
 // cacheSchema invalidates every entry when the cache layout or the
 // analyzers' semantics change; bump it alongside analyzer releases.
-const cacheSchema = "tableseglint-cache-v1"
+// v2: schema-lock bytes joined the key salt (wiredrift/codecdrift
+// findings depend on the committed locks, not just the sources).
+const cacheSchema = "tableseglint-cache-v2"
 
 // cacheKeyer computes content keys for package directories.
 type cacheKeyer struct {
 	root    string
 	modPath string
-	// salt folds the schema version, the module's go.mod and the
-	// analyzer selection into every key.
+	// salt folds the schema version, the module's go.mod, the analyzer
+	// selection and the schema-lock files into every key.
 	salt string
 	keys map[string]string // dir (module-relative) -> hex key
 	busy map[string]bool   // cycle guard
 }
 
-func newCacheKeyer(root, modPath string, suite []*analysis.Analyzer) *cacheKeyer {
+func newCacheKeyer(root, modPath string, suite []*analysis.Analyzer, lockPaths []string) *cacheKeyer {
 	h := sha256.New()
 	fmt.Fprintln(h, cacheSchema)
 	fmt.Fprintln(h, filepath.Clean(root))
@@ -51,6 +53,14 @@ func newCacheKeyer(root, modPath string, suite []*analysis.Analyzer) *cacheKeyer
 	fmt.Fprintln(h, strings.Join(names, ","))
 	if gomod, err := os.ReadFile(filepath.Join(root, "go.mod")); err == nil {
 		h.Write(gomod)
+	}
+	// The schema locks are analyzer inputs exactly like sources:
+	// regenerating one must re-key every package, and a missing lock
+	// (analyzer disabled) must key differently from any present one.
+	for _, p := range lockPaths {
+		data, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(p)))
+		fmt.Fprintln(h, p, err == nil, len(data))
+		h.Write(data)
 	}
 	return &cacheKeyer{
 		root:    root,

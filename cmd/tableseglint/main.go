@@ -10,11 +10,20 @@
 //
 //	tableseglint [-root dir] [-json | -sarif] [-analyzers list] [-baseline file [-baseline-strict]] [-cache dir] [-jobs n] [-timing] [packages...]
 //	tableseglint -list
+//	tableseglint [-root dir] -update-locks
 //
 // With no package arguments every package under the module root is
 // checked (testdata, corpus and hidden directories are skipped).
 // Package arguments are directories relative to the module root, e.g.
 // `internal/csp`.
+//
+// The wiredrift and codecdrift analyzers lint the live tree against
+// the committed schema locks (lint/schema-apiv1.lock and
+// lint/schema-artifacts.lock). -update-locks is their sanctioned
+// evolution path: it regenerates both locks deterministically (a
+// second run is a byte-identical no-op) but refuses to launder a
+// breaking change — a dropped/retyped/retagged wire field or a codec
+// shape change without a version bump aborts the rewrite with exit 1.
 //
 // -list prints every analyzer's name and one-line doc and exits.
 // -analyzers runs only the named subset (comma-separated; unknown
@@ -77,6 +86,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	jobs := flags.Int("jobs", runtime.NumCPU(), "maximum packages analyzed concurrently")
 	timing := flags.Bool("timing", false, "print per-analyzer wall time per package to stderr")
 	list := flags.Bool("list", false, "print analyzer names and docs, then exit")
+	updateLocks := flags.Bool("update-locks", false, "regenerate the schema lock files from the live tree, then exit")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -87,6 +97,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *baselineStrict && *baselinePath == "" {
 		fmt.Fprintln(stderr, "tableseglint: -baseline-strict requires -baseline")
 		return 2
+	}
+	if *updateLocks {
+		if *asJSON || *asSARIF || *baselinePath != "" || *analyzerList != "" || len(flags.Args()) > 0 {
+			fmt.Fprintln(stderr, "tableseglint: -update-locks takes no other modes or package arguments")
+			return 2
+		}
+		return runUpdateLocks(*root, stdout, stderr)
 	}
 
 	suite := analysis.Suite()
@@ -228,6 +245,13 @@ func run(rc runConfig) ([]analysis.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The schema locks are analyzer inputs: load them before either the
+	// cache keyer (their bytes are part of every key) or the analysis
+	// pass. A corrupt lock is a usage error, not something to lint past.
+	cfg := analysis.DefaultConfig()
+	if err := analysis.LoadSchemaLocks(&cfg, rc.root); err != nil {
+		return nil, err
+	}
 	pkgDirs := rc.pkgDirs
 	if len(pkgDirs) == 0 {
 		pkgDirs, err = packageDirs(rc.root)
@@ -242,7 +266,7 @@ func run(rc runConfig) ([]analysis.Diagnostic, error) {
 	// without loading anything.
 	var keys map[string]string
 	if rc.cacheDir != "" {
-		keyer := newCacheKeyer(rc.root, modPath, rc.suite)
+		keyer := newCacheKeyer(rc.root, modPath, rc.suite, []string{cfg.WireLockPath, cfg.CodecLockPath})
 		keys = make(map[string]string, len(pkgDirs))
 		for _, dir := range pkgDirs {
 			key, err := keyer.key(dir)
@@ -269,7 +293,6 @@ func run(rc runConfig) ([]analysis.Diagnostic, error) {
 	}
 	if len(missDirs) > 0 {
 		loader := analysis.NewLoader(rc.root, modPath)
-		cfg := analysis.DefaultConfig()
 		missPkgs := make([]*analysis.Package, len(missDirs))
 		for i, dir := range missDirs {
 			pkg, err := loader.LoadDir(filepath.Join(rc.root, dir))

@@ -152,8 +152,8 @@ func TestSARIFOutput(t *testing.T) {
 		t.Fatalf("not a single-run SARIF 2.1.0 log: version=%q runs=%d", log.Version, len(log.Runs))
 	}
 	run := log.Runs[0]
-	if run.Tool.Driver.Name != "tableseglint" || len(run.Tool.Driver.Rules) != 15 {
-		t.Errorf("driver = %q with %d rules, want tableseglint with 15", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	if run.Tool.Driver.Name != "tableseglint" || len(run.Tool.Driver.Rules) != 17 {
+		t.Errorf("driver = %q with %d rules, want tableseglint with 17", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
 	}
 	seen := map[string]bool{}
 	for _, r := range run.Results {
@@ -179,10 +179,10 @@ func TestListPrintsAllAnalyzers(t *testing.T) {
 		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 15 {
-		t.Fatalf("-list printed %d lines, want 15:\n%s", len(lines), stdout)
+	if len(lines) != 17 {
+		t.Fatalf("-list printed %d lines, want 17:\n%s", len(lines), stdout)
 	}
-	for _, name := range []string{"determinism", "rngflow", "probflow", "aliasflow"} {
+	for _, name := range []string{"determinism", "rngflow", "probflow", "aliasflow", "wiredrift", "codecdrift"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing analyzer %s", name)
 		}

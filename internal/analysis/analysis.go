@@ -5,7 +5,7 @@
 // randomness in solver paths, no map-iteration order leaking into
 // results, contexts threaded rather than minted, errors wrapped so
 // sentinel classification survives, goroutines and locks that provably
-// wind down) that ordinary Go tooling does not enforce. The fifteen
+// wind down) that ordinary Go tooling does not enforce. The seventeen
 // analyzers in this package check them mechanically over the parsed
 // and type-checked source of every package, using only the standard
 // library (go/parser, go/ast, go/types). Six are expression-level;
@@ -22,7 +22,11 @@
 // consume the whole-module call graph and per-function summaries of
 // internal/analysis/callgraph, so a context dropped one call deep, a
 // lock held across a helper that blocks, or a handler that forgets to
-// respond on an error path are caught across function boundaries.
+// respond on an error path are caught across function boundaries; and
+// the two schema-lock analyzers (wiredrift, codecdrift) compare
+// structural type fingerprints from internal/analysis/schema against
+// committed lock files, so wire-surface and codec-version drift is
+// caught before it corrupts caches or clients.
 //
 // The analyzers are:
 //
@@ -88,6 +92,16 @@
 //     respond on every path (each error branch writes or delegates to
 //     something that provably writes), sets the status at most once
 //     per path, and does not mutate headers after the body starts.
+//   - wiredrift: the api/v1 wire surface is append-only within v1 —
+//     every exported wire type is pinned field-by-field in the
+//     committed lint/schema-apiv1.lock; removals, renames, retypes,
+//     retags and reorders are findings, and pure additions are
+//     findings until the lock is regenerated with -update-locks.
+//   - codecdrift: every struct the artifact codec encodes is bound to
+//     its version constant in lint/schema-artifacts.lock — a shape
+//     change while the constant still holds the locked value is a
+//     finding (stale cached artifacts would decode wrong), and a
+//     version bump clears it.
 //
 // A diagnostic can be suppressed by a "//tableseglint:ignore <name>
 // <reason>" comment on the same line or the line above. The reason is
@@ -107,6 +121,7 @@ import (
 	"time"
 
 	"tableseg/internal/analysis/callgraph"
+	"tableseg/internal/analysis/schema"
 )
 
 // Diagnostic is one finding, positioned for file:line reporting.
@@ -211,6 +226,38 @@ type Config struct {
 	// call sites the deprecated analyzer flags with a pointer at the
 	// replacement.
 	DeprecatedAPIs []DeprecatedAPI
+	// WirePkg is the versioned wire package whose exported types must
+	// stay append-only within their version (wiredrift).
+	WirePkg string
+	// WireLock is the parsed committed wire-surface lock; nil disables
+	// wiredrift. WireLockPath names the file in diagnostics.
+	WireLock     *schema.Lock
+	WireLockPath string
+	// SchemaBindings bind codec-encoded struct shapes to version
+	// constants (codecdrift).
+	SchemaBindings []SchemaBinding
+	// CodecLock is the parsed committed artifact-shape lock; nil
+	// disables codecdrift. CodecLockPath names the file in diagnostics.
+	CodecLock     *schema.Lock
+	CodecLockPath string
+}
+
+// SchemaBinding ties one codec-encoded struct to the version constant
+// that must be bumped when its shape changes. The check runs in the
+// package defining the constant (ConstPkg), which resolves the type
+// through its own scope or imports.
+type SchemaBinding struct {
+	// ConstPkg is the import-path suffix of the package declaring the
+	// version constant; ConstName the constant (may be unexported —
+	// the analyzer looks it up in the package's own scope).
+	ConstPkg  string
+	ConstName string
+	// TypePkg and TypeName identify the encoded struct.
+	TypePkg  string
+	TypeName string
+	// OmitFields are top-level fields the codec deliberately does not
+	// serialize, excluded from the fingerprint.
+	OmitFields []string
 }
 
 // DeprecatedAPI names one retired call target for the deprecated
@@ -272,6 +319,20 @@ func DefaultConfig() Config {
 		DeprecatedAPIs: []DeprecatedAPI{
 			{PkgSuffix: "internal/engine", Type: "Engine", Name: "Run", Use: "Stream"},
 		},
+		WirePkg:       "api/v1",
+		WireLockPath:  WireLockFile,
+		CodecLockPath: ArtifactLockFile,
+		// The structs the artifact codec serializes (stage/codec.go:
+		// tokens, template, result) are bound to stage.CodecVersion;
+		// the engine's journal envelope — the Segmentation fields
+		// encodeSegmentation writes, PHMM deliberately excluded — to
+		// the journal's own envelope version.
+		SchemaBindings: []SchemaBinding{
+			{ConstPkg: "internal/stage", ConstName: "CodecVersion", TypePkg: "internal/token", TypeName: "Token"},
+			{ConstPkg: "internal/stage", ConstName: "CodecVersion", TypePkg: "internal/pagetemplate", TypeName: "TemplateData"},
+			{ConstPkg: "internal/stage", ConstName: "CodecVersion", TypePkg: "internal/stage", TypeName: "Record"},
+			{ConstPkg: "internal/engine", ConstName: "resultEnvelopeVersion", TypePkg: "internal/core", TypeName: "Segmentation", OmitFields: []string{"PHMM"}},
+		},
 	}
 }
 
@@ -302,10 +363,11 @@ func isInternal(pkgPath string) bool {
 		pkgPath == "internal"
 }
 
-// Suite returns the fifteen analyzers: the six expression-level
+// Suite returns the seventeen analyzers: the six expression-level
 // checks, the three CFG-based concurrency checks, the three dataflow
-// checks built on internal/analysis/dataflow, and the three
-// interprocedural checks built on internal/analysis/callgraph.
+// checks built on internal/analysis/dataflow, the three
+// interprocedural checks built on internal/analysis/callgraph, and
+// the two schema-lock checks built on internal/analysis/schema.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
@@ -323,6 +385,8 @@ func Suite() []*Analyzer {
 		CtxFlow(),
 		LockFlow(),
 		HTTPResp(),
+		WireDrift(),
+		CodecDrift(),
 	}
 }
 

@@ -13,8 +13,9 @@ import (
 // fixtureDirs are the package directories of the lint fixture module,
 // relative to testdata/lintmod.
 var fixtureDirs = []string{
-	"internal/core", "internal/csp", "internal/engine", "internal/phmm",
-	"internal/server", "internal/solvers", "internal/stage", "util",
+	"api/v1", "internal/core", "internal/csp", "internal/engine",
+	"internal/phmm", "internal/server", "internal/solvers",
+	"internal/stage", "util",
 }
 
 // wantRe matches a golden-diagnostic expectation trailing a fixture
@@ -40,13 +41,19 @@ func loadFixtureDiagnostics(t *testing.T) []Diagnostic {
 		t.Fatalf("ModulePathOf: %v", err)
 	}
 	loader := NewLoader(root, modPath)
+	cfg := DefaultConfig()
+	// The fixture module commits its own (deliberately drifted) schema
+	// locks, so wiredrift and codecdrift run live here too.
+	if err := LoadSchemaLocks(&cfg, root); err != nil {
+		t.Fatalf("LoadSchemaLocks: %v", err)
+	}
 	var diags []Diagnostic
 	for _, dir := range fixtureDirs {
 		pkg, err := loader.LoadDir(filepath.Join(root, dir))
 		if err != nil {
 			t.Fatalf("LoadDir(%s): %v", dir, err)
 		}
-		diags = append(diags, Run(pkg, DefaultConfig(), Suite())...)
+		diags = append(diags, Run(pkg, cfg, Suite())...)
 	}
 	return diags
 }

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"path/filepath"
+
+	"tableseg/internal/analysis/schema"
+)
+
+// The committed schema-lock files, relative to the module root. The
+// wire lock pins the api/v1 surface field by field; the artifact lock
+// binds codec-encoded struct digests to their version constants.
+const (
+	WireLockFile     = "lint/schema-apiv1.lock"
+	ArtifactLockFile = "lint/schema-artifacts.lock"
+)
+
+// LoadSchemaLocks populates cfg with the parsed lock files committed
+// under root. A missing lock file leaves the corresponding analyzer
+// disabled (the module has not adopted it yet — the CI lock-drift
+// gate regenerates deleted locks, so this cannot silently stick); a
+// corrupt or truncated lock is an error, which the driver reports as
+// an exit-2 usage failure rather than linting against a half-read
+// contract.
+func LoadSchemaLocks(cfg *Config, root string) error {
+	if cfg.WireLockPath == "" {
+		cfg.WireLockPath = WireLockFile
+	}
+	if cfg.CodecLockPath == "" {
+		cfg.CodecLockPath = ArtifactLockFile
+	}
+	wire, err := schema.LoadFile(filepath.Join(root, filepath.FromSlash(cfg.WireLockPath)))
+	if err != nil {
+		return err
+	}
+	codec, err := schema.LoadFile(filepath.Join(root, filepath.FromSlash(cfg.CodecLockPath)))
+	if err != nil {
+		return err
+	}
+	cfg.WireLock = wire
+	cfg.CodecLock = codec
+	return nil
+}

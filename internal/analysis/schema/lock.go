@@ -1,0 +1,116 @@
+package schema
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// LockSchema identifies the lock file format; Parse rejects anything
+// else, so a truncated or foreign file is a loud error rather than an
+// empty contract.
+const LockSchema = "tableseg-schema-lock-v1"
+
+// ErrLock is the sentinel wrapped by every lock parse/validation
+// failure.
+var ErrLock = errors.New("schema: lock")
+
+// Lock is one committed schema-lock file: the recorded contract the
+// drift analyzers compare the live tree against. `lint/schema-apiv1.lock`
+// pins the wire surface (field-level entries); `lint/schema-artifacts.lock`
+// pins codec-encoded struct digests to their version constants.
+type Lock struct {
+	Schema string  `json:"schema"`
+	Types  []Entry `json:"types"`
+}
+
+// Entry is one locked type.
+type Entry struct {
+	// Type is the qualified name ("tableseg/api/v1.SegmentRequest").
+	Type string `json:"type"`
+	// Digest is the sha256 of the canonical reachable shape.
+	Digest string `json:"digest,omitempty"`
+	// Underlying is the canonical underlying shape of non-struct wire
+	// types (e.g. `type Code string` records "string").
+	Underlying string `json:"underlying,omitempty"`
+	// Fields is the JSON-visible field list of struct wire types, in
+	// declaration order.
+	Fields []Field `json:"fields,omitempty"`
+	// Const and Version bind a codec-encoded type's digest to a
+	// version constant: Const names it ("internal/stage.CodecVersion"),
+	// Version records its value when the digest was taken. A digest
+	// change at an unchanged version is the codecdrift finding.
+	Const   string `json:"const,omitempty"`
+	Version int64  `json:"version,omitempty"`
+}
+
+// Entry returns the locked entry for the qualified type name, or nil.
+func (l *Lock) Entry(typeName string) *Entry {
+	for i := range l.Types {
+		if l.Types[i].Type == typeName {
+			return &l.Types[i]
+		}
+	}
+	return nil
+}
+
+// Encode renders the lock deterministically: schema line first,
+// entries sorted by type name, two-space indent, trailing newline.
+// `tableseglint -update-locks` is a byte-identical no-op when nothing
+// changed because this is the only writer.
+func (l *Lock) Encode() ([]byte, error) {
+	cp := Lock{Schema: l.Schema, Types: append([]Entry(nil), l.Types...)}
+	if cp.Schema == "" {
+		cp.Schema = LockSchema
+	}
+	SortEntries(cp.Types)
+	data, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding: %w", ErrLock, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Parse decodes and validates lock bytes. Any malformed input — bad
+// JSON, a missing or foreign schema line, duplicate type entries —
+// is an error wrapping ErrLock; nothing panics.
+func Parse(data []byte) (*Lock, error) {
+	var l Lock
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("%w: corrupt or truncated: %w", ErrLock, err)
+	}
+	if l.Schema != LockSchema {
+		return nil, fmt.Errorf("%w: schema %q, want %q", ErrLock, l.Schema, LockSchema)
+	}
+	seen := map[string]bool{}
+	for _, e := range l.Types {
+		if e.Type == "" {
+			return nil, fmt.Errorf("%w: entry with empty type name", ErrLock)
+		}
+		if seen[e.Type] {
+			return nil, fmt.Errorf("%w: duplicate entry for %s", ErrLock, e.Type)
+		}
+		seen[e.Type] = true
+	}
+	return &l, nil
+}
+
+// LoadFile reads and parses the lock at path. A missing file is
+// (nil, nil) — the analyzers treat an absent lock as "not adopted
+// yet" — while an unreadable or corrupt file is an error the driver
+// turns into an exit-2 usage failure.
+func LoadFile(path string) (*Lock, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: %s: %w", ErrLock, path, err)
+	}
+	l, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}

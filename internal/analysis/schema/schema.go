@@ -1,0 +1,230 @@
+// Package schema is the structural type-fingerprinting layer under
+// the wiredrift and codecdrift analyzers. Cache correctness in this
+// repository hangs on two conventions that were, until now, enforced
+// only by doc comments: `internal/stage.CodecVersion` must be bumped
+// whenever an encoded artifact struct changes shape (otherwise stale
+// cached artifacts decode into wrong segmentations), and the api/v1
+// wire surface must stay append-only within v1. Both conventions are
+// statements about the *shape* of a type, so this package turns a
+// `go/types` type into a canonical textual form and a stable digest
+// of it, and defines the committed lock files that pin those digests
+// in the tree.
+//
+// Canonicalization walks the reachable shape of a type: struct fields
+// in declaration order with their names, full struct tags and
+// canonicalized types; named types expand to their underlying shape
+// on first visit and collapse to a reference on revisit, so recursive
+// types terminate while nested edits (a field added three structs
+// deep) still change the top-level digest. Nil-vs-empty-sensitive
+// kinds — slices, maps, pointers — keep their own spellings in the
+// grammar, because the artifact codec preserves nil-vs-empty and two
+// shapes differing only there must not collide. The digest is the
+// sha256 of the canonical form.
+package schema
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Field is one JSON-visible struct field of a wire type: its Go name,
+// its `json` tag value and a shallow (package-relative) type
+// rendering. The wiredrift analyzer diffs these lists field by field,
+// so lock entries stay human-writable and the diagnostics can name
+// exactly what moved.
+type Field struct {
+	Name string `json:"name"`
+	Tag  string `json:"tag,omitempty"`
+	Type string `json:"type"`
+}
+
+// Fingerprint is one named type's canonicalized reachable shape.
+type Fingerprint struct {
+	// Type is the defining package path plus the type name, e.g.
+	// "tableseg/api/v1.SegmentRequest".
+	Type string
+	// Shape is the canonical form — deterministic, whitespace-free,
+	// suitable for diffing in a test failure.
+	Shape string
+	// Digest is the lowercase hex sha256 of Shape.
+	Digest string
+}
+
+// Options tunes a fingerprint computation.
+type Options struct {
+	// OmitFields names top-level struct fields excluded from the
+	// canonical shape — for types whose codec deliberately skips a
+	// field (the engine journal excludes Segmentation.PHMM), so edits
+	// to the unserialized field do not demand a version bump.
+	OmitFields []string
+}
+
+// Of fingerprints the type declared by obj.
+func Of(obj *types.TypeName, opts Options) Fingerprint {
+	c := &canonicalizer{visited: map[string]bool{}}
+	if len(opts.OmitFields) > 0 {
+		if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+			c.omitIn = st
+			c.omit = map[string]bool{}
+			for _, f := range opts.OmitFields {
+				c.omit[f] = true
+			}
+		}
+	}
+	var b strings.Builder
+	c.write(&b, obj.Type())
+	shape := b.String()
+	sum := sha256.Sum256([]byte(shape))
+	return Fingerprint{
+		Type:   QualifiedName(obj),
+		Shape:  shape,
+		Digest: hex.EncodeToString(sum[:]),
+	}
+}
+
+// QualifiedName renders obj as "<package path>.<name>" — the key the
+// lock files use.
+func QualifiedName(obj *types.TypeName) string {
+	if obj.Pkg() == nil {
+		return obj.Name() // universe types (error)
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// canonicalizer writes the canonical grammar. Grammar, informally:
+//
+//	basic      int | string | float64 | ...
+//	named      <path.Name>=<canon of underlying>   first visit
+//	ref        @<path.Name>                        revisits (cycles)
+//	pointer    *T
+//	slice      []T
+//	array      [N]T
+//	map        map[K]V
+//	struct     struct{name T `tag`;...}
+//
+// Slices, maps and pointers keep distinct spellings because the
+// artifact codec is nil-vs-empty-sensitive for exactly those kinds.
+type canonicalizer struct {
+	visited map[string]bool
+	omitIn  *types.Struct
+	omit    map[string]bool
+}
+
+func (c *canonicalizer) write(b *strings.Builder, t types.Type) {
+	t = types.Unalias(t)
+	switch u := t.(type) {
+	case *types.Basic:
+		b.WriteString(u.Name())
+	case *types.Named:
+		name := QualifiedName(u.Obj())
+		if c.visited[name] {
+			b.WriteString("@")
+			b.WriteString(name)
+			return
+		}
+		c.visited[name] = true
+		b.WriteString(name)
+		b.WriteString("=")
+		c.write(b, u.Underlying())
+	case *types.Pointer:
+		b.WriteString("*")
+		c.write(b, u.Elem())
+	case *types.Slice:
+		b.WriteString("[]")
+		c.write(b, u.Elem())
+	case *types.Array:
+		fmt.Fprintf(b, "[%d]", u.Len())
+		c.write(b, u.Elem())
+	case *types.Map:
+		b.WriteString("map[")
+		c.write(b, u.Key())
+		b.WriteString("]")
+		c.write(b, u.Elem())
+	case *types.Struct:
+		b.WriteString("struct{")
+		first := true
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if u == c.omitIn && c.omit[f.Name()] {
+				continue
+			}
+			if !first {
+				b.WriteString(";")
+			}
+			first = false
+			b.WriteString(f.Name())
+			b.WriteString(" ")
+			c.write(b, f.Type())
+			if tag := u.Tag(i); tag != "" {
+				fmt.Fprintf(b, " %q", tag)
+			}
+		}
+		b.WriteString("}")
+	default:
+		// Interfaces, channels, functions: not wire-shaped, but keep a
+		// stable rendering so a field retyped to one of them still
+		// changes the digest.
+		b.WriteString(types.TypeString(t, func(p *types.Package) string { return p.Path() }))
+	}
+}
+
+// WireFields lists the JSON-visible fields of st in declaration
+// order: exported fields whose json tag is not "-", with the tag
+// value and a package-relative type rendering.
+func WireFields(st *types.Struct, pkg *types.Package) []Field {
+	var out []Field
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		if tag == "-" {
+			continue
+		}
+		out = append(out, Field{
+			Name: f.Name(),
+			Tag:  tag,
+			Type: types.TypeString(f.Type(), types.RelativeTo(pkg)),
+		})
+	}
+	return out
+}
+
+// WireEntryOf builds the lock entry pinning obj's wire surface:
+// field-level detail for structs, the canonical underlying shape for
+// everything else, plus the full-shape digest either way. The
+// wiredrift analyzer and `tableseglint -update-locks` share this, so
+// a committed entry and a fresh computation can never disagree about
+// rendering.
+func WireEntryOf(obj *types.TypeName) Entry {
+	fp := Of(obj, Options{})
+	e := Entry{Type: fp.Type, Digest: fp.Digest}
+	if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+		e.Fields = WireFields(st, obj.Pkg())
+	} else {
+		c := &canonicalizer{visited: map[string]bool{}}
+		var b strings.Builder
+		c.write(&b, obj.Type().Underlying())
+		e.Underlying = b.String()
+	}
+	return e
+}
+
+// CodecEntryOf builds the lock entry binding obj's shape digest to a
+// version constant's current value.
+func CodecEntryOf(obj *types.TypeName, constName string, version int64, omit []string) Entry {
+	fp := Of(obj, Options{OmitFields: omit})
+	return Entry{Type: fp.Type, Digest: fp.Digest, Const: constName, Version: version}
+}
+
+// SortEntries orders entries by type name — the committed lock files
+// are diff-stable regardless of scope iteration order.
+func SortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Type < entries[j].Type })
+}

@@ -1,0 +1,279 @@
+package schema
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one self-contained source file and returns its
+// package. The sources under test import nothing, so no importer is
+// needed.
+func checkSrc(t *testing.T, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := (&types.Config{}).Check("example.com/fix", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return pkg
+}
+
+// fingerprint type-checks src and fingerprints its type named name.
+func fingerprint(t *testing.T, src, name string, opts Options) Fingerprint {
+	t.Helper()
+	pkg := checkSrc(t, src)
+	obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		t.Fatalf("type %s not found", name)
+	}
+	return Of(obj, opts)
+}
+
+// TestFingerprintStable pins determinism: the same source fingerprints
+// identically across independent type-check sessions, which is the
+// whole premise of committing digests to a lock file.
+func TestFingerprintStable(t *testing.T) {
+	const src = `package fix
+type Inner struct{ N int }
+type T struct {
+	Name  string ` + "`json:\"name\"`" + `
+	Items []Inner
+	ByID  map[string]*Inner
+}`
+	a := fingerprint(t, src, "T", Options{})
+	b := fingerprint(t, src, "T", Options{})
+	if a.Shape != b.Shape || a.Digest != b.Digest {
+		t.Fatalf("fingerprint not stable:\n%s\nvs\n%s", a.Shape, b.Shape)
+	}
+	if a.Type != "example.com/fix.T" {
+		t.Errorf("Type = %q, want example.com/fix.T", a.Type)
+	}
+	if len(a.Digest) != 64 {
+		t.Errorf("digest %q is not a sha256 hex", a.Digest)
+	}
+}
+
+// TestDigestSensitivity: every shape edit the drift analyzers care
+// about — added field, retype, retag, nested edit through a named
+// type, and the nil-vs-empty-sensitive spellings — must land on a
+// distinct digest.
+func TestDigestSensitivity(t *testing.T) {
+	variants := map[string]string{
+		"base": `package fix
+type Inner struct{ N int }
+type T struct{ A string; In Inner }`,
+		"added field": `package fix
+type Inner struct{ N int }
+type T struct{ A string; B int; In Inner }`,
+		"retyped field": `package fix
+type Inner struct{ N int }
+type T struct{ A int; In Inner }`,
+		"retagged field": `package fix
+type Inner struct{ N int }
+type T struct{ A string ` + "`json:\"a\"`" + `; In Inner }`,
+		"nested edit": `package fix
+type Inner struct{ N int64 }
+type T struct{ A string; In Inner }`,
+		"slice": `package fix
+type Inner struct{ N int }
+type T struct{ A []string; In Inner }`,
+		"pointer": `package fix
+type Inner struct{ N int }
+type T struct{ A *string; In Inner }`,
+		"map": `package fix
+type Inner struct{ N int }
+type T struct{ A map[string]string; In Inner }`,
+		"array": `package fix
+type Inner struct{ N int }
+type T struct{ A [4]string; In Inner }`,
+	}
+	digests := map[string]string{}
+	for label, src := range variants {
+		fp := fingerprint(t, src, "T", Options{})
+		for prev, d := range digests {
+			if d == fp.Digest {
+				t.Errorf("variant %q collides with %q (digest %s)", label, prev, d)
+			}
+		}
+		digests[label] = fp.Digest
+	}
+}
+
+// TestRecursiveType: self-referential shapes terminate via the @ref
+// spelling and still fingerprint deterministically.
+func TestRecursiveType(t *testing.T) {
+	const src = `package fix
+type Node struct {
+	Value string
+	Next  *Node
+}`
+	fp := fingerprint(t, src, "Node", Options{})
+	if !strings.Contains(fp.Shape, "@example.com/fix.Node") {
+		t.Errorf("recursive shape lacks a cycle reference: %s", fp.Shape)
+	}
+	if again := fingerprint(t, src, "Node", Options{}); again.Digest != fp.Digest {
+		t.Errorf("recursive fingerprint unstable: %s vs %s", fp.Digest, again.Digest)
+	}
+}
+
+// TestOmitFields: an omitted top-level field neither appears in the
+// shape nor lets its own edits move the digest — but the omission only
+// applies to the top level, not to same-named fields nested deeper.
+func TestOmitFields(t *testing.T) {
+	const src = `package fix
+type Extra struct{ Big []float64 }
+type T struct {
+	Keep string
+	Skip *Extra
+}`
+	const editedSkip = `package fix
+type Extra struct{ Big []float64; More map[string]int }
+type T struct {
+	Keep string
+	Skip *Extra
+}`
+	omit := Options{OmitFields: []string{"Skip"}}
+	base := fingerprint(t, src, "T", omit)
+	if strings.Contains(base.Shape, "Skip") {
+		t.Errorf("omitted field still in shape: %s", base.Shape)
+	}
+	if edited := fingerprint(t, editedSkip, "T", omit); edited.Digest != base.Digest {
+		t.Errorf("edit under an omitted field moved the digest")
+	}
+	if full := fingerprint(t, src, "T", Options{}); full.Digest == base.Digest {
+		t.Errorf("omitting a field did not change the digest")
+	}
+}
+
+// TestWireFields pins the wire-surface projection: declaration order,
+// unexported and json:"-" fields dropped, tag values extracted.
+func TestWireFields(t *testing.T) {
+	const src = `package fix
+type T struct {
+	Name    string ` + "`json:\"name\"`" + `
+	Count   int    ` + "`json:\"count,omitempty\"`" + `
+	hidden  bool
+	Skipped string ` + "`json:\"-\"`" + `
+	Untag   float64
+}`
+	pkg := checkSrc(t, src)
+	obj := pkg.Scope().Lookup("T").(*types.TypeName)
+	st := obj.Type().Underlying().(*types.Struct)
+	got := WireFields(st, pkg)
+	want := []Field{
+		{Name: "Name", Tag: "name", Type: "string"},
+		{Name: "Count", Tag: "count,omitempty", Type: "int"},
+		{Name: "Untag", Type: "float64"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("WireFields = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("field %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWireEntryOf: structs lock field lists, non-structs lock their
+// canonical underlying shape; both carry the full-shape digest.
+func TestWireEntryOf(t *testing.T) {
+	const src = `package fix
+type Code string
+type Req struct{ ID string ` + "`json:\"id\"`" + ` }`
+	pkg := checkSrc(t, src)
+	code := WireEntryOf(pkg.Scope().Lookup("Code").(*types.TypeName))
+	if code.Underlying != "string" || code.Fields != nil {
+		t.Errorf("non-struct entry = %+v, want underlying string", code)
+	}
+	req := WireEntryOf(pkg.Scope().Lookup("Req").(*types.TypeName))
+	if req.Underlying != "" || len(req.Fields) != 1 || req.Fields[0].Tag != "id" {
+		t.Errorf("struct entry = %+v", req)
+	}
+	if code.Digest == "" || req.Digest == "" {
+		t.Error("entries missing digests")
+	}
+}
+
+// TestLockRoundTrip: Encode is deterministic (sorted, trailing
+// newline) and Parse inverts it.
+func TestLockRoundTrip(t *testing.T) {
+	l := &Lock{Types: []Entry{
+		{Type: "b.Later", Digest: "22", Const: "b.V", Version: 3},
+		{Type: "a.Earlier", Underlying: "string"},
+	}}
+	data, err := l.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("encoded lock lacks trailing newline")
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse of own encoding: %v", err)
+	}
+	if back.Schema != LockSchema {
+		t.Errorf("schema = %q", back.Schema)
+	}
+	if len(back.Types) != 2 || back.Types[0].Type != "a.Earlier" || back.Types[1].Type != "b.Later" {
+		t.Errorf("entries not sorted: %+v", back.Types)
+	}
+	if e := back.Entry("b.Later"); e == nil || e.Version != 3 || e.Const != "b.V" {
+		t.Errorf("Entry(b.Later) = %+v", e)
+	}
+	if back.Entry("absent") != nil {
+		t.Error("Entry(absent) != nil")
+	}
+	again, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("re-encoding not byte-identical:\n%s\nvs\n%s", data, again)
+	}
+}
+
+// TestParseRejects: every malformed input is an ErrLock error, never a
+// panic and never a silently empty contract.
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"truncated JSON":  `{"schema": "tableseg-schema-lock-v1", "types": [`,
+		"foreign schema":  `{"schema": "something-else", "types": []}`,
+		"missing schema":  `{"types": []}`,
+		"empty type name": `{"schema": "tableseg-schema-lock-v1", "types": [{"type": ""}]}`,
+		"duplicate entry": `{"schema": "tableseg-schema-lock-v1", "types": [{"type": "a.T"}, {"type": "a.T"}]}`,
+	}
+	for label, src := range cases {
+		if _, err := Parse([]byte(src)); !errors.Is(err, ErrLock) {
+			t.Errorf("%s: err = %v, want ErrLock", label, err)
+		}
+	}
+}
+
+// TestLoadFile: absent means not-adopted (nil, nil); corrupt means a
+// real error naming the file.
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	if l, err := LoadFile(filepath.Join(dir, "nope.lock")); l != nil || err != nil {
+		t.Errorf("missing file: (%v, %v), want (nil, nil)", l, err)
+	}
+	bad := filepath.Join(dir, "bad.lock")
+	if err := os.WriteFile(bad, []byte(`{"schema":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); !errors.Is(err, ErrLock) || !strings.Contains(err.Error(), "bad.lock") {
+		t.Errorf("corrupt file: err = %v, want ErrLock naming the file", err)
+	}
+}

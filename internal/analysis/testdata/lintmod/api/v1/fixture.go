@@ -1,0 +1,63 @@
+// Package apiv1 is a lint fixture for the wiredrift analyzer: its
+// import path ends in api/v1, so every exported type is held to the
+// committed lint/schema-apiv1.lock in this fixture module. Each
+// planted drift — a removed field, a retag, a retype, a reorder, an
+// unrecorded addition, a changed underlying type, a vanished locked
+// type — carries a trailing `// want` expectation; Clean matches its
+// locked entry exactly and must stay silent, as must the unexported
+// helper (only exported types are wire surface).
+package apiv1 // want wiredrift "locked wire type lintfixture/api/v1.Vanished no longer exists"
+
+// Clean matches its locked entry field for field: silent.
+type Clean struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+// Removed lost its locked field Gone: within v1 that is a break, not
+// an evolution.
+type Removed struct { // want wiredrift "field lintfixture/api/v1.Removed.Gone (json \"gone\") removed from the v1 wire surface"
+	Kept string `json:"kept"`
+}
+
+// Retagged keeps the field but renames it on the wire.
+type Retagged struct {
+	Name string `json:"renamed"` // want wiredrift "json tag of lintfixture/api/v1.Retagged.Name changed \"name\" -> \"renamed\""
+}
+
+// Retyped keeps name and tag but changes the payload type.
+type Retyped struct {
+	Count string `json:"count"` // want wiredrift "type of lintfixture/api/v1.Retyped.Count changed int -> string"
+}
+
+// Extended grew a field the lock has not recorded yet: legal within
+// v1, but the lock must be regenerated so the diff is the audit trail.
+type Extended struct {
+	Base string `json:"base"`
+	New  int    `json:"new"` // want wiredrift "new field lintfixture/api/v1.Extended.New extends the v1 wire surface"
+}
+
+// Shuffled declares its locked fields in a different order: JSON
+// output order is declaration order, so this is drift too.
+type Shuffled struct { // want wiredrift "wire fields of lintfixture/api/v1.Shuffled reordered relative to the lock"
+	B int `json:"b"`
+	A int `json:"a"`
+}
+
+// Level changed its underlying type relative to the lock.
+type Level string // want wiredrift "underlying type of lintfixture/api/v1.Level changed int64 -> string"
+
+// Fresh is a brand-new exported type with no locked entry.
+type Fresh struct { // want wiredrift "wire type lintfixture/api/v1.Fresh is not in lint/schema-apiv1.lock"
+	ID string `json:"id"`
+}
+
+// helper is unexported: not wire surface, no finding.
+type helper struct {
+	raw []byte
+}
+
+// touch keeps helper referenced.
+func touch(h helper) int { return len(h.raw) }
+
+var _ = touch

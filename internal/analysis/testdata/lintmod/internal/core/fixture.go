@@ -35,3 +35,13 @@ func BuildGood(fail bool) error {
 func BuildChained(err error) error {
 	return fmt.Errorf("%w: %w", errSentinel, err)
 }
+
+// Segmentation mirrors the real engine's journal payload for the
+// codecdrift fixture: the artifact lock pins its shape at envelope
+// version 1 while the engine fixture's constant is already 2, so the
+// drifted digest is sanctioned and must stay silent.
+type Segmentation struct {
+	Records int      `json:"records"`
+	Method  string   `json:"method"`
+	Labels  []string `json:"labels"`
+}

@@ -1,0 +1,16 @@
+package engine
+
+import "lintfixture/internal/core"
+
+// resultEnvelopeVersion is the codecdrift negative control: the
+// fixture lock pins core.Segmentation's digest at version 1 and that
+// digest deliberately disagrees with the live shape, but this constant
+// is already bumped to 2 — a shape change with a version bump is the
+// sanctioned evolution path, so the analyzer must stay silent here.
+const resultEnvelopeVersion = 2
+
+// envelopeSeg forces the import: the bound type must be reachable from
+// the package defining the constant, exactly as in the real engine.
+var envelopeSeg core.Segmentation
+
+var _ = envelopeSeg

@@ -20,6 +20,18 @@ func SegmentFixture(ctx context.Context, n int) (int, error) {
 	return csp.SolveGood(ctx, n), nil
 }
 
+// CodecVersion stamps this fixture's codec artifacts. The committed
+// fixture lock (lint/schema-artifacts.lock) pins Record's shape at
+// version 1 with a digest that deliberately disagrees with the live
+// shape, so codecdrift must fire here until the constant is bumped.
+const CodecVersion = 1 // want codecdrift "shape of codec-encoded lintfixture/internal/stage.Record changed"
+
+// Record is the codec-encoded artifact whose shape the lock pins.
+type Record struct {
+	Index int
+	Words []string
+}
+
 // EchoIn is a mutable stage input; EchoOut the artifact built from it.
 type EchoIn struct{ Items []int }
 

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tableseg/internal/analysis/schema"
+)
+
+// WireDrift returns the analyzer that holds the api/v1 wire surface
+// to its append-only contract. The contract used to live in a doc
+// comment ("any breaking change belongs in a new version package");
+// this analyzer makes it mechanical: every exported type of the wire
+// package is pinned, field by field, in the committed
+// lint/schema-apiv1.lock, and any removal, rename, retype, retag or
+// reorder of a locked field — or the disappearance of a locked type —
+// is a finding that names the break. Pure additions are legal within
+// v1 but must be recorded: they produce a regenerate-the-lock finding
+// until `tableseglint -update-locks` is run, so the lock diff (not a
+// reviewer's memory) is the audit trail of the growing surface.
+//
+// With no lock loaded (Config.WireLock nil) the analyzer is silent —
+// the driver loads the committed lock and fails hard on a corrupt
+// one, so silence means "not adopted", never "file rotted".
+func WireDrift() *Analyzer {
+	a := &Analyzer{
+		Name: "wiredrift",
+		Doc:  "api/v1 wire types must stay append-only within v1: no locked field removed, retyped, retagged or reordered",
+	}
+	a.Run = func(pass *Pass) {
+		lock := pass.Cfg.WireLock
+		if lock == nil || pass.Cfg.WirePkg == "" || !pathMatches(pass.Pkg.Path, pass.Cfg.WirePkg) {
+			return
+		}
+		lockName := pass.Cfg.WireLockPath
+		if lockName == "" {
+			lockName = WireLockFile
+		}
+		scope := pass.Pkg.Types.Scope()
+		prefix := pass.Pkg.Path + "."
+
+		// Locked contract vs live tree: every locked type must still
+		// exist with every locked field intact.
+		locked := map[string]bool{}
+		for i := range lock.Types {
+			entry := &lock.Types[i]
+			name, ok := strings.CutPrefix(entry.Type, prefix)
+			if !ok {
+				continue // an entry for some other package: not ours to check
+			}
+			locked[name] = true
+			obj, _ := scope.Lookup(name).(*types.TypeName)
+			if obj == nil {
+				pass.Reportf(packagePos(pass), "locked wire type %s no longer exists — v1 is append-only; restore it or start api/v2", entry.Type)
+				continue
+			}
+			checkWireType(pass, obj, entry, lockName)
+		}
+
+		// Live tree vs locked contract: additions are legal but must be
+		// recorded before the gate goes green again.
+		for _, name := range scope.Names() {
+			obj, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !obj.Exported() || locked[name] {
+				continue
+			}
+			pass.Reportf(obj.Pos(), "wire type %s is not in %s; additions extend the v1 surface — regenerate the lock with tableseglint -update-locks", prefix+name, lockName)
+		}
+	}
+	return a
+}
+
+// checkWireType diffs one live type against its locked entry.
+func checkWireType(pass *Pass, obj *types.TypeName, entry *schema.Entry, lockName string) {
+	st, isStruct := obj.Type().Underlying().(*types.Struct)
+	if entry.Fields == nil && entry.Underlying != "" {
+		// Non-struct contract (e.g. `type Code string`).
+		if isStruct {
+			pass.Reportf(obj.Pos(), "wire type %s became a struct (locked underlying %s) — breaking within v1", entry.Type, entry.Underlying)
+			return
+		}
+		cur := schema.WireEntryOf(obj)
+		if cur.Underlying != entry.Underlying {
+			pass.Reportf(obj.Pos(), "underlying type of %s changed %s -> %s — breaking within v1", entry.Type, entry.Underlying, cur.Underlying)
+		}
+		return
+	}
+	if !isStruct {
+		pass.Reportf(obj.Pos(), "wire type %s is no longer a struct — breaking within v1", entry.Type)
+		return
+	}
+	cur := schema.WireFields(st, obj.Pkg())
+	curByName := map[string]schema.Field{}
+	curPos := map[string]token.Pos{}
+	for _, f := range cur {
+		curByName[f.Name] = f
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		curPos[st.Field(i).Name()] = st.Field(i).Pos()
+	}
+	lockedByName := map[string]bool{}
+	for _, lf := range entry.Fields {
+		lockedByName[lf.Name] = true
+		cf, ok := curByName[lf.Name]
+		if !ok {
+			pass.Reportf(obj.Pos(), "field %s.%s (json %q) removed from the v1 wire surface — v1 is append-only; restore it or start api/v2", entry.Type, lf.Name, lf.Tag)
+			continue
+		}
+		if cf.Tag != lf.Tag {
+			pass.Reportf(curPos[lf.Name], "json tag of %s.%s changed %q -> %q — breaking within v1", entry.Type, lf.Name, lf.Tag, cf.Tag)
+		}
+		if cf.Type != lf.Type {
+			pass.Reportf(curPos[lf.Name], "type of %s.%s changed %s -> %s — breaking within v1", entry.Type, lf.Name, lf.Type, cf.Type)
+		}
+	}
+	for _, cf := range cur {
+		if !lockedByName[cf.Name] {
+			pass.Reportf(curPos[cf.Name], "new field %s.%s extends the v1 wire surface; regenerate %s with tableseglint -update-locks", entry.Type, cf.Name, lockName)
+		}
+	}
+	// Fields common to both must keep their locked relative order:
+	// encoding/json emits in declaration order, and byte-identical
+	// output across the daemon/client/CLI is part of the contract.
+	var lockedOrder, curOrder []string
+	for _, lf := range entry.Fields {
+		if _, ok := curByName[lf.Name]; ok {
+			lockedOrder = append(lockedOrder, lf.Name)
+		}
+	}
+	for _, cf := range cur {
+		if lockedByName[cf.Name] {
+			curOrder = append(curOrder, cf.Name)
+		}
+	}
+	for i := range lockedOrder {
+		if lockedOrder[i] != curOrder[i] {
+			pass.Reportf(obj.Pos(), "wire fields of %s reordered relative to the lock — JSON field order is part of the v1 surface", entry.Type)
+			break
+		}
+	}
+}
+
+// packagePos is the deterministic fallback position for findings with
+// no surviving declaration to point at: the package clause of the
+// first (name-sorted) file.
+func packagePos(pass *Pass) token.Pos {
+	return pass.Pkg.Files[0].Name.Pos()
+}

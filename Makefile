@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json lint-sarif lint-self update-locks serve-smoke resume-smoke check bench bench-stages bench-check experiments results corpus cover fuzz clean
+.PHONY: all build test vet lint lint-json lint-sarif lint-self lint-alloc update-locks serve-smoke resume-smoke check bench bench-stages bench-check experiments results corpus cover fuzz clean
 
 all: build check
 
@@ -16,26 +16,39 @@ vet:
 # error wrapping, float equality, stage purity, deprecated-API calls,
 # the CFG-based concurrency checks, the dataflow checks (rngflow,
 # probflow, aliasflow), the interprocedural call-graph checks
-# (ctxflow, lockflow, httpresp) and the schema-lock drift checks
-# (wiredrift, codecdrift — see internal/analysis). Exits non-zero on
-# any finding. LINTCACHE keys cached per-package results by content
-# hash; set LINTCACHE= to force a full re-analysis.
+# (ctxflow, lockflow, httpresp), the schema-lock drift checks
+# (wiredrift, codecdrift) and the escape/borrow checks (borrowflow,
+# poolsafe, hotalloc — see internal/analysis). Exits non-zero on any
+# finding. The committed lint/hotalloc-baseline.json suppresses the
+# known hot-path allocation sites (the perf work's worklist), so only
+# *new* sites gate; -baseline-strict keeps it honest — fixing a site
+# without re-recording the baseline fails the run. LINTCACHE keys
+# cached per-package results by content hash; set LINTCACHE= to force
+# a full re-analysis.
 LINTCACHE ?= .tableseglint-cache
+LINTBASELINE = -baseline lint/hotalloc-baseline.json -baseline-strict
 
 lint: vet
-	$(GO) run ./cmd/tableseglint -cache '$(LINTCACHE)'
+	$(GO) run ./cmd/tableseglint -cache '$(LINTCACHE)' $(LINTBASELINE)
 
 # Machine-readable variants of the same gate: a flat JSON array for
 # scripting, and a SARIF 2.1.0 log (written to tableseglint.sarif,
 # what the CI lint job uploads as an artifact). Both exit 1 on
 # findings, like lint.
 lint-json: vet
-	$(GO) run ./cmd/tableseglint -json -cache '$(LINTCACHE)'
+	$(GO) run ./cmd/tableseglint -json -cache '$(LINTCACHE)' $(LINTBASELINE)
 
 lint-sarif: vet
-	$(GO) run ./cmd/tableseglint -sarif -cache '$(LINTCACHE)' > tableseglint.sarif
+	$(GO) run ./cmd/tableseglint -sarif -cache '$(LINTCACHE)' $(LINTBASELINE) > tableseglint.sarif
 
-# Self-lint: run the full suite (all 17 analyzers) over the analysis
+# Advisory allocation-site inventory for the declared hot paths
+# (lint/hotpaths.conf): runs hotalloc alone, unfiltered by the
+# baseline, and writes the JSON artifact CI uploads. Always exits 0 —
+# the inventory is the burn-down chart, the lint gate is above.
+lint-alloc:
+	$(GO) run ./cmd/tableseglint -alloc-inventory > tableseglint-alloc.json
+
+# Self-lint: run the full suite (all 20 analyzers) over the analysis
 # machinery itself — so the linter is held to its own invariants — and
 # over the daemon stack (api/v1, internal/server and its client),
 # which was written to pass every concurrency analyzer without
@@ -44,7 +57,7 @@ lint-sarif: vet
 # baseline honest: a stale suppression fails the run. CI's selflint
 # job runs this and uploads tableseglint-self.sarif.
 lint-self:
-	$(GO) run ./cmd/tableseglint -cache '$(LINTCACHE)' -baseline lint/selflint-baseline.json -baseline-strict internal/analysis internal/analysis/schema internal/analysis/callgraph internal/analysis/cfg internal/analysis/dataflow cmd/tableseglint api/v1 internal/server internal/server/client
+	$(GO) run ./cmd/tableseglint -cache '$(LINTCACHE)' -baseline lint/selflint-baseline.json -baseline-strict internal/analysis internal/analysis/schema internal/analysis/callgraph internal/analysis/cfg internal/analysis/dataflow internal/analysis/escape cmd/tableseglint api/v1 internal/server internal/server/client
 
 # Regenerate the two committed schema locks (lint/schema-apiv1.lock,
 # lint/schema-artifacts.lock) from the live tree. Deterministic: a
@@ -126,4 +139,4 @@ fuzz:
 
 clean:
 	rm -rf corpus .tableseglint-cache
-	rm -f tableseglint.sarif
+	rm -f tableseglint.sarif tableseglint-alloc.json

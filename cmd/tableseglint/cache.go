@@ -29,7 +29,10 @@ import (
 // analyzers' semantics change; bump it alongside analyzer releases.
 // v2: schema-lock bytes joined the key salt (wiredrift/codecdrift
 // findings depend on the committed locks, not just the sources).
-const cacheSchema = "tableseglint-cache-v2"
+// v3: the escape/borrow layer landed (borrowflow/poolsafe/hotalloc)
+// and lint/hotpaths.conf joined the key salt the same way the schema
+// locks did — editing the hot-path declaration re-keys every package.
+const cacheSchema = "tableseglint-cache-v3"
 
 // cacheKeyer computes content keys for package directories.
 type cacheKeyer struct {

@@ -1,0 +1,91 @@
+package main
+
+// The allocation-site inventory behind -alloc-inventory: an advisory
+// JSON artifact (exit 0 regardless of findings) that CI uploads so the
+// perf work can watch the declared hot paths' allocation count burn
+// down without making every existing site a gate. The gate is the
+// ordinary lint run, where hotalloc findings are suppressed by the
+// committed baseline and only *new* sites fail.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tableseg/internal/analysis"
+)
+
+// allocInventorySchema versions the artifact for downstream tooling.
+const allocInventorySchema = "tableseglint-alloc-inventory-v1"
+
+// allocSite is one hotalloc finding in the inventory.
+type allocSite struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// allocInventory is the artifact document.
+type allocInventory struct {
+	Schema string         `json:"schema"`
+	Total  int            `json:"total"`
+	ByKind map[string]int `json:"byKind"`
+	Sites  []allocSite    `json:"sites"`
+}
+
+// buildAllocInventory buckets hotalloc diagnostics by allocation kind.
+// The input is already position-sorted, so the artifact is diff-stable;
+// JSON object keys marshal sorted, so byKind is too.
+func buildAllocInventory(diags []analysis.Diagnostic) allocInventory {
+	inv := allocInventory{
+		Schema: allocInventorySchema,
+		ByKind: map[string]int{},
+		Sites:  []allocSite{},
+	}
+	for _, d := range diags {
+		if d.Analyzer != "hotalloc" {
+			continue
+		}
+		kind := analysis.HotAllocKind(d.Message)
+		if kind == "" {
+			kind = "other"
+		}
+		inv.ByKind[kind]++
+		inv.Total++
+		inv.Sites = append(inv.Sites, allocSite{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Kind:    kind,
+			Message: d.Message,
+		})
+	}
+	return inv
+}
+
+// runAllocInventory is the -alloc-inventory mode: run only hotalloc
+// and emit the inventory JSON. Always exit 0 on success — the artifact
+// is an observability surface, not a gate.
+func runAllocInventory(rc runConfig, stdout, stderr io.Writer) int {
+	var hotOnly []*analysis.Analyzer
+	for _, a := range rc.suite {
+		if a.Name == "hotalloc" {
+			hotOnly = append(hotOnly, a)
+		}
+	}
+	rc.suite = hotOnly
+	diags, err := run(rc)
+	if err != nil {
+		fmt.Fprintln(stderr, "tableseglint:", err)
+		return 2
+	}
+	out, err := json.MarshalIndent(buildAllocInventory(diags), "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "tableseglint:", err)
+		return 2
+	}
+	fmt.Fprintln(stdout, string(out))
+	return 0
+}

@@ -3,14 +3,17 @@
 // violations of the determinism, context-discipline, error-wrapping,
 // float-equality, stage-purity, concurrency (goroutine-exit, lock and
 // channel-ownership), dataflow (RNG-provenance, probability,
-// aliasing) and interprocedural (context-flow, lock-flow,
-// handler-response) invariants with file:line positions.
+// aliasing), interprocedural (context-flow, lock-flow,
+// handler-response), schema-lock (wire/codec drift) and escape/borrow
+// (borrowed-view, pool-checkout, hot-path-allocation) invariants with
+// file:line positions.
 //
 // Usage:
 //
 //	tableseglint [-root dir] [-json | -sarif] [-analyzers list] [-baseline file [-baseline-strict]] [-cache dir] [-jobs n] [-timing] [packages...]
 //	tableseglint -list
 //	tableseglint [-root dir] -update-locks
+//	tableseglint [-root dir] -alloc-inventory [packages...]
 //
 // With no package arguments every package under the module root is
 // checked (testdata, corpus and hidden directories are skipped).
@@ -24,6 +27,13 @@
 // second run is a byte-identical no-op) but refuses to launder a
 // breaking change — a dropped/retyped/retagged wire field or a codec
 // shape change without a version bump aborts the rewrite with exit 1.
+//
+// The hotalloc analyzer only runs inside the packages the committed
+// lint/hotpaths.conf declares hot (no file, no findings).
+// -alloc-inventory runs hotalloc alone and emits a JSON inventory of
+// every allocation site by kind; it always exits 0 — the inventory is
+// the advisory artifact the perf work burns down, while the ordinary
+// lint run gates only findings not yet in the committed baseline.
 //
 // -list prints every analyzer's name and one-line doc and exits.
 // -analyzers runs only the named subset (comma-separated; unknown
@@ -87,6 +97,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	timing := flags.Bool("timing", false, "print per-analyzer wall time per package to stderr")
 	list := flags.Bool("list", false, "print analyzer names and docs, then exit")
 	updateLocks := flags.Bool("update-locks", false, "regenerate the schema lock files from the live tree, then exit")
+	allocInventory := flags.Bool("alloc-inventory", false, "emit the hotalloc allocation-site inventory as JSON and exit 0 (advisory)")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -104,6 +115,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return runUpdateLocks(*root, stdout, stderr)
+	}
+	if *allocInventory {
+		if *asJSON || *asSARIF || *baselinePath != "" || *analyzerList != "" || *list {
+			fmt.Fprintln(stderr, "tableseglint: -alloc-inventory takes no other output modes or analyzer selection")
+			return 2
+		}
+		return runAllocInventory(runConfig{
+			root:     *root,
+			pkgDirs:  flags.Args(),
+			suite:    analysis.Suite(),
+			cacheDir: *cacheDir,
+			jobs:     *jobs,
+			timing:   *timing,
+			stderr:   stderr,
+		}, stdout, stderr)
 	}
 
 	suite := analysis.Suite()
@@ -252,6 +278,12 @@ func run(rc runConfig) ([]analysis.Diagnostic, error) {
 	if err := analysis.LoadSchemaLocks(&cfg, rc.root); err != nil {
 		return nil, err
 	}
+	// Same for the hot-path declaration: hotalloc only runs in the
+	// packages lint/hotpaths.conf opts in, so its bytes are analyzer
+	// input (and cache-key salt) exactly like the locks.
+	if err := analysis.LoadHotPaths(&cfg, rc.root); err != nil {
+		return nil, err
+	}
 	pkgDirs := rc.pkgDirs
 	if len(pkgDirs) == 0 {
 		pkgDirs, err = packageDirs(rc.root)
@@ -266,7 +298,7 @@ func run(rc runConfig) ([]analysis.Diagnostic, error) {
 	// without loading anything.
 	var keys map[string]string
 	if rc.cacheDir != "" {
-		keyer := newCacheKeyer(rc.root, modPath, rc.suite, []string{cfg.WireLockPath, cfg.CodecLockPath})
+		keyer := newCacheKeyer(rc.root, modPath, rc.suite, []string{cfg.WireLockPath, cfg.CodecLockPath, cfg.HotPathsPath})
 		keys = make(map[string]string, len(pkgDirs))
 		for _, dir := range pkgDirs {
 			key, err := keyer.key(dir)

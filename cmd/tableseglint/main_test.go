@@ -152,8 +152,17 @@ func TestSARIFOutput(t *testing.T) {
 		t.Fatalf("not a single-run SARIF 2.1.0 log: version=%q runs=%d", log.Version, len(log.Runs))
 	}
 	run := log.Runs[0]
-	if run.Tool.Driver.Name != "tableseglint" || len(run.Tool.Driver.Rules) != 17 {
-		t.Errorf("driver = %q with %d rules, want tableseglint with 17", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	if run.Tool.Driver.Name != "tableseglint" || len(run.Tool.Driver.Rules) != 20 {
+		t.Errorf("driver = %q with %d rules, want tableseglint with 20", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"borrowflow", "poolsafe", "hotalloc"} {
+		if !ruleIDs[want] {
+			t.Errorf("SARIF rules missing %s", want)
+		}
 	}
 	seen := map[string]bool{}
 	for _, r := range run.Results {
@@ -179,10 +188,10 @@ func TestListPrintsAllAnalyzers(t *testing.T) {
 		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 17 {
-		t.Fatalf("-list printed %d lines, want 17:\n%s", len(lines), stdout)
+	if len(lines) != 20 {
+		t.Fatalf("-list printed %d lines, want 20:\n%s", len(lines), stdout)
 	}
-	for _, name := range []string{"determinism", "rngflow", "probflow", "aliasflow", "wiredrift", "codecdrift"} {
+	for _, name := range []string{"determinism", "rngflow", "probflow", "aliasflow", "wiredrift", "codecdrift", "borrowflow", "poolsafe", "hotalloc"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing analyzer %s", name)
 		}
@@ -290,11 +299,10 @@ func TestCacheWarmColdIdentical(t *testing.T) {
 	}
 }
 
-// TestCacheInvalidatedByDependencyEdit checks the Merkle keying: an
-// edit to a package re-keys its importers, not just itself.
-func TestCacheInvalidatedByDependencyEdit(t *testing.T) {
-	// Copy the fixture module so the edit does not touch the shared
-	// testdata tree.
+// copyFixtureTree copies the fixture module into a temp dir so edits
+// do not touch the shared testdata tree.
+func copyFixtureTree(t *testing.T) string {
+	t.Helper()
 	root := t.TempDir()
 	if err := filepath.WalkDir(fixtureRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -316,6 +324,13 @@ func TestCacheInvalidatedByDependencyEdit(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	return root
+}
+
+// TestCacheInvalidatedByDependencyEdit checks the Merkle keying: an
+// edit to a package re-keys its importers, not just itself.
+func TestCacheInvalidatedByDependencyEdit(t *testing.T) {
+	root := copyFixtureTree(t)
 	cache := t.TempDir()
 	runCLI(t, "-root", root, "-json", "-cache", cache)
 	before, err := os.ReadDir(cache)
@@ -406,5 +421,96 @@ func TestBaselineStrict(t *testing.T) {
 
 	if code, _, _ := runCLI(t, "-baseline-strict"); code != 2 {
 		t.Errorf("-baseline-strict without -baseline: exit = %d, want 2", code)
+	}
+}
+
+// TestAllocInventory pins the advisory artifact: -alloc-inventory over
+// the fixture module exits 0 despite findings, the JSON carries every
+// allocation kind the token fixture exercises, byKind totals agree,
+// and two runs are byte-identical.
+func TestAllocInventory(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-root", fixtureRoot, "-alloc-inventory")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (advisory) (stderr: %s)", code, stderr)
+	}
+	var inv struct {
+		Schema string         `json:"schema"`
+		Total  int            `json:"total"`
+		ByKind map[string]int `json:"byKind"`
+		Sites  []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Kind string `json:"kind"`
+		} `json:"sites"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &inv); err != nil {
+		t.Fatalf("-alloc-inventory output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if inv.Schema != "tableseglint-alloc-inventory-v1" {
+		t.Errorf("schema = %q", inv.Schema)
+	}
+	if inv.Total != len(inv.Sites) {
+		t.Errorf("total = %d but %d sites listed", inv.Total, len(inv.Sites))
+	}
+	sum := 0
+	for _, n := range inv.ByKind {
+		sum += n
+	}
+	if sum != inv.Total {
+		t.Errorf("byKind sums to %d, total is %d", sum, inv.Total)
+	}
+	for _, kind := range []string{"string-conv", "bytes-conv", "sprintf", "append-loop", "iface-box"} {
+		if inv.ByKind[kind] == 0 {
+			t.Errorf("inventory missing kind %q (byKind: %v)", kind, inv.ByKind)
+		}
+	}
+	for _, s := range inv.Sites {
+		if !strings.Contains(s.File, "internal/token") {
+			t.Errorf("site outside the declared hot path: %+v", s)
+		}
+	}
+	_, again, _ := runCLI(t, "-root", fixtureRoot, "-alloc-inventory")
+	if stdout != again {
+		t.Error("two -alloc-inventory runs differ")
+	}
+}
+
+// TestAllocInventoryModeConflicts: the inventory is its own output
+// mode and cannot be combined with the others.
+func TestAllocInventoryModeConflicts(t *testing.T) {
+	for _, extra := range [][]string{{"-json"}, {"-sarif"}, {"-analyzers", "hotalloc"}} {
+		args := append([]string{"-root", fixtureRoot, "-alloc-inventory"}, extra...)
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("-alloc-inventory with %v: exit = %d, want 2", extra, code)
+		}
+	}
+}
+
+// TestCacheInvalidatedByHotPathsEdit checks the v3 key salt: editing
+// lint/hotpaths.conf re-keys every package, exactly like a schema-lock
+// edit does.
+func TestCacheInvalidatedByHotPathsEdit(t *testing.T) {
+	root := copyFixtureTree(t)
+	cache := t.TempDir()
+	runCLI(t, "-root", root, "-json", "-cache", cache)
+	before, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := filepath.Join(root, "lint", "hotpaths.conf")
+	data, err := os.ReadFile(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(conf, append(data, []byte("# touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, "-root", root, "-json", "-cache", cache)
+	after, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) {
+		t.Errorf("hotpaths.conf edit added no cache entries: before=%d after=%d", len(before), len(after))
 	}
 }

@@ -5,10 +5,10 @@
 // randomness in solver paths, no map-iteration order leaking into
 // results, contexts threaded rather than minted, errors wrapped so
 // sentinel classification survives, goroutines and locks that provably
-// wind down) that ordinary Go tooling does not enforce. The seventeen
+// wind down) that ordinary Go tooling does not enforce. The twenty
 // analyzers in this package check them mechanically over the parsed
 // and type-checked source of every package, using only the standard
-// library (go/parser, go/ast, go/types). Six are expression-level;
+// library (go/parser, go/ast, go/types). Seven are expression-level;
 // the three concurrency analyzers (goroleak, lockdiscipline,
 // chancontract) run over the intra-procedural control-flow graphs of
 // internal/analysis/cfg, so "on every path" facts — a channel closed,
@@ -22,11 +22,16 @@
 // consume the whole-module call graph and per-function summaries of
 // internal/analysis/callgraph, so a context dropped one call deep, a
 // lock held across a helper that blocks, or a handler that forgets to
-// respond on an error path are caught across function boundaries; and
+// respond on an error path are caught across function boundaries;
 // the two schema-lock analyzers (wiredrift, codecdrift) compare
 // structural type fingerprints from internal/analysis/schema against
 // committed lock files, so wire-surface and codec-version drift is
-// caught before it corrupts caches or clients.
+// caught before it corrupts caches or clients; and the two
+// escape/borrow analyzers (borrowflow, poolsafe) run the borrowed-
+// provenance tracker and per-function escape summaries of
+// internal/analysis/escape, so a zero-copy view retained past its
+// buffer's lifetime or a pool checkout that misses its Put is proved
+// impossible before the hot-path refactor that depends on it lands.
 //
 // The analyzers are:
 //
@@ -102,6 +107,22 @@
 //     change while the constant still holds the locked value is a
 //     finding (stale cached artifacts would decode wrong), and a
 //     version bump clears it.
+//   - borrowflow: in the declared borrow packages, a []byte parameter
+//     is a borrowed view of a source buffer and may not be stored in a
+//     field, global, map, channel send or captured goroutine anywhere,
+//     nor returned from an exported stage-shaped function — stage
+//     artifacts copy out. Handing a view to a module-local callee is
+//     checked against the callee's escape summary, so retention any
+//     number of calls deep is caught at the hand-off.
+//   - poolsafe: a value checked out of a sync.Pool/arena Get must
+//     reach the matching Put on every CFG path, must not escape while
+//     checked out, and must not be used after an explicit Put.
+//   - hotalloc: inside the packages committed to lint/hotpaths.conf,
+//     avoidable allocation sites — string([]byte)/[]byte(string)
+//     conversions, fmt.Sprintf, append-in-loop without a capacity
+//     hint, float64 interface boxing — are flagged with a parseable
+//     allocation kind, feeding the -alloc-inventory artifact and the
+//     perf burn-down baseline.
 //
 // A diagnostic can be suppressed by a "//tableseglint:ignore <name>
 // <reason>" comment on the same line or the line above. The reason is
@@ -240,6 +261,17 @@ type Config struct {
 	// disables codecdrift. CodecLockPath names the file in diagnostics.
 	CodecLock     *schema.Lock
 	CodecLockPath string
+	// BorrowPkgs are the packages where borrowflow treats every []byte
+	// parameter as a borrowed view of a source buffer and forbids it
+	// from outliving the call — the packages the zero-copy hot-path
+	// refactor will rewrite.
+	BorrowPkgs []string
+	// HotPkgs are the packages hotalloc inventories for avoidable
+	// allocation sites, loaded from the committed hot-paths file by
+	// LoadHotPaths; empty leaves hotalloc dormant. HotPathsPath names
+	// the file in diagnostics and cache salts.
+	HotPkgs      []string
+	HotPathsPath string
 }
 
 // SchemaBinding ties one codec-encoded struct to the version constant
@@ -319,6 +351,10 @@ func DefaultConfig() Config {
 		DeprecatedAPIs: []DeprecatedAPI{
 			{PkgSuffix: "internal/engine", Type: "Engine", Name: "Run", Use: "Stream"},
 		},
+		BorrowPkgs: []string{
+			"internal/htmlx", "internal/token", "internal/stage",
+			"internal/phmm", "internal/csp",
+		},
 		WirePkg:       "api/v1",
 		WireLockPath:  WireLockFile,
 		CodecLockPath: ArtifactLockFile,
@@ -363,11 +399,15 @@ func isInternal(pkgPath string) bool {
 		pkgPath == "internal"
 }
 
-// Suite returns the seventeen analyzers: the six expression-level
+// Suite returns the twenty analyzers: the seven expression-level
 // checks, the three CFG-based concurrency checks, the three dataflow
 // checks built on internal/analysis/dataflow, the three
-// interprocedural checks built on internal/analysis/callgraph, and
-// the two schema-lock checks built on internal/analysis/schema.
+// interprocedural checks built on internal/analysis/callgraph, the
+// two schema-lock checks built on internal/analysis/schema, and the
+// two escape/borrow checks built on internal/analysis/escape. The
+// order is fixed — registration is this literal, never init-order or
+// map-iteration dependent — because the driver's cache keys and the
+// -list output both derive from it.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
@@ -387,6 +427,9 @@ func Suite() []*Analyzer {
 		HTTPResp(),
 		WireDrift(),
 		CodecDrift(),
+		BorrowFlow(),
+		PoolSafe(),
+		HotAlloc(),
 	}
 }
 

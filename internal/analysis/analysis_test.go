@@ -15,7 +15,7 @@ import (
 var fixtureDirs = []string{
 	"api/v1", "internal/core", "internal/csp", "internal/engine",
 	"internal/phmm", "internal/server", "internal/solvers",
-	"internal/stage", "util",
+	"internal/stage", "internal/token", "util",
 }
 
 // wantRe matches a golden-diagnostic expectation trailing a fixture
@@ -46,6 +46,10 @@ func loadFixtureDiagnostics(t *testing.T) []Diagnostic {
 	// locks, so wiredrift and codecdrift run live here too.
 	if err := LoadSchemaLocks(&cfg, root); err != nil {
 		t.Fatalf("LoadSchemaLocks: %v", err)
+	}
+	// ... and its own hot-path declaration, so hotalloc runs live too.
+	if err := LoadHotPaths(&cfg, root); err != nil {
+		t.Fatalf("LoadHotPaths: %v", err)
 	}
 	var diags []Diagnostic
 	for _, dir := range fixtureDirs {
@@ -86,7 +90,7 @@ func parseExpectations(t *testing.T) []expectation {
 	return out
 }
 
-// TestFixtureDiagnostics is the golden test for all fifteen analyzers:
+// TestFixtureDiagnostics is the golden test for the full suite:
 // every `// want` annotation in the fixture module must be matched by
 // exactly one diagnostic at that file and line, and no diagnostic may
 // appear without an annotation (this also proves the suppression

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tableseg/internal/analysis/cfg"
+	"tableseg/internal/analysis/dataflow"
+	"tableseg/internal/analysis/escape"
+)
+
+// BorrowFlow returns the analyzer enforcing the zero-copy borrowing
+// contract. The planned hot-path refactor makes tokens hold []byte
+// views into a shared input buffer instead of copied strings; from
+// that moment a view retained anywhere that outlives the tokenizing
+// call — a struct field, a global, a channel, a goroutine, a map — is
+// a use-after-reuse bug that corrupts a *later* task while Tables 1–4
+// keep looking plausible. borrowflow makes the discipline checkable
+// before the refactor lands: in the declared borrow packages
+// (Cfg.BorrowPkgs), every []byte parameter is treated as a borrowed
+// source-buffer view, the escape tracker of internal/analysis/escape
+// follows it through sub-slices, field reads, range bindings and phi
+// joins, and every sink where the borrow outlives the function is
+// reported. Passing a borrow to a module-local callee is checked
+// against that callee's escape summary (computed bottom-up over the
+// call-graph SCCs), so a store three helpers deep is caught at the
+// call site that handed the view away. Plain returns only lift the
+// borrow to the caller and are reported solely at stage boundaries —
+// exported stage-shaped functions (context first, error last), where
+// aliasflow already demands copy-out — because a returned view is
+// otherwise the normal shape of a zero-copy API.
+func BorrowFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "borrowflow",
+		Doc:  "forbid borrowed []byte views from outliving their source buffer (field/global/channel/goroutine stores anywhere; returns at stage boundaries)",
+	}
+	a.Run = func(pass *Pass) {
+		if !matchesAny(pass.Pkg.Path, pass.Cfg.BorrowPkgs) {
+			return
+		}
+		sums := escape.For(pass.Facts)
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkBorrowFlow(pass, fd, sums)
+			}
+		}
+	}
+	return a
+}
+
+// byteSliceView reports whether t is a []byte-shaped type — the only
+// parameter shape borrowflow treats as a borrowed source-buffer view.
+func byteSliceView(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+// checkBorrowFlow tracks fd's []byte parameters and reports every sink
+// where a view outlives the call.
+func checkBorrowFlow(pass *Pass, fd *ast.FuncDecl, sums *escape.Set) {
+	info := pass.Pkg.Info
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	node := pass.Facts.NodeOf(fn)
+	if node == nil {
+		return
+	}
+
+	// One provenance bit per []byte parameter, so reports name exactly
+	// which buffer leaked. Outlive also carries the receiver and the
+	// non-view parameters: a store through any of them escapes the
+	// caller's storage.
+	entry := map[types.Object]dataflow.Mask{}
+	bitName := map[int]string{}
+	outlive := map[types.Object]bool{}
+	bit := 0
+	addField := func(field *ast.Field) {
+		for _, name := range field.Names {
+			obj := info.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			outlive[obj] = true
+			if !byteSliceView(obj.Type()) || bit >= 64 {
+				continue
+			}
+			entry[obj] = 1 << bit
+			bitName[bit] = name.Name
+			bit++
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			addField(field)
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		addField(field)
+	}
+	if len(entry) == 0 {
+		return
+	}
+
+	tr := escape.NewTracker(node, cfg.New(fd.Body), sums, escape.TrackerConfig{
+		Info:    info,
+		Entry:   entry,
+		Outlive: outlive,
+	})
+
+	boundary := fd.Name.IsExported() && stageShaped(info, fd)
+	for _, ev := range tr.Events() {
+		if ev.Kind == escape.EvReturn && !boundary {
+			continue // a returned view just lifts the borrow to the caller
+		}
+		pass.Reportf(ev.At.Pos(), "borrowed view of source buffer%s %s %s; copy out before the buffer's lifetime ends (or document the seam with a tableseglint:ignore directive)",
+			plural(ev.Mask), maskNames(ev.Mask, bitName), borrowSinkPhrase(ev))
+	}
+}
+
+// borrowSinkPhrase renders how the borrow escapes, for the diagnostic.
+func borrowSinkPhrase(ev escape.Event) string {
+	switch ev.Kind {
+	case escape.EvStoreGlobal:
+		return "is stored in package-level storage"
+	case escape.EvStoreField:
+		return "is stored through storage that outlives the call"
+	case escape.EvSend:
+		return "is sent on a channel"
+	case escape.EvGoArg:
+		return "is handed to a goroutine"
+	case escape.EvGoClosure:
+		return "is captured by a goroutine closure"
+	case escape.EvReturn:
+		return "is returned across the stage boundary"
+	case escape.EvCallEscape:
+		return "is passed to " + ev.Callee + ", which retains it (escapes via " + ev.CalleeRoutes.String() + ")"
+	}
+	return "escapes"
+}

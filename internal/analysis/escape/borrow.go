@@ -1,0 +1,426 @@
+package escape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tableseg/internal/analysis/callgraph"
+	"tableseg/internal/analysis/cfg"
+	"tableseg/internal/analysis/dataflow"
+)
+
+// EventKind classifies one sink a borrowed value reached.
+type EventKind uint8
+
+const (
+	// EvStoreGlobal: assigned into package-level storage.
+	EvStoreGlobal EventKind = iota
+	// EvStoreField: assigned through a field, element or pointee whose
+	// root outlives the function (a parameter or receiver) — the
+	// caller's storage now aliases the borrow.
+	EvStoreField
+	// EvSend: sent on a channel.
+	EvSend
+	// EvGoArg: passed as an argument to a launched goroutine.
+	EvGoArg
+	// EvGoClosure: captured by a goroutine's function literal.
+	EvGoClosure
+	// EvReturn: returned (possibly as a sub-slice or wrapped in a
+	// composite) — the borrow is lifted to the caller.
+	EvReturn
+	// EvCallEscape: passed to a module-local callee whose escape
+	// summary retains that parameter (field/global/goroutine/channel).
+	EvCallEscape
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStoreGlobal:
+		return "store-global"
+	case EvStoreField:
+		return "store-field"
+	case EvSend:
+		return "send"
+	case EvGoArg:
+		return "go-arg"
+	case EvGoClosure:
+		return "go-closure"
+	case EvReturn:
+		return "return"
+	case EvCallEscape:
+		return "call-escape"
+	}
+	return "?"
+}
+
+// Event is one classified escape of borrowed provenance: Mask names
+// which sources reached the sink, Route how the value leaves the
+// function, At anchors the diagnostic.
+type Event struct {
+	Kind  EventKind
+	Route Route
+	Mask  dataflow.Mask
+	At    ast.Node
+	// Expr is the specific borrowed expression at the sink (the stored
+	// value, sent value, return expression, or escaping argument).
+	Expr ast.Expr
+	// Callee and CalleeRoutes are set for EvCallEscape: the resolved
+	// callee's display name and the retaining routes of the parameter
+	// the borrow was passed as.
+	Callee       string
+	CalleeRoutes Route
+}
+
+// TrackerConfig parameterizes a borrow tracker over one function body.
+type TrackerConfig struct {
+	// Info is the package's type information (required).
+	Info *types.Info
+
+	// Entry seeds borrowed provenance on parameters/receivers at
+	// function entry, one bit per source buffer.
+	Entry map[types.Object]dataflow.Mask
+
+	// SourceCall returns the provenance of a call's result — the hook
+	// through which poolsafe marks each sync.Pool/arena Get site with
+	// its own bit. Optional.
+	SourceCall func(call *ast.CallExpr) dataflow.Mask
+
+	// Outlive marks the objects whose storage outlives the call
+	// (parameters and the receiver): a store through a selector, index
+	// or star rooted at one of them is an EvStoreField. Stores through
+	// local roots are not events — the taint weak-update keeps the
+	// local's provenance, and any later escape of the local is caught
+	// at that sink instead. Optional.
+	Outlive map[types.Object]bool
+}
+
+// knownCopyCalls are external functions that return freshly allocated
+// storage, never a view of their arguments — calls the conservative
+// external-propagation fallback must not treat as view-returning.
+var knownCopyCalls = map[string]bool{
+	"bytes.Clone":   true,
+	"strings.Clone": true,
+	"slices.Clone":  true,
+	"maps.Clone":    true,
+	"bytes.Join":    true,
+	"bytes.Repeat":  true,
+}
+
+// Tracker follows borrowed provenance through one function body: a
+// forward taint fixpoint (sub-slices, field reads, range bindings and
+// phi joins all preserve provenance; conversions to string and copies
+// of scalar elements sever it) plus a sink classification pass that
+// turns every place a borrow could outlive the function into an Event.
+type Tracker struct {
+	Taint *dataflow.Taint
+
+	node  *callgraph.Node
+	graph *cfg.Graph
+	set   *Set
+	cfg   TrackerConfig
+}
+
+// NewTracker builds a tracker for node's body using set's escape
+// summaries for call lifting. It forces summary computation, so it
+// must not be called from inside the fixpoint itself (internal callers
+// use newTracker).
+func NewTracker(node *callgraph.Node, g *cfg.Graph, set *Set, tc TrackerConfig) *Tracker {
+	if set != nil {
+		set.ensure()
+	}
+	return newTracker(node, g, set, tc)
+}
+
+func newTracker(node *callgraph.Node, g *cfg.Graph, set *Set, tc TrackerConfig) *Tracker {
+	t := &Tracker{node: node, graph: g, set: set, cfg: tc}
+	t.Taint = dataflow.NewTaint(node.Body, g, dataflow.TaintConfig{
+		Info:         tc.Info,
+		Entry:        tc.Entry,
+		ResultTaint:  tc.SourceCall,
+		LiftCall:     t.liftCall,
+		TypeOK:       dataflow.CarriesRefs,
+		ElemCopyRefs: true,
+	})
+	return t
+}
+
+// liftCall computes the provenance a call result inherits from its
+// arguments. Module-local callees contribute exactly the arguments
+// their summary says may escape via return; unresolved or external
+// calls with reference-carrying results conservatively propagate every
+// reference-carrying argument (bytes.TrimSpace returns a view) unless
+// the callee is a known copying function.
+func (t *Tracker) liftCall(call *ast.CallExpr, argMask func(ast.Expr) dataflow.Mask) dataflow.Mask {
+	// Builtins (append, copy, make, min, max...) are modeled by the
+	// taint machinery itself — append of scalar elements is a copy, not
+	// a view — so the conservative fallback must not re-taint them.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := t.cfg.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			return 0
+		}
+	}
+	var edge *callgraph.Edge
+	if t.node != nil {
+		edge = t.node.EdgeAt(call)
+	}
+	if edge != nil && edge.Callee != nil && t.set != nil {
+		if sum := t.set.lookup(edge.Callee); sum != nil {
+			var m dataflow.Mask
+			sig := nodeSignature(edge.Callee)
+			for i, a := range call.Args {
+				if sum.Param(paramIndexAt(sig, i))&ViaReturn != 0 {
+					m |= argMask(a)
+				}
+			}
+			return m
+		}
+		// A resolved module-local callee with no summary has no
+		// reference-carrying parameters: nothing to lift.
+		return 0
+	}
+	// External or unresolved: a view-returning function is
+	// indistinguishable from a copying one, so propagate unless the
+	// result cannot share storage or the callee is a known copier.
+	if !resultCarriesRefs(t.cfg.Info, call) {
+		return 0
+	}
+	if name := qualifiedCallName(t.cfg.Info, call); knownCopyCalls[name] {
+		return 0
+	}
+	var m dataflow.Mask
+	for _, a := range call.Args {
+		m |= argMask(a)
+	}
+	return m
+}
+
+// resultCarriesRefs reports whether the call's result type can share
+// backing storage. Multi-value results check each component.
+func resultCarriesRefs(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return true // unknown: stay conservative
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if dataflow.CarriesRefs(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return dataflow.CarriesRefs(tv.Type)
+}
+
+// qualifiedCallName renders pkg.Func for a qualified call, "" for
+// anything else.
+func qualifiedCallName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isPkg := info.Uses[id].(*types.PkgName); !isPkg {
+		return ""
+	}
+	return id.Name + "." + sel.Sel.Name
+}
+
+// Events replays the body over the solved taint and classifies every
+// sink a borrowed value reaches. The walk visits blocks in index order,
+// so the event sequence is deterministic.
+func (t *Tracker) Events() []Event {
+	var events []Event
+	info := t.cfg.Info
+	add := func(ev Event) {
+		if ev.Mask != 0 {
+			events = append(events, ev)
+		}
+	}
+	t.Taint.Walk(func(b *cfg.Block, n ast.Node, fact map[types.Object]dataflow.Mask) {
+		mask := func(e ast.Expr) dataflow.Mask { return t.Taint.Mask(fact, e) }
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			t.assignEvents(n, mask, add)
+		case *ast.SendStmt:
+			add(Event{Kind: EvSend, Route: ViaChannel, Mask: mask(n.Value), At: n, Expr: n.Value})
+		case *ast.GoStmt:
+			t.goEvents(n, fact, mask, add)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if !exprCarriesRefs(info, res) {
+					continue
+				}
+				add(Event{Kind: EvReturn, Route: ViaReturn, Mask: mask(res), At: n, Expr: res})
+			}
+		}
+		// Call lifting applies to calls anywhere inside the node (an
+		// assignment RHS, an expression statement, a condition), except
+		// under go statements — those are charged as goroutine events.
+		if _, isGo := n.(*ast.GoStmt); !isGo {
+			t.callEvents(n, mask, add)
+		}
+	})
+	return events
+}
+
+// assignEvents classifies the stores of one assignment statement.
+func (t *Tracker) assignEvents(n *ast.AssignStmt, mask func(ast.Expr) dataflow.Mask, add func(Event)) {
+	rhsMask := func(i int) (dataflow.Mask, ast.Expr) {
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			return mask(n.Rhs[0]), n.Rhs[0]
+		}
+		if i < len(n.Rhs) {
+			return mask(n.Rhs[i]), n.Rhs[i]
+		}
+		return 0, nil
+	}
+	for i, lhs := range n.Lhs {
+		m, rhs := rhsMask(i)
+		if m == 0 {
+			continue
+		}
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if t.isGlobal(target) {
+				add(Event{Kind: EvStoreGlobal, Route: ViaGlobal, Mask: m, At: n, Expr: rhs})
+			}
+		case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+			root := rootIdentOf(lhs)
+			if root == nil {
+				break
+			}
+			switch {
+			case t.isGlobal(root):
+				add(Event{Kind: EvStoreGlobal, Route: ViaGlobal, Mask: m, At: n, Expr: rhs})
+			case t.cfg.Outlive[t.cfg.Info.ObjectOf(root)]:
+				add(Event{Kind: EvStoreField, Route: ViaField, Mask: m, At: n, Expr: rhs})
+			}
+		}
+	}
+}
+
+// goEvents classifies what a goroutine launch carries away: arguments
+// evaluated at launch, and free variables the literal (or method
+// value) captures by reference.
+func (t *Tracker) goEvents(n *ast.GoStmt, fact map[types.Object]dataflow.Mask, mask func(ast.Expr) dataflow.Mask, add func(Event)) {
+	for _, a := range n.Call.Args {
+		add(Event{Kind: EvGoArg, Route: ViaGoroutine, Mask: mask(a), At: n, Expr: a})
+	}
+	if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+		var captured dataflow.Mask
+		var at ast.Expr
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := t.cfg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if bits := fact[obj]; bits != 0 {
+				captured |= bits
+				if at == nil {
+					at = id
+				}
+			}
+			return true
+		})
+		add(Event{Kind: EvGoClosure, Route: ViaGoroutine, Mask: captured, At: n, Expr: at})
+		return
+	}
+	// Method value: go x.run — the receiver travels with the goroutine.
+	add(Event{Kind: EvGoArg, Route: ViaGoroutine, Mask: mask(n.Call.Fun), At: n, Expr: n.Call.Fun})
+}
+
+// callEvents lifts callee escape summaries onto borrowed arguments of
+// every call inside node n: passing a borrow to a function that stores
+// its parameter is itself a store.
+func (t *Tracker) callEvents(n ast.Node, mask func(ast.Expr) dataflow.Mask, add func(Event)) {
+	if t.node == nil || t.set == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		edge := t.node.EdgeAt(call)
+		if edge == nil || edge.Callee == nil || edge.Kind == callgraph.EdgeGo {
+			return true
+		}
+		sum := t.set.lookup(edge.Callee)
+		if sum == nil {
+			return true
+		}
+		sig := nodeSignature(edge.Callee)
+		for i, a := range call.Args {
+			retained := sum.Param(paramIndexAt(sig, i)) &^ ViaReturn
+			if retained == 0 {
+				continue
+			}
+			add(Event{
+				Kind:         EvCallEscape,
+				Route:        retained,
+				Mask:         mask(a),
+				At:           call,
+				Expr:         a,
+				Callee:       edge.Callee.Name(),
+				CalleeRoutes: retained,
+			})
+		}
+		return true
+	})
+}
+
+// isGlobal reports whether id names a package-level variable.
+func (t *Tracker) isGlobal(id *ast.Ident) bool {
+	obj := t.cfg.Info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	pkg := v.Pkg()
+	return pkg != nil && v.Parent() == pkg.Scope()
+}
+
+// exprCarriesRefs reports whether e's static type can share backing
+// storage — the filter that lets `return string(b)` pass borrowflow
+// while `return b[1:]` does not.
+func exprCarriesRefs(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unknown: stay conservative
+	}
+	return dataflow.CarriesRefs(tv.Type)
+}
+
+// rootIdentOf returns the base identifier under a chain of index,
+// selector, star, paren and slice expressions, or nil.
+func rootIdentOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

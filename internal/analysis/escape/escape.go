@@ -1,0 +1,347 @@
+// Package escape computes the escape-and-borrow facts beneath the
+// zero-copy refactor the ROADMAP plans for the tokenization and EM hot
+// paths. Once tokens hold byte-slice views into a shared input buffer
+// and EM matrices are checked out of an arena, correctness stops being
+// a local property: a view retained past a stage boundary, or a slice
+// still referenced after its Put, silently corrupts a *later* task
+// while Tables 1–4 keep looking plausible. The analyses here turn that
+// discipline into provable facts:
+//
+//   - Summaries: per-function "parameter i may escape via
+//     return/field/global/goroutine/channel" route sets, lifted
+//     bottom-up over the SCCs of the module call graph exactly like
+//     the may-block summaries in internal/analysis/callgraph — so a
+//     borrow handed to a helper three calls deep is tracked to where
+//     it actually lands.
+//   - Tracker (borrow.go): a per-function borrowed-provenance lattice
+//     over the taint solver of internal/analysis/dataflow — values
+//     derived from a designated source buffer ([]byte-view parameters)
+//     or checked out of a sync.Pool/arena stay borrowed through
+//     sub-slicing, field reads, range loops and phi joins, and the
+//     tracker classifies every sink where a borrow could outlive its
+//     lifetime.
+//
+// The borrowflow and poolsafe analyzers in internal/analysis consume
+// both layers; they are the lint-gated contract that must hold before
+// the zero-copy PR can land without "hope the race detector catches
+// it" as its safety argument.
+package escape
+
+import (
+	"go/types"
+	"strings"
+	"sync"
+
+	"tableseg/internal/analysis/callgraph"
+	"tableseg/internal/analysis/cfg"
+	"tableseg/internal/analysis/dataflow"
+)
+
+// Route is a bitset of the ways a value may escape its function.
+type Route uint8
+
+const (
+	// ViaReturn: the value (or a view of it) may be returned.
+	ViaReturn Route = 1 << iota
+	// ViaField: the value may be stored into a struct field, map entry,
+	// slice element or pointee reachable from a parameter or receiver —
+	// storage that outlives the call.
+	ViaField
+	// ViaGlobal: the value may be stored into package-level state.
+	ViaGlobal
+	// ViaGoroutine: the value may be captured by a launched goroutine
+	// (by closure or by argument), whose lifetime the caller does not
+	// bound.
+	ViaGoroutine
+	// ViaChannel: the value may be sent on a channel, handing it to an
+	// unknown receiver.
+	ViaChannel
+)
+
+// routeNames is ordered by bit, so String renders deterministically.
+var routeNames = []struct {
+	r    Route
+	name string
+}{
+	{ViaReturn, "return"},
+	{ViaField, "field"},
+	{ViaGlobal, "global"},
+	{ViaGoroutine, "goroutine"},
+	{ViaChannel, "channel"},
+}
+
+// String renders the route set as "return|field|..." in bit order.
+func (r Route) String() string {
+	if r == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, rn := range routeNames {
+		if r&rn.r != 0 {
+			parts = append(parts, rn.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Retains reports whether the route set contains any outliving store —
+// every route except a plain return, which merely lifts the borrow to
+// the caller.
+func (r Route) Retains() bool { return r&^ViaReturn != 0 }
+
+// Summary is the escape fact of one function: Params[i] is the route
+// set through which the i-th parameter (flattened declaration order,
+// receiver excluded) may escape. Parameters whose types cannot share
+// backing storage always have route 0.
+type Summary struct {
+	Params []Route
+}
+
+// Param returns the route set of parameter i, tolerating out-of-range
+// indexes (variadic call sites can supply more arguments than
+// parameters).
+func (s *Summary) Param(i int) Route {
+	if s == nil || i < 0 || i >= len(s.Params) {
+		return 0
+	}
+	return s.Params[i]
+}
+
+// Set holds the escape summaries of one summarized call graph. It is
+// computed lazily on first use and safe for concurrent readers — the
+// lint driver analyzes packages in parallel over one shared graph.
+type Set struct {
+	graph *callgraph.Graph
+	once  sync.Once
+	byFn  map[*callgraph.Node]*Summary
+}
+
+var (
+	setsMu sync.Mutex
+	sets   = map[*callgraph.Graph]*Set{}
+)
+
+// For returns the (memoized) escape summary set of g. The summaries
+// themselves are computed on first Of call, under a sync.Once, so
+// concurrent analyzer passes sharing g never race and never duplicate
+// the fixpoint.
+func For(g *callgraph.Graph) *Set {
+	setsMu.Lock()
+	defer setsMu.Unlock()
+	if s, ok := sets[g]; ok {
+		return s
+	}
+	s := &Set{graph: g}
+	sets[g] = s
+	return s
+}
+
+// Of returns the summary of node n (nil for nodes with no body or no
+// reference-carrying parameters).
+func (s *Set) Of(n *callgraph.Node) *Summary {
+	s.ensure()
+	return s.byFn[n]
+}
+
+// ensure runs the fixpoint once. Concurrent callers block until it
+// completes; compute itself reads summaries through lookup, never
+// ensure, so the once is never re-entered.
+func (s *Set) ensure() { s.once.Do(s.compute) }
+
+// lookup reads a summary without forcing computation — the accessor
+// trackers use from inside the fixpoint, where byFn is mid-flight and
+// monotonically growing.
+func (s *Set) lookup(n *callgraph.Node) *Summary { return s.byFn[n] }
+
+// OfFunc resolves fn through the graph and returns its summary, nil
+// when fn was not declared in the graph's sources.
+func (s *Set) OfFunc(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	node := s.graph.NodeOf(fn)
+	if node == nil {
+		return nil
+	}
+	return s.Of(node)
+}
+
+// fnState caches the per-node pieces that do not change across
+// fixpoint iterations: the CFG, the entry seeding, and the flattened
+// parameter objects. The tracker itself is rebuilt per iteration
+// because its summary lifting must see the routes discovered so far.
+type fnState struct {
+	node   *callgraph.Node
+	graph  *cfg.Graph
+	entry  map[types.Object]dataflow.Mask
+	params []types.Object
+}
+
+// compute runs the summary fixpoint bottom-up over the SCCs of the
+// call graph. Callees outside a component are final when the component
+// is processed (SCCs come back in reverse topological order), so most
+// nodes converge in one iteration; cyclic components iterate until the
+// route sets stop growing. Routes only ever grow, so the fixpoint
+// terminates.
+func (s *Set) compute() {
+	s.byFn = map[*callgraph.Node]*Summary{}
+	states := map[*callgraph.Node]*fnState{}
+	for _, n := range s.graph.Nodes {
+		if st := newFnState(n); st != nil {
+			states[n] = st
+			s.byFn[n] = &Summary{Params: make([]Route, len(st.params))}
+		}
+	}
+	for _, scc := range s.graph.SCCs() {
+		if len(scc) == 1 && !selfRecursive(scc[0]) {
+			// Callees outside the component are already final and the
+			// node cannot feed itself, so one pass is exact — no need
+			// for the confirming second iteration of the loop below.
+			if st := states[scc[0]]; st != nil {
+				cur := s.byFn[scc[0]]
+				for i, r := range s.walkEscapes(st) {
+					cur.Params[i] |= r
+				}
+			}
+			continue
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				st := states[n]
+				if st == nil {
+					continue
+				}
+				next := s.walkEscapes(st)
+				cur := s.byFn[n]
+				for i, r := range next {
+					if cur.Params[i]|r != cur.Params[i] {
+						cur.Params[i] |= r
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// selfRecursive reports whether n calls (or defers a call to) itself.
+func selfRecursive(n *callgraph.Node) bool {
+	for i := range n.Out {
+		e := &n.Out[i]
+		if e.Callee == n && (e.Kind == callgraph.EdgeCall || e.Kind == callgraph.EdgeDefer) {
+			return true
+		}
+	}
+	return false
+}
+
+// newFnState prepares the taint problem of one node: every
+// reference-carrying parameter gets one provenance bit. Nodes without
+// such parameters need no summary.
+func newFnState(n *callgraph.Node) *fnState {
+	if n.Body == nil {
+		return nil
+	}
+	params := ParamObjects(n)
+	if len(params) == 0 {
+		return nil
+	}
+	entry := map[types.Object]dataflow.Mask{}
+	tracked := 0
+	for i, obj := range params {
+		if i >= 64 {
+			break
+		}
+		if obj != nil && dataflow.CarriesRefs(obj.Type()) {
+			entry[obj] = 1 << i
+			tracked++
+		}
+	}
+	if tracked == 0 {
+		return nil
+	}
+	return &fnState{node: n, graph: cfg.New(n.Body), entry: entry, params: params}
+}
+
+// ParamObjects returns a node's parameter objects in signature order
+// (receiver excluded). go/types guarantees these are the same objects
+// the body's identifier uses resolve to, so they can seed taint entry
+// facts directly. Indexes line up with call-site argument positions.
+func ParamObjects(n *callgraph.Node) []types.Object {
+	sig := nodeSignature(n)
+	if sig == nil {
+		return nil
+	}
+	tuple := sig.Params()
+	out := make([]types.Object, tuple.Len())
+	for i := 0; i < tuple.Len(); i++ {
+		out[i] = tuple.At(i)
+	}
+	return out
+}
+
+// nodeSignature resolves the *types.Signature of a declared function
+// or literal node.
+func nodeSignature(n *callgraph.Node) *types.Signature {
+	switch {
+	case n.Fn != nil:
+		sig, _ := n.Fn.Type().(*types.Signature)
+		return sig
+	case n.Lit != nil:
+		if tv, ok := n.Info.Types[n.Lit]; ok && tv.Type != nil {
+			sig, _ := tv.Type.Underlying().(*types.Signature)
+			return sig
+		}
+	}
+	return nil
+}
+
+// paramIndexAt maps call-argument position i onto the callee's
+// parameter index, folding variadic spill into the last parameter.
+func paramIndexAt(sig *types.Signature, i int) int {
+	if sig == nil {
+		return i
+	}
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		return n - 1
+	}
+	return i
+}
+
+// walkEscapes classifies every sink of one function under the current
+// callee summaries and returns the per-parameter route sets.
+func (s *Set) walkEscapes(st *fnState) []Route {
+	routes := make([]Route, len(st.params))
+	add := func(mask dataflow.Mask, r Route) {
+		if mask == 0 || r == 0 {
+			return
+		}
+		for i := range st.params {
+			if i < 64 && mask&(1<<i) != 0 {
+				routes[i] |= r
+			}
+		}
+	}
+	tr := newTracker(st.node, st.graph, s, TrackerConfig{
+		Info:    st.node.Info,
+		Entry:   st.entry,
+		Outlive: objectSet(st.params),
+	})
+	for _, ev := range tr.Events() {
+		add(ev.Mask, ev.Route)
+	}
+	return routes
+}
+
+// objectSet builds a membership set, skipping nil placeholders.
+func objectSet(objs []types.Object) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, o := range objs {
+		if o != nil {
+			out[o] = true
+		}
+	}
+	return out
+}

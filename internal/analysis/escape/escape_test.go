@@ -1,0 +1,386 @@
+package escape
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"tableseg/internal/analysis/callgraph"
+	"tableseg/internal/analysis/cfg"
+	"tableseg/internal/analysis/dataflow"
+)
+
+// buildGraph type-checks one synthetic package and returns its call
+// graph plus the type info, for building trackers directly.
+func buildGraph(t *testing.T, src string) (*callgraph.Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return callgraph.Build([]callgraph.Source{{Path: "p", Files: []*ast.File{file}, Info: info, Types: tpkg}}), info
+}
+
+// summaryOf returns the escape summary of the named function.
+func summaryOf(t *testing.T, g *callgraph.Graph, name string) *Summary {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Fn != nil && n.Fn.Name() == name {
+			return For(g).Of(n)
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+func nodeNamed(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Fn != nil && n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+func TestRouteString(t *testing.T) {
+	cases := []struct {
+		r    Route
+		want string
+	}{
+		{0, "none"},
+		{ViaReturn, "return"},
+		{ViaField | ViaReturn, "return|field"},
+		{ViaGlobal | ViaChannel | ViaGoroutine, "global|goroutine|channel"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Route(%b).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+	if ViaReturn.Retains() {
+		t.Error("ViaReturn.Retains() = true, want false: a return only lifts the borrow")
+	}
+	if !(ViaReturn | ViaField).Retains() {
+		t.Error("(ViaReturn|ViaField).Retains() = false, want true")
+	}
+}
+
+func TestSummaryDirectRoutes(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+
+var sink []byte
+
+type box struct{ data []byte }
+
+func leakGlobal(b []byte) { sink = b }
+
+func leakField(dst *box, b []byte) { dst.data = b }
+
+func leakChan(ch chan []byte, b []byte) { ch <- b }
+
+func leakGo(b []byte) { go func() { _ = b[0] }() }
+
+func leakReturn(b []byte) []byte { return b[1:] }
+
+func clean(b []byte) int { return len(b) }
+`)
+	cases := []struct {
+		fn    string
+		param int
+		want  Route
+	}{
+		{"leakGlobal", 0, ViaGlobal},
+		{"leakField", 1, ViaField},
+		{"leakChan", 1, ViaChannel},
+		{"leakGo", 0, ViaGoroutine},
+		{"leakReturn", 0, ViaReturn},
+		{"clean", 0, 0},
+	}
+	for _, c := range cases {
+		sum := summaryOf(t, g, c.fn)
+		if got := sum.Param(c.param); got != c.want {
+			t.Errorf("%s param %d routes = %v, want %v", c.fn, c.param, got, c.want)
+		}
+	}
+	// leakField's dst pointer itself never escapes anywhere.
+	if got := summaryOf(t, g, "leakField").Param(0); got != 0 {
+		t.Errorf("leakField dst routes = %v, want none", got)
+	}
+}
+
+func TestSummaryCopySevers(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+
+func cloned(b []byte) []byte { return append([]byte(nil), b...) }
+
+func stringified(b []byte) string { return string(b) }
+
+func copied(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+`)
+	for _, fn := range []string{"cloned", "stringified", "copied"} {
+		sum := summaryOf(t, g, fn)
+		if got := sum.Param(0); got != 0 {
+			t.Errorf("%s param routes = %v, want none: the result is a fresh copy", fn, got)
+		}
+	}
+}
+
+func TestSummaryTransitiveLifting(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+
+var sink []byte
+
+func retain(b []byte) { sink = b }
+
+func wrapper(b []byte) { retain(b) }
+
+func view(b []byte) []byte { return b[2:8] }
+
+func outer(b []byte) []byte {
+	v := view(b)
+	return v
+}
+
+func severed(b []byte) []byte {
+	v := view(b)
+	return append([]byte(nil), v...)
+}
+`)
+	if got := summaryOf(t, g, "wrapper").Param(0); got != ViaGlobal {
+		t.Errorf("wrapper routes = %v, want global (lifted through retain)", got)
+	}
+	if got := summaryOf(t, g, "outer").Param(0); got != ViaReturn {
+		t.Errorf("outer routes = %v, want return (lifted through view)", got)
+	}
+	if got := summaryOf(t, g, "severed").Param(0); got != 0 {
+		t.Errorf("severed routes = %v, want none: the view was cloned before returning", got)
+	}
+}
+
+func TestSummaryRecursiveSCC(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+
+func ping(b []byte, n int) []byte {
+	if n == 0 {
+		return b
+	}
+	return pong(b, n-1)
+}
+
+func pong(b []byte, n int) []byte { return ping(b, n-1) }
+`)
+	// pong has no direct return of b: its ViaReturn arrives only by
+	// lifting through the mutually recursive SCC fixpoint.
+	if got := summaryOf(t, g, "pong").Param(0); got != ViaReturn {
+		t.Errorf("pong routes = %v, want return via SCC fixpoint", got)
+	}
+	if got := summaryOf(t, g, "ping").Param(0); got != ViaReturn {
+		t.Errorf("ping routes = %v, want return", got)
+	}
+}
+
+func TestSummaryExternalCallConservative(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+
+import "bytes"
+
+func trimmed(b []byte) []byte { return bytes.TrimSpace(b) }
+
+func cloned(b []byte) []byte { return bytes.Clone(b) }
+`)
+	// bytes.TrimSpace returns a view of its argument: the conservative
+	// external fallback must keep the borrow alive.
+	if got := summaryOf(t, g, "trimmed").Param(0); got != ViaReturn {
+		t.Errorf("trimmed routes = %v, want return (external view function)", got)
+	}
+	// bytes.Clone is on the known-copy allowlist.
+	if got := summaryOf(t, g, "cloned").Param(0); got != 0 {
+		t.Errorf("cloned routes = %v, want none (known copying function)", got)
+	}
+}
+
+func TestForMemoizes(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+
+func id(b []byte) []byte { return b }
+`)
+	if For(g) != For(g) {
+		t.Fatal("For(g) returned distinct sets for the same graph")
+	}
+}
+
+// trackerFor builds a tracker over fn with every reference-carrying
+// parameter seeded, returning the tracker and the parameter objects.
+func trackerFor(t *testing.T, g *callgraph.Graph, info *types.Info, fn string) (*Tracker, []types.Object) {
+	t.Helper()
+	node := nodeNamed(t, g, fn)
+	params := ParamObjects(node)
+	entry := map[types.Object]dataflow.Mask{}
+	for i, obj := range params {
+		if obj != nil && dataflow.CarriesRefs(obj.Type()) {
+			entry[obj] = 1 << i
+		}
+	}
+	tr := NewTracker(node, cfg.New(node.Body), For(g), TrackerConfig{
+		Info:    info,
+		Entry:   entry,
+		Outlive: objectSet(params),
+	})
+	return tr, params
+}
+
+// kindsOf collects the event kinds seen for a given source bit.
+func kindsOf(events []Event, bit dataflow.Mask) map[EventKind]int {
+	out := map[EventKind]int{}
+	for _, ev := range events {
+		if ev.Mask&bit != 0 {
+			out[ev.Kind]++
+		}
+	}
+	return out
+}
+
+func TestTrackerSelectArms(t *testing.T) {
+	// A borrowed value escaping through one arm of a select must be
+	// seen even though only that path sends it.
+	g, info := buildGraph(t, `package p
+
+func fan(ch chan []byte, done chan struct{}, b []byte) {
+	sub := b[4:]
+	select {
+	case ch <- sub:
+	case <-done:
+	}
+}
+`)
+	tr, _ := trackerFor(t, g, info, "fan")
+	kinds := kindsOf(tr.Events(), 1<<2) // bit of b
+	if kinds[EvSend] == 0 {
+		t.Fatalf("no EvSend for borrowed sub-slice sent in select arm; kinds: %v", kinds)
+	}
+}
+
+func TestTrackerSubSliceOfSubSlice(t *testing.T) {
+	g, info := buildGraph(t, `package p
+
+func nest(b []byte) []byte {
+	head := b[1:]
+	cell := head[2:4]
+	return cell
+}
+`)
+	tr, _ := trackerFor(t, g, info, "nest")
+	kinds := kindsOf(tr.Events(), 1)
+	if kinds[EvReturn] == 0 {
+		t.Fatalf("no EvReturn for doubly nested sub-slice; kinds: %v", kinds)
+	}
+}
+
+func TestTrackerGoroutineCaptureShapes(t *testing.T) {
+	g, info := buildGraph(t, `package p
+
+func consume(b []byte) {}
+
+func byArg(b []byte) { go consume(b) }
+
+func byClosure(b []byte) {
+	go func() {
+		consume(b)
+	}()
+}
+`)
+	trArg, _ := trackerFor(t, g, info, "byArg")
+	if kinds := kindsOf(trArg.Events(), 1); kinds[EvGoArg] == 0 {
+		t.Fatalf("goroutine launch by argument not classified EvGoArg; kinds: %v", kinds)
+	}
+	trClo, _ := trackerFor(t, g, info, "byClosure")
+	kinds := kindsOf(trClo.Events(), 1)
+	if kinds[EvGoClosure] == 0 {
+		t.Fatalf("goroutine capture by closure not classified EvGoClosure; kinds: %v", kinds)
+	}
+	if kinds[EvGoArg] != 0 {
+		t.Fatalf("closure capture double-reported as EvGoArg; kinds: %v", kinds)
+	}
+}
+
+func TestTrackerSourceCall(t *testing.T) {
+	// A SourceCall hook (poolsafe's Get marker) seeds provenance at the
+	// call result, and the borrow survives a deferred use check.
+	g, info := buildGraph(t, `package p
+
+var sink []byte
+
+type pool struct{}
+
+func (p *pool) Get() []byte { return nil }
+
+func leak(p *pool) {
+	buf := p.Get()
+	sink = buf[:4]
+}
+`)
+	node := nodeNamed(t, g, "leak")
+	const getBit = dataflow.Mask(1) << 40
+	tr := NewTracker(node, cfg.New(node.Body), For(g), TrackerConfig{
+		Info: info,
+		SourceCall: func(call *ast.CallExpr) dataflow.Mask {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+				return getBit
+			}
+			return 0
+		},
+	})
+	kinds := kindsOf(tr.Events(), getBit)
+	if kinds[EvStoreGlobal] == 0 {
+		t.Fatalf("pool checkout stored in global not classified; kinds: %v", kinds)
+	}
+}
+
+func TestTrackerCallEscapeEvent(t *testing.T) {
+	g, info := buildGraph(t, `package p
+
+var sink []byte
+
+func retain(b []byte) { sink = b }
+
+func handoff(b []byte) { retain(b[8:]) }
+`)
+	tr, _ := trackerFor(t, g, info, "handoff")
+	var found *Event
+	for _, ev := range tr.Events() {
+		if ev.Kind == EvCallEscape {
+			found = &ev
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("no EvCallEscape for borrow passed to retaining callee")
+	}
+	if found.Callee != "p.retain" {
+		t.Errorf("EvCallEscape callee = %q, want p.retain", found.Callee)
+	}
+	if found.CalleeRoutes != ViaGlobal {
+		t.Errorf("EvCallEscape routes = %v, want global", found.CalleeRoutes)
+	}
+}

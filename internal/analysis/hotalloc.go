@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Allocation-kind slugs carried in every hotalloc message (inside the
+// parenthesized "(kind)" marker), so the allocation inventory and the
+// perf work's burn-down tooling can bucket findings mechanically.
+const (
+	AllocStringConv = "string-conv" // string([]byte): copies the buffer
+	AllocBytesConv  = "bytes-conv"  // []byte(string): copies the string
+	AllocSprintf    = "sprintf"     // fmt.Sprintf: format machinery + result alloc
+	AllocAppendLoop = "append-loop" // append in a loop, slice declared without capacity
+	AllocIfaceBox   = "iface-box"   // float64 boxed into an interface argument
+)
+
+// HotAlloc returns the analyzer inventorying avoidable allocation
+// sites on declared hot paths. Unlike the suite's correctness
+// analyzers this one encodes a performance policy, so it only runs
+// inside the packages the committed lint/hotpaths.conf opts in
+// (Cfg.HotPkgs, loaded by LoadHotPaths; no file, no findings). Each
+// finding names its allocation kind in a parseable "(kind)" marker —
+// string([]byte) and []byte(string) conversions, fmt.Sprintf calls,
+// append-in-loop on a slice declared without a capacity hint, and
+// float64 values boxed into interface arguments — so `tableseglint
+// -alloc-inventory` can emit the count-by-kind artifact the perf PR
+// burns down, with the committed baseline as its worklist.
+func HotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "flag avoidable allocation sites (string/[]byte conversions, Sprintf, append-in-loop without prealloc, float64 interface boxing) in declared hot-path packages",
+	}
+	a.Run = func(pass *Pass) {
+		if !matchesAny(pass.Pkg.Path, pass.Cfg.HotPkgs) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkHotAlloc(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+// HotAllocKind extracts the allocation-kind slug from a hotalloc
+// message, "" when the message carries none. The inventory mode of the
+// driver uses it to bucket findings by kind.
+func HotAllocKind(msg string) string {
+	const marker = "hot-path allocation ("
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := msg[i+len(marker):]
+	j := strings.IndexByte(rest, ')')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+// checkHotAlloc walks one function body flagging each allocation kind.
+func checkHotAlloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Slices declared in this function without a capacity hint are the
+	// append-in-loop candidates; everything else (parameters, fields,
+	// preallocated makes) stays silent — an under-approximation, like
+	// the rest of the suite.
+	noCap := noCapSlices(info, fd.Body)
+
+	loopDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its allocations are not per-iteration of our loops
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			if f, ok := n.(*ast.ForStmt); ok {
+				ast.Inspect(f.Body, walk)
+			} else {
+				ast.Inspect(n.(*ast.RangeStmt).Body, walk)
+			}
+			loopDepth--
+			return false
+		case *ast.CallExpr:
+			checkHotCall(pass, info, n, noCap, loopDepth > 0)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkHotCall classifies one call expression.
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, noCap map[types.Object]bool, inLoop bool) {
+	// Conversions: string([]byte) and []byte(string).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		if src != nil {
+			switch {
+			case isStringType(dst) && byteSliceView(src):
+				pass.Reportf(call.Pos(), "hot-path allocation (%s): string([]byte) conversion copies the buffer; keep the []byte view or hoist the conversion off the hot path", AllocStringConv)
+			case byteSliceView(dst) && isStringType(src):
+				pass.Reportf(call.Pos(), "hot-path allocation (%s): []byte(string) conversion copies the string; thread []byte through or hoist the conversion off the hot path", AllocBytesConv)
+			}
+		}
+		return
+	}
+
+	// fmt.Sprintf.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				if sel.Sel.Name == "Sprintf" {
+					pass.Reportf(call.Pos(), "hot-path allocation (%s): fmt.Sprintf allocates its result and boxes every operand; use strconv or a reused buffer", AllocSprintf)
+				}
+				// All fmt calls box their operands; the Sprintf finding
+				// (or the call being cold-path error formatting) covers
+				// it, so skip the iface-box check below for fmt.
+				return
+			}
+		}
+	}
+
+	// append in a loop on a slice declared without capacity.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			if inLoop && len(call.Args) > 0 {
+				if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if obj := info.ObjectOf(target); obj != nil && noCap[obj] {
+						pass.Reportf(call.Pos(), "hot-path allocation (%s): append in a loop to %q, declared without a capacity hint; preallocate with make(..., 0, n)", AllocAppendLoop, target.Name)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// float64 boxed into an interface argument.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			break
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.Float64 {
+			pass.Reportf(arg.Pos(), "hot-path allocation (%s): float64 boxed into an interface argument; keep the call monomorphic or hoist it off the hot path", AllocIfaceBox)
+		}
+	}
+}
+
+// noCapSlices collects local slice variables declared without a
+// capacity hint: `var x []T`, `x := []T{}`, or `x := make([]T, 0)`.
+func noCapSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(id *ast.Ident) {
+		if id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeclStmt:
+			if gen, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gen.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) == 0 {
+						for _, name := range vs.Names {
+							record(name)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if uncappedSliceExpr(info, n.Rhs[i]) {
+					record(id)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// uncappedSliceExpr reports whether e constructs an empty slice with
+// no capacity hint: a literal `[]T{}` or `make([]T, 0)`.
+func uncappedSliceExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return false
+		}
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+			return false
+		}
+		// make([]T, 0) without a capacity argument.
+		if len(e.Args) != 2 {
+			return false
+		}
+		tv, ok := info.Types[e.Args[1]]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// callSignature resolves the signature of a (non-conversion) call.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the declared type of the parameter receiving
+// argument i, unwrapping the variadic slice element; nil past the end
+// of a non-variadic signature.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}

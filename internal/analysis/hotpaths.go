@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// HotPathsFile is the committed hot-path declaration, relative to the
+// module root: one import-path suffix per line ('#' comments and blank
+// lines ignored). The packages listed there are the ones whose
+// profiles the perf work targets, and the only ones hotalloc runs
+// over — hot-path discipline is a policy the repo opts packages into,
+// not a global style rule.
+const HotPathsFile = "lint/hotpaths.conf"
+
+// LoadHotPaths populates cfg.HotPkgs from the hot-paths file committed
+// under root. A missing file leaves hotalloc dormant (the module has
+// not declared hot paths yet); an unreadable file or one declaring no
+// packages at all (every line blank or comment) is an error the driver
+// reports as an exit-2 usage failure — a present-but-empty declaration
+// is far more likely a truncated commit than a deliberate opt-out,
+// which deleting the file already expresses.
+func LoadHotPaths(cfg *Config, root string) error {
+	if cfg.HotPathsPath == "" {
+		cfg.HotPathsPath = HotPathsFile
+	}
+	path := filepath.Join(root, filepath.FromSlash(cfg.HotPathsPath))
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+
+	var pkgs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.ContainsAny(line, " \t") {
+			return fmt.Errorf("%s: malformed line %q: one import-path suffix per line", cfg.HotPathsPath, line)
+		}
+		pkgs = append(pkgs, line)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %w", cfg.HotPathsPath, err)
+	}
+	if len(pkgs) == 0 {
+		return fmt.Errorf("%s: declares no packages; delete the file to opt out of hotalloc", cfg.HotPathsPath)
+	}
+	cfg.HotPkgs = pkgs
+	return nil
+}

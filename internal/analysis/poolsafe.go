@@ -1,0 +1,428 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tableseg/internal/analysis/callgraph"
+	"tableseg/internal/analysis/cfg"
+	"tableseg/internal/analysis/dataflow"
+	"tableseg/internal/analysis/escape"
+)
+
+// PoolSafe returns the analyzer enforcing pool checkout discipline —
+// the arena half of the zero-copy contract. The planned pHMM slab
+// reuse checks per-iteration EM matrices out of a pool; a checkout
+// that misses its Put on some path silently degrades the pool back to
+// per-iteration allocation, a checkout that escapes between Get and
+// Put aliases a buffer another task will scribble over, and a use
+// after Put reads memory the pool may already have handed out again.
+// poolsafe proves all three over the CFG, mirroring lockdiscipline's
+// acquire/release reasoning: every value obtained from a
+// sync.Pool/arena Get (any receiver of type sync.Pool, or a
+// module-local named type ending in Pool or Arena with Get/Put
+// methods) must reach the matching Put on every path out of the
+// function (cfg.AllPathsContain — a deferred Put covers early returns
+// by construction), must not escape while checked out (tracked by the
+// borrow machinery of internal/analysis/escape, including through
+// module-local callees via their escape summaries), and its binding
+// must not be touched on any path after an explicit Put.
+func PoolSafe() *Analyzer {
+	a := &Analyzer{
+		Name: "poolsafe",
+		Doc:  "a sync.Pool/arena checkout must reach Put on all paths, must not escape between Get and Put, and must not be used after Put",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkPoolSafe(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+// poolCall classifies call as a pool Get/Put: a method named Get or
+// Put whose receiver is sync.Pool or a module-local named type ending
+// in Pool or Arena. The key identifies the pool instance by its
+// printed receiver expression, the same identity lockdiscipline uses
+// for mutexes.
+func poolCall(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, selOk := call.Fun.(*ast.SelectorExpr)
+	if !selOk {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	if method != "Get" && method != "Put" {
+		return "", "", false
+	}
+	if recv, m := callgraph.SyncSelector(info, call); recv == "Pool" && m == method {
+		return types.ExprString(sel.X), method, true
+	}
+	selection, selOk := info.Selections[sel]
+	if !selOk {
+		return "", "", false
+	}
+	t := selection.Recv()
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	name := named.Obj().Name()
+	if !strings.HasSuffix(name, "Pool") && !strings.HasSuffix(name, "Arena") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), method, true
+}
+
+// poolGet is one checkout site: the Get call, the pool it came from,
+// its CFG location, the object the result was bound to (nil when the
+// result is used unbound), and its provenance bit.
+type poolGet struct {
+	call  *ast.CallExpr
+	key   string
+	block *cfg.Block
+	idx   int
+	bound types.Object
+	bit   dataflow.Mask
+}
+
+// checkPoolSafe proves the three checkout obligations for every pool
+// Get in fd.
+func checkPoolSafe(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Collect Get sites (shallow: nested literals check themselves via
+	// their own enclosing-decl walk being out of scope here, matching
+	// the suite's other CFG analyzers).
+	var getCalls []*ast.CallExpr
+	inspectShallowBody(fd.Body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, method, ok := poolCall(info, call); ok && method == "Get" {
+				getCalls = append(getCalls, call)
+			}
+		}
+	})
+	if len(getCalls) == 0 {
+		return
+	}
+
+	g := cfg.New(fd.Body)
+	gets := make([]*poolGet, 0, len(getCalls))
+	bitOf := map[*ast.CallExpr]dataflow.Mask{}
+	for i, call := range getCalls {
+		if i >= 64 {
+			break
+		}
+		key, _, _ := poolCall(info, call)
+		block, idx := g.Find(enclosingNode(fd.Body, call))
+		pg := &poolGet{call: call, key: key, block: block, idx: idx, bit: 1 << i}
+		pg.bound = boundObject(info, fd.Body, call)
+		bitOf[call] = pg.bit
+		gets = append(gets, pg)
+	}
+
+	// Borrow tracking: each Get result is its own source; any escape
+	// event carrying its bit is a checkout leak.
+	var node *callgraph.Node
+	if fn, _ := info.Defs[fd.Name].(*types.Func); fn != nil {
+		node = pass.Facts.NodeOf(fn)
+	}
+	if node == nil {
+		return
+	}
+	outlive := map[types.Object]bool{}
+	for _, obj := range escape.ParamObjects(node) {
+		if obj != nil {
+			outlive[obj] = true
+		}
+	}
+	tr := escape.NewTracker(node, g, escape.For(pass.Facts), escape.TrackerConfig{
+		Info:    info,
+		Outlive: outlive,
+		SourceCall: func(call *ast.CallExpr) dataflow.Mask {
+			return bitOf[call]
+		},
+	})
+	events := tr.Events()
+
+	for _, pg := range gets {
+		checkGetReachesPut(pass, g, pg)
+		for _, ev := range events {
+			if ev.Mask&pg.bit == 0 {
+				continue
+			}
+			pass.Reportf(ev.At.Pos(), "pool checkout from %s.Get %s; the pooled buffer must stay function-local until %s.Put (or document the ownership transfer with a tableseglint:ignore directive)",
+				pg.key, poolSinkPhrase(ev), pg.key)
+		}
+		checkUseAfterPut(pass, g, fd, pg)
+	}
+}
+
+// poolSinkPhrase renders how a checkout escapes.
+func poolSinkPhrase(ev escape.Event) string {
+	if ev.Kind == escape.EvReturn {
+		return "is returned"
+	}
+	return borrowSinkPhrase(ev)
+}
+
+// checkGetReachesPut requires a Put on the same pool on every path
+// from the Get to function exit. A deferred Put registered after the
+// Get satisfies every path by construction, including early returns.
+func checkGetReachesPut(pass *Pass, g *cfg.Graph, pg *poolGet) {
+	if pg.block == nil {
+		return
+	}
+	isPut := func(n ast.Node) bool {
+		call := callOf(n)
+		if call == nil {
+			return false
+		}
+		key, method, ok := poolCall(pass.Pkg.Info, call)
+		return ok && method == "Put" && key == pg.key
+	}
+	if g.AllPathsContain(pg.block, pg.idx, isPut) {
+		return
+	}
+	pass.Reportf(pg.call.Pos(), "pool checkout from %s.Get does not reach %s.Put on every path; add a deferred Put or a Put on each exit (missed Puts silently degrade the pool to per-call allocation)",
+		pg.key, pg.key)
+}
+
+// checkUseAfterPut reports uses of the checkout's binding after an
+// explicit (non-deferred) Put. The forward walk follows successor
+// blocks only while they have a single predecessor, a cheap dominance
+// approximation that never flags a use reachable without passing the
+// Put.
+func checkUseAfterPut(pass *Pass, g *cfg.Graph, fd *ast.FuncDecl, pg *poolGet) {
+	if pg.bound == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	reportIn := func(e ast.Expr) {
+		ast.Inspect(e, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			id, ok := m.(*ast.Ident)
+			if !ok || info.Uses[id] != pg.bound {
+				return true
+			}
+			pass.Reportf(id.Pos(), "pool checkout %q used after %s.Put; the buffer may already be checked out by another goroutine", id.Name, pg.key)
+			return true
+		})
+	}
+	// scanNode reports uses inside n and returns true when n strongly
+	// rebinds the checkout variable (a fresh Get, say) — the old
+	// checkout is dead past that point, so the scan must stop rather
+	// than flag legitimate uses of the new one.
+	scanNode := func(n ast.Node) (rebound bool) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, rhs := range as.Rhs {
+				reportIn(rhs)
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if info.Uses[id] == pg.bound || info.Defs[id] == pg.bound {
+						rebound = true
+					}
+					continue
+				}
+				reportIn(lhs) // buf[i] = ... is a use of buf
+			}
+			return rebound
+		}
+		if e, ok := n.(ast.Expr); ok {
+			reportIn(e)
+			return false
+		}
+		if es, ok := n.(*ast.ExprStmt); ok {
+			reportIn(es.X)
+			return false
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok {
+				reportIn(e)
+				return false
+			}
+			return true
+		})
+		return false
+	}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue // a deferred Put runs at exit: nothing follows it
+			}
+			call := callOf(n)
+			if call == nil {
+				continue
+			}
+			key, method, ok := poolCall(info, call)
+			if !ok || method != "Put" || key != pg.key {
+				continue
+			}
+			// Same block after the Put, then the single-predecessor
+			// successor chain.
+			stopped := false
+			for _, later := range b.Nodes[i+1:] {
+				if scanNode(later) {
+					stopped = true
+					break
+				}
+			}
+			if stopped {
+				continue
+			}
+			seen := map[*cfg.Block]bool{b: true}
+			frontier := b.Succs
+			for len(frontier) > 0 {
+				var next []*cfg.Block
+				for _, s := range frontier {
+					if seen[s] || len(predsOf(g, s)) != 1 {
+						continue
+					}
+					seen[s] = true
+					rebound := false
+					for _, n := range s.Nodes {
+						if scanNode(n) {
+							rebound = true
+							break
+						}
+					}
+					if !rebound {
+						next = append(next, s.Succs...)
+					}
+				}
+				frontier = next
+			}
+		}
+	}
+}
+
+// predsOf computes a block's predecessors (the graph stores only
+// successor edges).
+func predsOf(g *cfg.Graph, target *cfg.Block) []*cfg.Block {
+	var preds []*cfg.Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == target {
+				preds = append(preds, b)
+				break
+			}
+		}
+	}
+	return preds
+}
+
+// callOf extracts the call of an expression statement, deferred call,
+// or bare call node.
+func callOf(n ast.Node) *ast.CallExpr {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		return n
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			return call
+		}
+	case *ast.DeferStmt:
+		return n.Call
+	}
+	return nil
+}
+
+// boundObject finds the object a Get result is bound to: the single
+// LHS identifier of the assignment whose RHS is (or wraps, via a type
+// assertion or conversion) the call.
+func boundObject(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if !containsCall(as.Rhs[0], call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			obj = info.ObjectOf(id)
+		}
+		return false
+	})
+	return obj
+}
+
+// containsCall reports whether e is call, possibly wrapped in parens,
+// a type assertion or a conversion.
+func containsCall(e ast.Expr, call *ast.CallExpr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			if x == call {
+				return true
+			}
+			// A conversion of the result: T(pool.Get()).
+			if len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return false
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// enclosingNode maps an expression to the statement-level node the CFG
+// records for it: the innermost statement containing it.
+func enclosingNode(body *ast.BlockStmt, target ast.Node) ast.Node {
+	var best ast.Node = target
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == target {
+			for i := len(stack) - 1; i >= 0; i-- {
+				if _, ok := stack[i].(ast.Stmt); ok {
+					best = stack[i]
+					return false
+				}
+			}
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return best
+}
+
+// inspectShallowBody walks body without descending into nested
+// function literals.
+func inspectShallowBody(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
